@@ -1,0 +1,55 @@
+// Ablation (paper §5.1 future work): "dynamically assigning threads to
+// players taking into account the region they are located may reduce
+// contention". We implement region-based assignment at connect time
+// (players spawning in the same map region share a thread) and compare
+// lock contention against static block assignment. Because players roam,
+// the benefit decays over the session — which is why the paper calls for
+// *dynamic* reassignment.
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("Ablation — player-to-thread assignment policy",
+                      "§5.1 future-work proposal");
+
+  struct Variant {
+    const char* name;
+    core::AssignPolicy assign;
+    vt::Duration reassign;
+  };
+  const Variant variants[] = {
+      {"block (static)", core::AssignPolicy::kBlock, {}},
+      {"region @connect", core::AssignPolicy::kRegion, {}},
+      {"region dynamic 1s", core::AssignPolicy::kRegion, vt::seconds(1)},
+  };
+
+  Table t("Block vs region vs dynamic-region assignment");
+  t.header({"threads/players", "assignment", "rate (replies/s)", "lock",
+            "leaf-shared/frame", "wait", "migrations"});
+  for (const int threads : {4, 8}) {
+    for (const int players : {128, 160}) {
+      for (const auto& v : variants) {
+        auto cfg = paper_config(ServerMode::kParallel, threads, players,
+                                core::LockPolicy::kConservative);
+        cfg.server.assign_policy = v.assign;
+        cfg.server.reassign_interval = v.reassign;
+        bench::apply_windows(cfg);
+        const auto r = run_experiment(cfg);
+        const std::string label = std::to_string(threads) + "t/" +
+                                  std::to_string(players) + "p/" + v.name;
+        print_summary(label, r);
+        t.row({std::to_string(threads) + "t/" + std::to_string(players) + "p",
+               v.name, Table::num(r.response_rate, 0),
+               Table::pct(r.pct.lock()),
+               Table::pct(r.leaves_shared_per_frame_pct),
+               Table::pct(r.pct.intra_wait + r.pct.inter_wait()),
+               std::to_string(r.reassignments)});
+      }
+    }
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation (paper §5.2 future work): request batching. "One possible
+// approach to reduce wait times is to batch incoming requests. For
+// instance, the frame master thread can wait for a period of time before
+// starting the frame." We sweep that window and measure its effect on
+// inter-frame wait, response rate, and response time.
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header(
+      "Ablation — request batching (master delays frame start)",
+      "§5.2 future-work proposal");
+
+  Table t("Batching window sweep, 4 threads, conservative locking");
+  t.header({"players", "window (ms)", "rate (replies/s)", "resp (ms)",
+            "req/thread/frame", "intra-wait", "inter-wait", "lock"});
+  for (const int players : {128, 160}) {
+    for (const int window_ms : {0, 1, 2, 4, 8}) {
+      auto cfg = paper_config(ServerMode::kParallel, 4, players,
+                              core::LockPolicy::kConservative);
+      cfg.server.batch_window = vt::millis(window_ms);
+      bench::apply_windows(cfg);
+      const auto r = run_experiment(cfg);
+      print_summary(std::to_string(players) + "p/batch-" +
+                        std::to_string(window_ms) + "ms",
+                    r);
+      t.row({std::to_string(players), std::to_string(window_ms),
+             Table::num(r.response_rate, 0),
+             Table::num(r.response_ms_mean, 1),
+             Table::num(r.requests_per_thread_frame_mean, 2),
+             Table::pct(r.pct.intra_wait), Table::pct(r.pct.inter_wait()),
+             Table::pct(r.pct.lock())});
+    }
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

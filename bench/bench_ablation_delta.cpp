@@ -1,0 +1,87 @@
+// Ablation (ours): delta-compressed snapshots. The paper's companion
+// study [1] found server bandwidth a non-issue *because* QuakeWorld
+// delta-compresses its updates; this bench quantifies that on our
+// substrate: bytes on the wire and service quality, full vs delta.
+#include "bench_common.hpp"
+#include "src/bots/client_driver.hpp"
+#include "src/core/parallel_server.hpp"
+#include "src/spatial/map_gen.hpp"
+
+using namespace qserv;
+
+namespace {
+
+struct Run {
+  uint64_t bytes = 0;
+  uint64_t replies = 0;
+  double response_ms = 0.0;
+  uint64_t deltas = 0, fulls = 0;
+};
+
+Run run_one(int players, bool delta, double seconds) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = harness::default_map();
+  core::ServerConfig scfg;
+  scfg.threads = 4;
+  scfg.lock_policy = core::LockPolicy::kOptimized;
+  scfg.delta_snapshots = delta;
+  core::ParallelServer server(p, net, *map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = players;
+  bots::ClientDriver driver(p, net, *map, server, dcfg);
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds_d(seconds), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+  Run out;
+  out.bytes = net.bytes_sent();
+  const auto agg = driver.aggregate(vt::seconds_d(seconds));
+  out.replies = agg.replies;
+  out.response_ms = agg.response_ms_mean;
+  for (const auto& c : driver.clients()) {
+    out.deltas += c->metrics().delta_snapshots;
+    out.fulls += c->metrics().full_snapshots;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — delta-compressed snapshots",
+                      "bandwidth technique referenced via [1]");
+  const double seconds = bench::env_seconds("QSERV_MEASURE_SECONDS", 8.0);
+
+  Table t("Full vs delta snapshots (4 threads, optimized locking)");
+  t.header({"players", "mode", "MB on wire", "bytes/reply", "resp (ms)",
+            "delta share"});
+  for (const int players : {64, 128, 160}) {
+    for (const bool delta : {false, true}) {
+      const Run r = run_one(players, delta, seconds);
+      const double per_reply =
+          r.replies ? static_cast<double>(r.bytes) /
+                          static_cast<double>(r.replies)
+                    : 0.0;
+      const double share =
+          (r.deltas + r.fulls) > 0
+              ? static_cast<double>(r.deltas) /
+                    static_cast<double>(r.deltas + r.fulls)
+              : 0.0;
+      t.row({std::to_string(players), delta ? "delta" : "full",
+             Table::num(static_cast<double>(r.bytes) / 1e6, 1),
+             Table::num(per_reply, 0), Table::num(r.response_ms, 1),
+             delta ? Table::pct(share) : "--"});
+      std::printf("%dp %s: %.1f MB, %.0f B/reply\n", players,
+                  delta ? "delta" : "full",
+                  static_cast<double>(r.bytes) / 1e6, per_reply);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation (ours): how much of the "8 threads barely beats 4" result is
+// the hyper-threaded machine? We re-run the 8-thread server on machine
+// models the paper did not have: no HT benefit at all, the modelled 1.25x
+// HT, and a hypothetical true 8-core SMP.
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("Ablation — machine model under the 8-thread server (256 players)",
+                      "extends §4.2's hyper-threading discussion");
+
+  struct Machine {
+    const char* name;
+    int cores;
+    int ht;
+    double tp;
+  };
+  const Machine machines[] = {
+      {"4 cores, HT off (4c x 1)", 4, 1, 1.0},
+      {"4 cores x 2 HT, 1.0x (HT useless)", 4, 2, 1.0},
+      {"4 cores x 2 HT, 1.25x (paper model)", 4, 2, 1.25},
+      {"8 true cores", 8, 1, 1.0},
+  };
+
+  Table t("8 threads, 256 players, conservative locking");
+  t.header({"machine", "rate (replies/s)", "resp (ms)", "lock", "wait",
+            "idle"});
+  for (const auto& m : machines) {
+    auto cfg = paper_config(ServerMode::kParallel, 8, 256,
+                            core::LockPolicy::kConservative);
+    cfg.machine.cores = m.cores;
+    cfg.machine.ht_per_core = m.ht;
+    cfg.machine.ht_throughput = m.tp;
+    bench::apply_windows(cfg);
+    const auto r = run_experiment(cfg);
+    print_summary(m.name, r);
+    t.row({m.name, Table::num(r.response_rate, 0),
+           Table::num(r.response_ms_mean, 1), Table::pct(r.pct.lock()),
+           Table::pct(r.pct.intra_wait + r.pct.inter_wait()),
+           Table::pct(r.pct.idle)});
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

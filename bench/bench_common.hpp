@@ -1,0 +1,41 @@
+// Shared helpers for the figure benches: measurement-window defaults
+// (overridable via QSERV_MEASURE_SECONDS / QSERV_WARMUP_SECONDS for
+// longer, paper-length runs) and common formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/report.hpp"
+#include "src/harness/sweep.hpp"
+#include "src/util/table.hpp"
+
+namespace qserv::bench {
+
+inline double env_seconds(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const double parsed = std::atof(v);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+// Applies the standard measurement windows. The paper ran 2-minute
+// experiments; 8 simulated seconds after a 2-second warmup is enough for
+// stable rates here (verified against 60 s runs), and can be raised via
+// the environment.
+inline void apply_windows(harness::ExperimentConfig& cfg) {
+  cfg.warmup = vt::seconds_d(env_seconds("QSERV_WARMUP_SECONDS", 2.0));
+  cfg.measure = vt::seconds_d(env_seconds("QSERV_MEASURE_SECONDS", 8.0));
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace qserv::bench

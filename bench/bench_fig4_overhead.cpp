@@ -1,0 +1,88 @@
+// Figure 4: overhead of the parallel server. Compares the sequential
+// server with the 1-thread parallel server (full locking machinery, one
+// worker) at 64/96/128 players:
+//   (a) execution-time breakdowns,
+//   (b) total server response rate,
+//   (c) average server response time.
+// Paper findings to match: overhead < 5% at 64 players growing to ~15% at
+// 128; reply phase >= 2x request phase; negligible impact on response
+// rate/time.
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("Figure 4 — overhead of the parallel server",
+                      "Fig. 4(a,b,c), §4.1");
+
+  const std::vector<int> players{64, 96, 128};
+  std::vector<SweepPoint> points;
+  for (const int n : players) {
+    SweepPoint seq;
+    seq.label = "sequential/" + std::to_string(n) + "p";
+    seq.config =
+        paper_config(ServerMode::kSequential, 1, n, core::LockPolicy::kNone);
+    bench::apply_windows(seq.config);
+    points.push_back(std::move(seq));
+
+    SweepPoint par;
+    par.label = "parallel-1t/" + std::to_string(n) + "p";
+    par.config = paper_config(ServerMode::kParallel, 1, n,
+                              core::LockPolicy::kConservative);
+    bench::apply_windows(par.config);
+    points.push_back(std::move(par));
+  }
+  run_sweep(points);
+
+  Table breakdowns("Fig 4(a): execution time breakdown (% of total)");
+  breakdowns.header(breakdown_header("server/players"));
+  for (const auto& p : points)
+    breakdowns.row(breakdown_row(p.label, p.result));
+  std::printf("\n");
+  breakdowns.print();
+
+  Table rates("Fig 4(b,c): response rate and time");
+  rates.header({"server/players", "rate (replies/s)", "avg resp (ms)",
+                "p95 resp (ms)", "clients"});
+  for (const auto& p : points) rates.row(rate_row(p.label, p.result));
+  std::printf("\n");
+  rates.print();
+
+  // §4.1: parallelization overhead — the request-processing phase
+  // (receive + exec + lock) per request, 1-thread parallel vs sequential.
+  // With one thread the lock component is pure overhead: region
+  // determination and lock bookkeeping, no waiting.
+  Table overhead("§4.1: parallelization overhead (request phase per request)");
+  overhead.header({"players", "seq us/req", "par-1t us/req", "overhead",
+                   "lock share of total"});
+  auto request_phase_us = [](const ExperimentResult& r) {
+    const auto& b = r.breakdown;
+    const vt::Duration req = b.receive + b.exec + b.lock();
+    return r.requests ? static_cast<double>(req.ns) /
+                            static_cast<double>(r.requests) * 1e-3
+                      : 0.0;
+  };
+  for (size_t i = 0; i + 1 < points.size(); i += 2) {
+    const auto& s = points[i].result;
+    const auto& p = points[i + 1].result;
+    const double seq_us = request_phase_us(s);
+    const double par_us = request_phase_us(p);
+    overhead.row({std::to_string(players[i / 2]), Table::num(seq_us, 1),
+                  Table::num(par_us, 1),
+                  Table::pct(seq_us > 0 ? par_us / seq_us - 1.0 : 0.0),
+                  Table::pct(p.pct.lock())});
+  }
+  std::printf("\n");
+  overhead.print();
+
+  // Reply-vs-request ratio check (paper: reply phase over twice the
+  // request phase).
+  const auto& s64 = points[0].result;
+  const double req_phase = static_cast<double>(
+      (s64.breakdown.receive + s64.breakdown.exec + s64.breakdown.lock()).ns);
+  const double reply_phase = static_cast<double>(s64.breakdown.reply.ns);
+  std::printf("\nreply/request phase ratio at 64 players (sequential): %.2fx\n",
+              req_phase > 0 ? reply_phase / req_phase : 0.0);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 7 and §5.1: locking overhead and contention analysis.
+//   (a) fraction of lock time due to leaf vs parent areanode locking, per
+//       thread count (leaf locking dominates and grows with threads and
+//       players);
+//   (b) average % of distinct leaf areanodes locked per request as the
+//       total areanode count sweeps {3, 7, 15, 31, 63} — drops rapidly,
+//       flat between 31 and 63; re-lock rates ~40% at 31, ~30% at 63;
+//   (c) average % of leaves locked by >= 2 threads per frame — grows with
+//       players, with a knee between 128 and 144, approaching 100% near
+//       saturation.
+// Plus the §5.1 text numbers: % of the map accessed per frame and lock
+// operations per leaf per frame.
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("Figure 7 — locking overhead and contention",
+                      "Fig. 7(a,b,c), §5.1");
+
+  const std::vector<int> threads{2, 4, 8};
+  const std::vector<int> players{64, 96, 128, 144, 160};
+
+  auto grid = paper_grid(threads, players, core::LockPolicy::kConservative);
+  for (auto& p : grid) bench::apply_windows(p.config);
+  run_sweep(grid);
+
+  Table fa("Fig 7(a): share of lock time from leaf vs parent locking");
+  fa.header({"threads/players", "leaf", "parent", "leaf share of lock time"});
+  for (const auto& p : grid) {
+    const auto& b = p.result.breakdown;
+    const double leaf = static_cast<double>(b.lock_leaf.ns);
+    const double parent = static_cast<double>(b.lock_parent.ns);
+    const double total = leaf + parent;
+    fa.row({p.label, Table::pct(p.result.pct.lock_leaf),
+            Table::pct(p.result.pct.lock_parent),
+            total > 0 ? Table::pct(leaf / total) : "--"});
+  }
+  std::printf("\n");
+  fa.print();
+
+  // (b): tree-size sweep at a fixed configuration (4 threads, 128
+  // players, conservative locking — the baseline server the paper's §5
+  // analysis studies).
+  Table fb("Fig 7(b): distinct leaves locked per request vs areanode count");
+  fb.header({"areanodes", "leaves", "distinct leaves/request",
+             "% of leaves locked/request", "relocked leaves"});
+  for (const int depth : {1, 2, 3, 4, 5}) {
+    auto cfg =
+        paper_config(ServerMode::kParallel, 4, 128, core::LockPolicy::kConservative);
+    cfg.server.areanode_depth = depth;
+    bench::apply_windows(cfg);
+    const auto r = run_experiment(cfg);
+    const int nodes = (2 << depth) - 1;
+    const int leaves = 1 << depth;
+    const double per_req =
+        r.locks.requests_locked
+            ? static_cast<double>(r.locks.distinct_leaves) /
+                  static_cast<double>(r.locks.requests_locked)
+            : 0.0;
+    // "Relocked" leaves: lock requests beyond the first for a leaf within
+    // one request, relative to distinct leaves locked.
+    const double relocked =
+        r.locks.distinct_leaves
+            ? static_cast<double>(r.locks.relocks) /
+                  static_cast<double>(r.locks.distinct_leaves)
+            : 0.0;
+    fb.row({std::to_string(nodes), std::to_string(leaves),
+            Table::num(per_req, 2),
+            Table::pct(r.distinct_leaves_per_request_pct),
+            Table::pct(relocked)});
+    print_summary("tree-" + std::to_string(nodes), r);
+  }
+  std::printf("\n");
+  fb.print();
+
+  Table fc("Fig 7(c): % of leaves locked by >= 2 threads per frame");
+  {
+    std::vector<std::string> hdr{"players"};
+    for (const int t : threads) hdr.push_back(std::to_string(t) + "t");
+    fc.header(hdr);
+    for (size_t i = 0; i < players.size(); ++i) {
+      std::vector<std::string> row{std::to_string(players[i])};
+      for (size_t t = 0; t < threads.size(); ++t)
+        row.push_back(Table::pct(
+            grid[t * players.size() + i].result.leaves_shared_per_frame_pct));
+      fc.row(row);
+    }
+  }
+  std::printf("\n");
+  fc.print();
+
+  Table sec51("§5.1 text: per-frame region activity");
+  sec51.header({"threads/players", "% map locked/frame",
+                "lock ops/leaf/frame", "lock time (% total)"});
+  for (const auto& p : grid) {
+    sec51.row({p.label, Table::pct(p.result.leaves_locked_per_frame_pct),
+               Table::num(p.result.lock_ops_per_leaf_per_frame, 2),
+               Table::pct(p.result.pct.lock())});
+  }
+  std::printf("\n");
+  sec51.print();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §4.1 map study: "the reply processing time may vary between maps by as
+// much as 15% of total execution time at server saturation... maps
+// exhibiting higher visibility incurring higher reply processing times as
+// well", while "the request processing time does not vary considerably".
+//
+// We run the sequential server at saturation on maps spanning the
+// visibility spectrum: one open arena (everyone sees everyone), the
+// canonical 4x4-room map, and a dense 6x6 warren of small rooms.
+#include "bench_common.hpp"
+#include "src/spatial/map_gen.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("Map visibility vs reply processing time",
+                      "§4.1 text (multi-map study)");
+
+  struct MapSpec {
+    const char* name;
+    spatial::MapGenParams params;
+  };
+  MapSpec specs[3];
+  specs[0].name = "open arena (max visibility)";
+  specs[0].params.rooms_x = 1;
+  specs[0].params.rooms_y = 1;
+  specs[0].params.room_size = 2048;
+  specs[0].params.pillars_per_room = 4;
+  specs[0].params.spawns_per_room = 224;
+  specs[0].params.items_per_room = 48;
+  specs[1].name = "4x4 rooms (canonical)";
+  specs[1].params.rooms_x = 4;
+  specs[1].params.rooms_y = 4;
+  specs[1].params.spawns_per_room = 14;
+  specs[1].params.items_per_room = 4;
+  specs[2].name = "8x8 bunker (low visibility)";
+  specs[2].params.rooms_x = 8;
+  specs[2].params.rooms_y = 8;
+  specs[2].params.room_size = 280;
+  specs[2].params.door_width = 56;  // narrow doorways: heavy occlusion
+  specs[2].params.pillars_per_room = 0;
+  specs[2].params.spawns_per_room = 4;
+  specs[2].params.items_per_room = 1;
+
+  Table t("Sequential server at saturation (160 players)");
+  t.header({"map", "reply %", "request %", "rate (replies/s)",
+            "resp (ms)", "visible ents/snapshot"});
+  for (const auto& spec : specs) {
+    auto cfg = paper_config(ServerMode::kSequential, 1, 160,
+                            core::LockPolicy::kNone);
+    cfg.map = std::make_shared<const spatial::GameMap>(
+        spatial::generate_map(spec.params, spec.name));
+    bench::apply_windows(cfg);
+    const auto r = run_experiment(cfg);
+    print_summary(spec.name, r);
+    const double request =
+        r.pct.exec + r.pct.receive + r.pct.lock();
+    t.row({spec.name, Table::pct(r.pct.reply), Table::pct(request),
+           Table::num(r.response_rate, 0), Table::num(r.response_ms_mean, 1),
+           Table::num(r.snapshot_entities_mean, 1)});
+  }
+  std::printf("\n");
+  t.print();
+  std::printf(
+      "(paper: reply processing varies across maps by up to 15%% of total\n"
+      " execution time at saturation, higher-visibility maps higher, while\n"
+      " request processing does not vary considerably. Here the mechanism\n"
+      " shows primarily as capacity: more visible entities per snapshot ->\n"
+      " costlier replies -> earlier saturation / lower delivered rate,\n"
+      " while the request-phase share stays flat.)\n");
+  return 0;
+}

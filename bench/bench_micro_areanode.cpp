@@ -1,0 +1,88 @@
+// Microbenchmarks: areanode tree operations (host-time, google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/spatial/areanode_tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace qserv::spatial {
+namespace {
+
+const Aabb kWorld{{-1024, -1024, 0}, {1024, 1024, 256}};
+
+Aabb random_box(Rng& rng, float max_half) {
+  const Vec3 c = rng.point_in(kWorld.mins, kWorld.maxs);
+  const float h = rng.uniform(4.0f, max_half);
+  return {{c.x - h, c.y - h, c.z}, {c.x + h, c.y + h, c.z + 56}};
+}
+
+void BM_Build(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    AreanodeTree t(kWorld, depth);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+}
+BENCHMARK(BM_Build)->Arg(1)->Arg(4)->Arg(5)->Arg(8);
+
+void BM_LinkNodeFor(benchmark::State& state) {
+  AreanodeTree t(kWorld, static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 1024; ++i) boxes.push_back(random_box(rng, 30));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.link_node_for(boxes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_LinkNodeFor)->Arg(4)->Arg(5);
+
+void BM_LinkUnlink(benchmark::State& state) {
+  AreanodeTree t(kWorld, 4);
+  Rng rng(1);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 1024; ++i) boxes.push_back(random_box(rng, 30));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Aabb& b = boxes[i++ & 1023];
+    const int node = t.link(7, b);
+    t.unlink(7, node);
+  }
+}
+BENCHMARK(BM_LinkUnlink);
+
+void BM_LeavesFor(benchmark::State& state) {
+  AreanodeTree t(kWorld, static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 1024; ++i) boxes.push_back(random_box(rng, 300));
+  std::vector<int> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    t.leaves_for(boxes[i++ & 1023], out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LeavesFor)->Arg(1)->Arg(4)->Arg(5);
+
+void BM_TraverseWithEntities(benchmark::State& state) {
+  AreanodeTree t(kWorld, 4);
+  Rng rng(1);
+  const int entities = static_cast<int>(state.range(0));
+  for (uint32_t id = 0; id < static_cast<uint32_t>(entities); ++id)
+    t.link(id, random_box(rng, 20));
+  std::vector<Aabb> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(random_box(rng, 200));
+  size_t i = 0;
+  for (auto _ : state) {
+    int scanned = 0;
+    t.traverse(queries[i++ & 255], [&](int node) {
+      scanned += static_cast<int>(t.node(node).objects.size());
+    });
+    benchmark::DoNotOptimize(scanned);
+  }
+}
+BENCHMARK(BM_TraverseWithEntities)->Arg(32)->Arg(160)->Arg(512);
+
+}  // namespace
+}  // namespace qserv::spatial

@@ -1,0 +1,97 @@
+// Microbenchmarks: collision world traces and queries (host-time).
+#include <benchmark/benchmark.h>
+
+#include "src/spatial/collision.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/util/rng.hpp"
+
+namespace qserv::spatial {
+namespace {
+
+void BM_BuildCollision(benchmark::State& state) {
+  const GameMap map = make_large_deathmatch(7);
+  for (auto _ : state) {
+    CollisionWorld w(map.brushes);
+    benchmark::DoNotOptimize(w.brush_count());
+  }
+}
+BENCHMARK(BM_BuildCollision);
+
+void BM_TraceLine(benchmark::State& state) {
+  const GameMap map = make_large_deathmatch(7);
+  const CollisionWorld w = map.build_collision();
+  Rng rng(1);
+  std::vector<std::pair<Vec3, Vec3>> rays;
+  for (int i = 0; i < 512; ++i) {
+    rays.emplace_back(rng.point_in(map.bounds.mins, map.bounds.maxs),
+                      rng.point_in(map.bounds.mins, map.bounds.maxs));
+  }
+  size_t i = 0;
+  int64_t brushes = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = rays[i++ & 511];
+    const auto tr = w.trace_line(a, b);
+    brushes += tr.brushes_tested;
+    benchmark::DoNotOptimize(tr.fraction);
+  }
+  state.counters["brushes/trace"] =
+      benchmark::Counter(static_cast<double>(brushes),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TraceLine);
+
+void BM_TraceBoxShort(benchmark::State& state) {
+  // The slide-move case: short player-box traces.
+  const GameMap map = make_large_deathmatch(7);
+  const CollisionWorld w = map.build_collision();
+  Rng rng(2);
+  std::vector<Vec3> starts;
+  for (int i = 0; i < 512; ++i)
+    starts.push_back(rng.point_in(map.bounds.mins + Vec3{50, 50, 30},
+                                  map.bounds.maxs - Vec3{50, 50, 100}));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Vec3& s = starts[i++ & 511];
+    const auto tr = w.trace_box(s, s + Vec3{9.6f, 4.0f, 0.0f},
+                                {-16, -16, -24}, {16, 16, 32});
+    benchmark::DoNotOptimize(tr.fraction);
+  }
+}
+BENCHMARK(BM_TraceBoxShort);
+
+void BM_PointSolid(benchmark::State& state) {
+  const GameMap map = make_large_deathmatch(7);
+  const CollisionWorld w = map.build_collision();
+  Rng rng(3);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 512; ++i)
+    points.push_back(rng.point_in(map.bounds.mins, map.bounds.maxs));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.point_solid(points[i++ & 511]));
+  }
+}
+BENCHMARK(BM_PointSolid);
+
+void BM_Query(benchmark::State& state) {
+  const GameMap map = make_large_deathmatch(7);
+  const CollisionWorld w = map.build_collision();
+  Rng rng(4);
+  std::vector<uint32_t> out;
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 512; ++i) {
+    const Vec3 c = rng.point_in(map.bounds.mins, map.bounds.maxs);
+    const float h = rng.uniform(20.0f, 300.0f);
+    boxes.push_back(Aabb{c, c}.expanded(h));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    w.query(boxes[i++ & 511], out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_Query);
+
+}  // namespace
+}  // namespace qserv::spatial

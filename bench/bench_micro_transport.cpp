@@ -1,0 +1,111 @@
+// Microbenchmarks: wire protocol serialization and the virtual network /
+// simulation substrate (host-time).
+#include <benchmark/benchmark.h>
+
+#include "src/net/protocol.hpp"
+#include "src/net/virtual_udp.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv {
+namespace {
+
+void BM_EncodeMove(benchmark::State& state) {
+  net::MoveCmd m;
+  m.sequence = 7;
+  m.forward = 320;
+  for (auto _ : state) {
+    auto bytes = net::encode(m);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_EncodeMove);
+
+void BM_DecodeMove(benchmark::State& state) {
+  const auto bytes = net::encode(net::MoveCmd{});
+  for (auto _ : state) {
+    net::ByteReader r(bytes);
+    net::ClientMsgType type;
+    net::decode_client_type(r, type);
+    net::MoveCmd out;
+    net::decode(r, out);
+    benchmark::DoNotOptimize(out.sequence);
+  }
+}
+BENCHMARK(BM_DecodeMove);
+
+void BM_EncodeSnapshot(benchmark::State& state) {
+  net::Snapshot s;
+  s.entities.resize(static_cast<size_t>(state.range(0)));
+  s.events.resize(4);
+  for (auto _ : state) {
+    auto bytes = net::encode(s);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(net::encode(s).size()));
+}
+BENCHMARK(BM_EncodeSnapshot)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_VirtualUdpRoundtrip(benchmark::State& state) {
+  // Host cost of one simulated send+deliver+recv cycle, including the
+  // event-queue machinery.
+  for (auto _ : state) {
+    state.PauseTiming();
+    vt::SimPlatform p;
+    net::VirtualNetwork::Config cfg;
+    cfg.jitter = {};
+    net::VirtualNetwork net(p, cfg);
+    auto a = net.open(1);
+    auto b = net.open(2);
+    state.ResumeTiming();
+    p.spawn("t", vt::Domain::kServer, [&] {
+      net::Datagram d;
+      for (int i = 0; i < 1000; ++i) {
+        a->send(2, {1, 2, 3, 4});
+        p.sleep_for(vt::millis(1));
+        b->try_recv(d);
+      }
+    });
+    p.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_VirtualUdpRoundtrip)->Unit(benchmark::kMillisecond);
+
+void BM_SimContextSwitch(benchmark::State& state) {
+  // Host cost of a fiber block/resume pair (the simulation's unit cost).
+  for (auto _ : state) {
+    state.PauseTiming();
+    vt::SimPlatform p;
+    state.ResumeTiming();
+    p.spawn("t", vt::Domain::kServer, [&] {
+      for (int i = 0; i < 10000; ++i) p.yield();
+    });
+    p.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimContextSwitch)->Unit(benchmark::kMillisecond);
+
+void BM_SimComputeHtResched(benchmark::State& state) {
+  // Host cost of compute with hyper-thread rate rescheduling.
+  for (auto _ : state) {
+    state.PauseTiming();
+    vt::SimPlatform::MachineConfig mc;
+    mc.cores = 1;
+    mc.ht_per_core = 2;
+    vt::SimPlatform p(mc);
+    state.ResumeTiming();
+    for (int t = 0; t < 2; ++t) {
+      p.spawn("t", vt::Domain::kServer, [&] {
+        for (int i = 0; i < 5000; ++i) p.compute(vt::micros(10));
+      });
+    }
+    p.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimComputeHtResched)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qserv

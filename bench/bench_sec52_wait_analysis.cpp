@@ -1,0 +1,87 @@
+// §5.2: wait-time analysis.
+//  * Requests per thread per frame at 128 players (paper: 4 / 2.5 / 1.5
+//    for 2/4/8 threads).
+//  * Dynamic imbalance for the 2-thread 128-player configuration: per
+//    frame, the difference in requests serviced between the two threads
+//    (paper: one thread services 3.3 more on average, stddev 2.5).
+//  * Inter-frame wait decomposition: waiting for the world update vs
+//    waiting for the previous frame to complete (paper: 25% / 75%).
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+int main() {
+  bench::print_header("§5.2 — wait time analysis", "§5.2 text");
+
+  Table rpf("Requests per thread per frame at 128 players");
+  rpf.header({"threads", "mean req/thread/frame", "stddev",
+              "inter-wait on world", "inter-wait on frame end"});
+  std::vector<ExperimentResult> results;
+  for (const int t : {2, 4, 8}) {
+    auto cfg = paper_config(ServerMode::kParallel, t, 128,
+                            core::LockPolicy::kConservative);
+    cfg.frame_trace = true;
+    bench::apply_windows(cfg);
+    const auto r = run_experiment(cfg);
+    print_summary(std::to_string(t) + "t/128p", r);
+    rpf.row({std::to_string(t),
+             Table::num(r.requests_per_thread_frame_mean, 2),
+             Table::num(r.requests_per_thread_frame_stddev, 2),
+             Table::pct(r.inter_wait_world_fraction),
+             Table::pct(1.0 - r.inter_wait_world_fraction)});
+    results.push_back(r);
+  }
+  std::printf("\n");
+  rpf.print();
+
+  // Dynamic per-frame imbalance between the two threads of the 2-thread
+  // configuration (paper measured the first fifty multi-threaded frames;
+  // we use every frame both threads participated in).
+  const auto& traces = results[0].frame_traces;
+  if (traces.size() == 2) {
+    std::map<uint64_t, std::pair<int, int>> frames;  // frame -> (t0, t1)
+    std::map<uint64_t, int> seen;
+    for (const auto& [f, n] : traces[0]) {
+      frames[f].first = n;
+      seen[f] |= 1;
+    }
+    for (const auto& [f, n] : traces[1]) {
+      frames[f].second = n;
+      seen[f] |= 2;
+    }
+    StatAccumulator diff;
+    for (const auto& [f, pair] : frames) {
+      if (seen[f] != 3) continue;  // only frames both threads joined
+      diff.add(std::abs(pair.first - pair.second));
+    }
+    Table imb("2-thread/128p dynamic imbalance (|req(t0) - req(t1)| per frame)");
+    imb.header({"multi-thread frames", "mean difference", "stddev"});
+    imb.row({std::to_string(diff.count()), Table::num(diff.mean(), 2),
+             Table::num(diff.stddev(), 2)});
+    std::printf("\n");
+    imb.print();
+    std::printf(
+        "(paper: one thread services 3.3 more requests on average, "
+        "stddev 2.5)\n");
+  }
+
+  // Wait composition across the full breakdown.
+  Table waits("Wait components (% of total thread time), 128 players");
+  waits.header({"threads", "intra-frame", "inter-frame (world)",
+                "inter-frame (prior frame)", "total wait"});
+  const std::vector<int> ts{2, 4, 8};
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& p = results[i].pct;
+    waits.row({std::to_string(ts[i]), Table::pct(p.intra_wait),
+               Table::pct(p.inter_wait_world),
+               Table::pct(p.inter_wait_frame),
+               Table::pct(p.intra_wait + p.inter_wait())});
+  }
+  std::printf("\n");
+  waits.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Authoring and serving a custom map: generate a map from parameters,
+// save it to the text format, reload and validate it, then host a short
+// session on it. Demonstrates the spatial/ public API end-to-end.
+//
+//   ./custom_map_server [rooms] [out.map]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/bots/client_driver.hpp"
+#include "src/core/sequential_server.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+using namespace qserv;
+
+int main(int argc, char** argv) {
+  const int rooms = argc > 1 ? std::atoi(argv[1]) : 3;
+  const char* path = argc > 2 ? argv[2] : "custom.map";
+
+  // 1. Generate.
+  spatial::MapGenParams params;
+  params.rooms_x = rooms;
+  params.rooms_y = rooms;
+  params.room_size = 448.0f;
+  params.pillars_per_room = 2;
+  params.teleporter_pairs = 2;
+  params.seed = 42;
+  spatial::GameMap map = spatial::generate_map(params, "custom-arena");
+
+  std::printf("generated '%s': %zu brushes, %zu spawns, %zu items, "
+              "%zu teleporters, %zu waypoints\n",
+              map.name.c_str(), map.brushes.size(), map.spawns.size(),
+              map.items.size(), map.teleporters.size(), map.waypoints.size());
+
+  // 2. Save, reload, validate — the round trip a map editor would do.
+  {
+    std::ofstream out(path);
+    out << map.serialize();
+  }
+  spatial::GameMap loaded;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (!spatial::GameMap::parse(ss.str(), loaded)) {
+      std::fprintf(stderr, "failed to parse %s\n", path);
+      return 1;
+    }
+  }
+  std::string err;
+  if (!loaded.validate(&err)) {
+    std::fprintf(stderr, "map failed validation: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("round-tripped through %s and validated ok\n", path);
+
+  // 3. Serve it (sequential server, a dozen bots, 15 simulated seconds).
+  vt::SimPlatform platform;
+  net::VirtualNetwork network(platform, {});
+  core::ServerConfig scfg;
+  core::SequentialServer server(platform, network, loaded, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 12;
+  bots::ClientDriver driver(platform, network, loaded, server, dcfg);
+  server.start();
+  driver.start();
+  platform.call_after(vt::seconds(15), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  platform.run();
+
+  const auto agg = driver.aggregate(vt::seconds(15));
+  std::printf("served %d bots for 15 s: %llu replies, mean response %.1f ms\n",
+              dcfg.players, static_cast<unsigned long long>(agg.replies),
+              agg.response_ms_mean);
+  return 0;
+}

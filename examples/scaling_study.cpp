@@ -1,0 +1,76 @@
+// Capacity planning with the experiment harness: for each server
+// configuration, find how many players it can serve before response times
+// degrade — the question an operator deploying game servers actually asks.
+//
+//   ./scaling_study [measure_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/report.hpp"
+#include "src/util/table.hpp"
+
+using namespace qserv;
+using namespace qserv::harness;
+
+namespace {
+
+// A configuration "holds" a player count if it answers >= 97% of the
+// offered request rate with sane latency.
+bool holds(const ExperimentResult& r, int players, double client_rate) {
+  const double offered = players * client_rate;
+  return r.response_rate >= 0.97 * offered && r.response_ms_mean < 60.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double measure_s = argc > 1 ? std::atof(argv[1]) : 5.0;
+
+  struct Candidate {
+    const char* name;
+    ServerMode mode;
+    int threads;
+    core::LockPolicy policy;
+  };
+  const Candidate candidates[] = {
+      {"sequential", ServerMode::kSequential, 1, core::LockPolicy::kNone},
+      {"2t conservative", ServerMode::kParallel, 2,
+       core::LockPolicy::kConservative},
+      {"4t conservative", ServerMode::kParallel, 4,
+       core::LockPolicy::kConservative},
+      {"8t conservative", ServerMode::kParallel, 8,
+       core::LockPolicy::kConservative},
+      {"4t optimized", ServerMode::kParallel, 4, core::LockPolicy::kOptimized},
+      {"8t optimized", ServerMode::kParallel, 8, core::LockPolicy::kOptimized},
+  };
+
+  Table t("Supported players per server configuration");
+  t.header({"server", "max players", "rate there", "resp (ms)"});
+  for (const auto& c : candidates) {
+    int best = 0;
+    double best_rate = 0, best_ms = 0;
+    for (int players = 64; players <= 224; players += 16) {
+      auto cfg = paper_config(c.mode, c.threads, players, c.policy);
+      cfg.measure = vt::seconds_d(measure_s);
+      const auto r = run_experiment(cfg);
+      const double client_rate = 1e9 / double(cfg.client_frame.ns);
+      std::printf("  %-18s %3dp -> %6.0f replies/s, %5.1f ms %s\n", c.name,
+                  players, r.response_rate, r.response_ms_mean,
+                  holds(r, players, client_rate) ? "ok" : "degraded");
+      std::fflush(stdout);
+      if (holds(r, players, client_rate)) {
+        best = players;
+        best_rate = r.response_rate;
+        best_ms = r.response_ms_mean;
+      } else {
+        break;  // past the knee; stop probing this config
+      }
+    }
+    t.row({c.name, std::to_string(best), Table::num(best_rate, 0),
+           Table::num(best_ms, 1)});
+  }
+  std::printf("\n");
+  t.print();
+  return 0;
+}

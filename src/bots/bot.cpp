@@ -1,0 +1,117 @@
+#include "src/bots/bot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/entity.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::bots {
+
+namespace {
+
+float yaw_towards(const Vec3& from, const Vec3& to) {
+  return std::atan2(to.y - from.y, to.x - from.x) * 180.0f / 3.14159265f;
+}
+
+}  // namespace
+
+Bot::Bot(const spatial::GameMap& map, Config cfg)
+    : map_(map), cfg_(cfg), rng_(cfg.seed) {
+  QSERV_CHECK_MSG(!map.waypoints.empty(), "bot needs a waypoint graph");
+}
+
+void Bot::pick_next_waypoint(const Vec3& from) {
+  // Continue along the graph from the current target when possible so
+  // bots roam across rooms instead of pacing inside one.
+  if (target_waypoint_ >= 0) {
+    const auto& nbrs =
+        map_.waypoints[static_cast<size_t>(target_waypoint_)].neighbors;
+    if (!nbrs.empty() && rng_.chance(0.8f)) {
+      target_waypoint_ =
+          nbrs[rng_.below(static_cast<uint64_t>(nbrs.size()))];
+      return;
+    }
+  }
+  // Otherwise restart from the waypoint nearest to us.
+  int nearest = 0;
+  float best = 1e30f;
+  for (size_t i = 0; i < map_.waypoints.size(); ++i) {
+    const float d = dist_sq(map_.waypoints[i].pos, from);
+    if (d < best) {
+      best = d;
+      nearest = static_cast<int>(i);
+    }
+  }
+  const auto& nbrs = map_.waypoints[static_cast<size_t>(nearest)].neighbors;
+  target_waypoint_ =
+      nbrs.empty() ? nearest
+                   : nbrs[rng_.below(static_cast<uint64_t>(nbrs.size()))];
+}
+
+net::MoveCmd Bot::think(const net::Snapshot& last, uint32_t self_id,
+                        vt::TimePoint now, uint16_t frame_msec) {
+  net::MoveCmd cmd;
+  cmd.sequence = ++move_sequence_;
+  cmd.client_time_ns = now.ns;
+  cmd.msec = frame_msec;
+
+  const Vec3 self = last.origin;
+
+  // Stuck detection: no progress for a second means we are grinding a
+  // wall or a crowd — pick a different corridor.
+  if (dist_sq(self, last_origin_) > 25.0f) {
+    last_origin_ = self;
+    last_progress_ = now;
+  } else if ((now - last_progress_) > vt::seconds(1)) {
+    target_waypoint_ = -1;
+    last_progress_ = now;
+  }
+
+  if (target_waypoint_ < 0 ||
+      dist_sq(map_.waypoints[static_cast<size_t>(target_waypoint_)].pos,
+              self) < 80.0f * 80.0f) {
+    pick_next_waypoint(self);
+  }
+  const Vec3 target =
+      map_.waypoints[static_cast<size_t>(target_waypoint_)].pos;
+  cmd.yaw_deg = yaw_towards(self, target);
+  cmd.forward = sim::kMaxPlayerSpeed;
+
+  // Engage the nearest visible enemy.
+  const net::EntityUpdate* enemy = nullptr;
+  float enemy_d2 = cfg_.enemy_range * cfg_.enemy_range;
+  for (const auto& e : last.entities) {
+    if (e.type != static_cast<uint8_t>(sim::EntityType::kPlayer)) continue;
+    if (e.id == self_id || e.state == 0) continue;
+    const float d2 = dist_sq(e.origin, self);
+    if (d2 < enemy_d2) {
+      enemy_d2 = d2;
+      enemy = &e;
+    }
+  }
+  if (enemy != nullptr) {
+    // Face the enemy, strafe a little, and attack.
+    cmd.yaw_deg = yaw_towards(self, enemy->origin);
+    cmd.side = rng_.chance(0.5f) ? sim::kMaxPlayerSpeed * 0.5f
+                                 : -sim::kMaxPlayerSpeed * 0.5f;
+    cmd.forward = sim::kMaxPlayerSpeed * 0.5f;
+    const float dz = enemy->origin.z - self.z;
+    const float dxy = std::sqrt(std::max(1.0f, enemy_d2 - dz * dz));
+    cmd.pitch_deg = -std::atan2(dz, dxy) * 180.0f / 3.14159265f;
+    // Attack buttons are only pressed when the client-side cooldown
+    // estimate has elapsed — a player does not hammer the trigger of a
+    // cooling weapon, and the rate of long-range interactions (which
+    // drive the paper's lock contention) stays realistic.
+    if (now >= next_attack_ && rng_.chance(cfg_.aggression)) {
+      cmd.buttons |= rng_.chance(cfg_.grenade_ratio) ? net::kButtonThrow
+                                                     : net::kButtonAttack;
+      next_attack_ = now + sim::kAttackCooldown;
+    }
+  } else if (rng_.chance(cfg_.jump_chance)) {
+    cmd.buttons |= net::kButtonJump;
+  }
+  return cmd;
+}
+
+}  // namespace qserv::bots

@@ -1,0 +1,48 @@
+// Automatic players. The paper replaces humans with automatic players to
+// make benchmarking reproducible [1]; these bots wander the waypoint
+// graph, pick fights with every player they see, collect items they walk
+// over, and occasionally jump — enough behavioural variety to exercise
+// short-range motion, touch interactions and both long-range interaction
+// types.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/protocol.hpp"
+#include "src/spatial/map.hpp"
+#include "src/util/rng.hpp"
+#include "src/vthread/time.hpp"
+
+namespace qserv::bots {
+
+class Bot {
+ public:
+  struct Config {
+    float aggression = 0.8f;     // P(attack) per frame with an enemy visible
+    float grenade_ratio = 0.3f;  // fraction of attacks thrown as grenades
+    float jump_chance = 0.02f;   // P(jump) per frame while wandering
+    float enemy_range = 700.0f;  // how far the bot engages enemies
+    uint64_t seed = 1;
+  };
+
+  Bot(const spatial::GameMap& map, Config cfg);
+
+  // Produces the next move command given the latest snapshot the client
+  // has (which may be several frames stale, as for a human player).
+  net::MoveCmd think(const net::Snapshot& last_snapshot, uint32_t self_id,
+                     vt::TimePoint now, uint16_t frame_msec);
+
+ private:
+  void pick_next_waypoint(const Vec3& from);
+
+  const spatial::GameMap& map_;
+  Config cfg_;
+  Rng rng_;
+  int target_waypoint_ = -1;
+  Vec3 last_origin_;
+  vt::TimePoint last_progress_{};
+  vt::TimePoint next_attack_{};  // client-side cooldown estimate
+  uint32_t move_sequence_ = 0;
+};
+
+}  // namespace qserv::bots

@@ -1,0 +1,140 @@
+#include "src/bots/client.hpp"
+
+#include "src/util/check.hpp"
+
+namespace qserv::bots {
+
+Client::Client(vt::Platform& platform, net::VirtualNetwork& net,
+               const spatial::GameMap& map, Config cfg)
+    : platform_(platform),
+      cfg_(cfg),
+      socket_(net.open(cfg.local_port)),
+      selector_(std::make_unique<net::Selector>(platform)),
+      bot_(map, cfg.bot) {
+  selector_->add(*socket_);
+  chan_ = std::make_unique<net::NetChannel>(*socket_, cfg.server_port);
+}
+
+void Client::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  selector_->poke();
+}
+
+void Client::begin_measurement() {
+  recording_ = true;
+  metrics_ = Metrics{};
+}
+
+bool Client::do_connect() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    chan_->send(net::encode(net::ConnectMsg{cfg_.name}));
+    const vt::TimePoint deadline = platform_.now() + cfg_.connect_retry;
+    while (selector_->wait_until(deadline)) {
+      net::Datagram d;
+      if (!socket_->try_recv(d)) continue;
+      net::NetChannel::Incoming info;
+      net::ByteReader body(nullptr, 0);
+      if (!chan_->accept(d, info, body)) continue;
+      net::ServerMsgType type;
+      if (!net::decode_server_type(body, type) ||
+          type != net::ServerMsgType::kConnectAck)
+        continue;
+      net::ConnectAck ack;
+      if (!decode(body, ack)) continue;
+      player_id_ = ack.player_id;
+      last_snapshot_.origin = ack.spawn_origin;
+      if (ack.assigned_port != 0 && ack.assigned_port != cfg_.server_port) {
+        // Region-based assignment put us on another thread's port.
+        cfg_.server_port = ack.assigned_port;
+        chan_->set_remote(ack.assigned_port);
+      }
+      connected_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Client::drain_replies() {
+  net::Datagram d;
+  while (socket_->try_recv(d)) {
+    net::NetChannel::Incoming info;
+    net::ByteReader body(nullptr, 0);
+    if (!chan_->accept(d, info, body) || info.duplicate_or_old) continue;
+    net::ServerMsgType type;
+    if (!net::decode_server_type(body, type)) continue;
+    net::Snapshot snap;
+    if (type == net::ServerMsgType::kSnapshot) {
+      if (!decode(body, snap)) continue;
+      if (recording_) ++metrics_.full_snapshots;
+    } else if (type == net::ServerMsgType::kDeltaSnapshot) {
+      const auto lookup =
+          [this](uint32_t frame) -> const std::vector<net::EntityUpdate>* {
+        const auto it = reconstructed_.find(frame);
+        return it == reconstructed_.end() ? nullptr : &it->second;
+      };
+      if (!net::decode_delta(body, lookup, snap)) {
+        // Baseline lost (or corrupt packet): skip and keep advertising
+        // our last good frame; the server falls back to a full snapshot.
+        if (recording_) ++metrics_.undecodable_deltas;
+        continue;
+      }
+      if (recording_) ++metrics_.delta_snapshots;
+    } else {
+      continue;
+    }
+    // Cache the reconstructed entity list for future delta baselines.
+    reconstructed_[snap.server_frame] = snap.entities;
+    latest_reconstructed_frame_ =
+        std::max(latest_reconstructed_frame_, snap.server_frame);
+    while (reconstructed_.size() > 16) reconstructed_.erase(reconstructed_.begin());
+    if (snap.assigned_port != 0 && snap.assigned_port != cfg_.server_port) {
+      // Dynamic reassignment: future moves go to our new thread's port.
+      cfg_.server_port = snap.assigned_port;
+      chan_->set_remote(snap.assigned_port);
+    }
+    last_snapshot_ = snap;
+    if (recording_) {
+      ++metrics_.replies;
+      metrics_.snapshot_entities.add(static_cast<double>(snap.entities.size()));
+      metrics_.events_seen += snap.events.size();
+      metrics_.drops_detected += info.dropped_before;
+      metrics_.frags = snap.frags;
+      metrics_.last_health = snap.health;
+      if (snap.client_time_echo_ns > 0) {
+        const double rt =
+            static_cast<double>(platform_.now().ns - snap.client_time_echo_ns) *
+            1e-9;
+        if (rt >= 0.0) metrics_.response_time.add(rt);
+      }
+    }
+  }
+}
+
+void Client::run() {
+  if (cfg_.initial_delay.ns > 0) platform_.sleep_for(cfg_.initial_delay);
+  if (!do_connect()) return;
+
+  vt::TimePoint next_tick = platform_.now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // A 30 fps client only processes replies at its frame boundary, so
+    // response time includes the wait for the next client frame — as it
+    // does for the paper's automatic players.
+    platform_.sleep_until(next_tick);
+    drain_replies();
+    if (stop_.load(std::memory_order_relaxed)) break;
+    next_tick += cfg_.frame_interval;
+
+    // One move command per client frame, like a 30 fps client.
+    net::MoveCmd cmd = bot_.think(last_snapshot_, player_id_,
+                                  platform_.now(),
+                                  static_cast<uint16_t>(
+                                      cfg_.frame_interval.ns / 1000000));
+    cmd.baseline_frame = latest_reconstructed_frame_;
+    chan_->send(net::encode(cmd));
+    if (recording_) ++metrics_.moves_sent;
+  }
+  chan_->send(net::encode_disconnect());
+}
+
+}  // namespace qserv::bots

@@ -1,0 +1,88 @@
+// A game client endpoint: connects to the server, sends one move command
+// per client frame (~30 ms, as a 30 fps client would), consumes snapshot
+// replies, and measures the paper's two client-side metrics — response
+// rate (replies/s) and response time (request send -> reply receipt).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/bots/bot.hpp"
+#include "src/net/netchan.hpp"
+#include "src/net/protocol.hpp"
+#include "src/net/virtual_udp.hpp"
+#include "src/util/histogram.hpp"
+
+namespace qserv::bots {
+
+class Client {
+ public:
+  struct Config {
+    uint16_t local_port = 0;
+    uint16_t server_port = 0;
+    std::string name;
+    vt::Duration frame_interval = vt::millis(33);
+    vt::Duration connect_retry = vt::millis(250);
+    vt::Duration initial_delay{};  // connect stagger
+    Bot::Config bot;
+  };
+
+  struct Metrics {
+    uint64_t moves_sent = 0;
+    uint64_t replies = 0;
+    uint64_t full_snapshots = 0;
+    uint64_t delta_snapshots = 0;
+    uint64_t undecodable_deltas = 0;  // baseline lost; waited for a full
+    uint64_t events_seen = 0;
+    uint64_t drops_detected = 0;
+    Histogram response_time{1e-4, 1.15, 120};  // seconds
+    StatAccumulator snapshot_entities;  // visible entities per snapshot
+    int16_t frags = 0;
+    int16_t last_health = 0;
+  };
+
+  Client(vt::Platform& platform, net::VirtualNetwork& net,
+         const spatial::GameMap& map, Config cfg);
+
+  // Fiber body; returns when request_stop() has been called.
+  void run();
+  void request_stop();
+
+  // Starts metric recording (harness calls this at the warmup boundary;
+  // safe from scheduler callbacks on the simulated platform).
+  void begin_measurement();
+
+  bool connected() const { return connected_; }
+  uint32_t player_id() const { return player_id_; }
+  const Metrics& metrics() const { return metrics_; }
+  const net::Snapshot& last_snapshot() const { return last_snapshot_; }
+
+ private:
+  bool do_connect();
+  void drain_replies();
+
+  vt::Platform& platform_;
+  Config cfg_;
+  std::unique_ptr<net::Socket> socket_;
+  std::unique_ptr<net::Selector> selector_;
+  std::unique_ptr<net::NetChannel> chan_;
+  Bot bot_;
+
+  // Snapshot reconstruction cache for delta decoding: entity lists of
+  // recently reconstructed frames, keyed by server frame.
+  std::map<uint32_t, std::vector<net::EntityUpdate>> reconstructed_;
+  uint32_t latest_reconstructed_frame_ = 0;
+
+  std::atomic<bool> stop_{false};
+  bool connected_ = false;
+  // Recording is on from the start; harnesses call begin_measurement()
+  // at the warmup boundary to discard warmup samples.
+  bool recording_ = true;
+  uint32_t player_id_ = 0;
+  net::Snapshot last_snapshot_;
+  Metrics metrics_;
+};
+
+}  // namespace qserv::bots

@@ -1,0 +1,64 @@
+#include "src/bots/client_driver.hpp"
+
+#include "src/util/histogram.hpp"
+
+namespace qserv::bots {
+
+ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
+                           const spatial::GameMap& map,
+                           const core::Server& server, Config cfg)
+    : platform_(platform), cfg_(cfg) {
+  Rng rng(cfg.seed);
+  for (int i = 0; i < cfg.players; ++i) {
+    Client::Config cc;
+    cc.local_port = static_cast<uint16_t>(cfg.first_local_port + i);
+    cc.server_port = server.port_for_client(i, cfg.players);
+    cc.name = "bot-" + std::to_string(i);
+    cc.frame_interval = cfg.frame_interval;
+    cc.initial_delay = cfg.connect_stagger * static_cast<int64_t>(i);
+    cc.bot.seed = rng.next_u64();
+    cc.bot.aggression = cfg.aggression;
+    cc.bot.grenade_ratio = cfg.grenade_ratio;
+    clients_.push_back(std::make_unique<Client>(platform, net, map, cc));
+  }
+}
+
+void ClientDriver::start() {
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    platform_.spawn("client-" + std::to_string(i), vt::Domain::kClientFarm,
+                    [c = clients_[i].get()] { c->run(); });
+  }
+}
+
+void ClientDriver::request_stop() {
+  for (auto& c : clients_) c->request_stop();
+}
+
+void ClientDriver::begin_measurement() {
+  for (auto& c : clients_) c->begin_measurement();
+}
+
+ClientDriver::Aggregate ClientDriver::aggregate(vt::Duration window) const {
+  Aggregate out;
+  Histogram rt(1e-4, 1.15, 120);
+  StatAccumulator vis;
+  for (const auto& c : clients_) {
+    const auto& m = c->metrics();
+    vis.merge(m.snapshot_entities);
+    out.replies += m.replies;
+    out.moves_sent += m.moves_sent;
+    out.drops_detected += m.drops_detected;
+    out.connected += c->connected() ? 1 : 0;
+    out.total_frags += m.frags;
+    rt.merge(m.response_time);
+  }
+  if (window.ns > 0)
+    out.response_rate = static_cast<double>(out.replies) / window.seconds();
+  out.response_ms_mean = rt.stats().mean() * 1e3;
+  out.response_ms_p50 = rt.percentile(50) * 1e3;
+  out.response_ms_p95 = rt.percentile(95) * 1e3;
+  out.snapshot_entities_mean = vis.mean();
+  return out;
+}
+
+}  // namespace qserv::bots

@@ -1,0 +1,61 @@
+// Drives a population of automatic clients against a server: spawns one
+// client fiber/thread per player on the client-farm domain, staggers
+// connections, and aggregates the client-side metrics the paper reports.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/bots/client.hpp"
+#include "src/core/server.hpp"
+
+namespace qserv::bots {
+
+class ClientDriver {
+ public:
+  struct Config {
+    int players = 64;
+    uint16_t first_local_port = 40000;
+    vt::Duration frame_interval = vt::millis(33);
+    vt::Duration connect_stagger = vt::millis(5);
+    uint64_t seed = 1;
+    float aggression = 0.8f;
+    float grenade_ratio = 0.3f;
+  };
+
+  ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
+               const spatial::GameMap& map, const core::Server& server,
+               Config cfg);
+
+  // Spawns all client fibers. Call once, before the platform runs.
+  void start();
+  void request_stop();
+  // Resets every client's metrics; measurement starts now.
+  void begin_measurement();
+
+  struct Aggregate {
+    double response_rate = 0.0;  // replies/s across all clients
+    double response_ms_mean = 0.0;
+    double response_ms_p50 = 0.0;
+    double response_ms_p95 = 0.0;
+    uint64_t replies = 0;
+    uint64_t moves_sent = 0;
+    uint64_t drops_detected = 0;
+    int connected = 0;
+    int total_frags = 0;
+    double snapshot_entities_mean = 0.0;  // visibility proxy
+  };
+  // Aggregates metrics over a measurement window of `window` seconds.
+  Aggregate aggregate(vt::Duration window) const;
+
+  const std::vector<std::unique_ptr<Client>>& clients() const {
+    return clients_;
+  }
+
+ private:
+  vt::Platform& platform_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace qserv::bots

@@ -1,0 +1,74 @@
+// Server configuration: thread count, locking policy, player assignment,
+// and the extensions the paper leaves as future work (request batching,
+// region-based assignment).
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/cost_model.hpp"
+#include "src/vthread/time.hpp"
+
+namespace qserv::core {
+
+// Game-object synchronization policy for the request-processing phase.
+enum class LockPolicy : uint8_t {
+  // No region locks at all. Only valid single-threaded (the sequential
+  // server, or a 1-thread parallel server for overhead baselines).
+  kNone,
+  // §3.3/§4.2: short-range moves lock the leaves under the move's
+  // bounding box; long-range interactions conservatively lock the entire
+  // map (every leaf).
+  kConservative,
+  // §4.3: game-specific knowledge — grenades (type 1) lock an *expanded*
+  // bounding box covering their request-time flight; hitscans (type 2)
+  // lock a *directional* bounding box from the shooter to the world edge.
+  kOptimized,
+};
+
+const char* lock_policy_name(LockPolicy p);
+
+// How players are assigned to server threads.
+enum class AssignPolicy : uint8_t {
+  kBlock,   // §3.1: static block assignment by join order
+  kRegion,  // extension (§5.1 future work): assign by spawn-region so
+            // players sharing a map region share a thread
+};
+
+const char* assign_policy_name(AssignPolicy p);
+
+struct ServerConfig {
+  int threads = 1;  // ignored by the sequential server
+  LockPolicy lock_policy = LockPolicy::kConservative;
+  AssignPolicy assign_policy = AssignPolicy::kBlock;
+
+  // Extension (§5.2 future work): after winning master election, the
+  // master sleeps this long before starting the frame so that requests
+  // arriving slightly out of sync batch into one frame.
+  vt::Duration batch_window{};
+
+  // Extension (§5.1 future work): with AssignPolicy::kRegion, the master
+  // periodically re-partitions players across threads by their current
+  // map region (every `reassign_interval`; zero = assign at connect time
+  // only). Clients learn their new thread's port through the snapshot's
+  // assigned_port field.
+  vt::Duration reassign_interval{};
+
+  // Delta-compress snapshots against the last client-acknowledged one
+  // (QuakeWorld-style). Falls back to full snapshots whenever no
+  // acknowledged baseline is available, so it is loss-safe.
+  bool delta_snapshots = false;
+  // Per-client history of sent snapshots kept for baselining.
+  int snapshot_history = 8;
+
+  int areanode_depth = 4;  // 31 nodes / 16 leaves by default
+  uint16_t base_port = 27500;  // thread i receives on base_port + i
+  int max_clients = 512;
+  uint64_t seed = 1;
+
+  // How long select() blocks when idle before re-checking the stop flag.
+  vt::Duration select_timeout = vt::millis(50);
+
+  sim::CostModel costs{};
+};
+
+}  // namespace qserv::core

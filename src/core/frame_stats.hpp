@@ -1,0 +1,96 @@
+// Execution-time breakdowns and lock-analysis counters — the paper's
+// measurement methodology (§4). Every server thread owns a ThreadStats;
+// the harness aggregates them into the percentages Figures 4-7 plot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/histogram.hpp"
+#include "src/vthread/time.hpp"
+
+namespace qserv::core {
+
+// The components of total execution time, matching §4's definitions.
+struct Breakdown {
+  vt::Duration exec{};        // request execution (move processing)
+  vt::Duration lock_leaf{};   // waiting for leaf (region) locks
+  vt::Duration lock_parent{}; // waiting for parent/list locks
+  vt::Duration receive{};     // receiving + parsing requests
+  vt::Duration reply{};       // forming and sending replies
+  vt::Duration world{};       // world physics update (master only)
+  vt::Duration intra_wait{};  // barrier before the reply phase
+  vt::Duration inter_wait_world{};  // waiting for the world update
+  vt::Duration inter_wait_frame{};  // waiting for the prior frame to end
+  vt::Duration idle{};        // blocked in select with no work
+
+  vt::Duration lock() const { return lock_leaf + lock_parent; }
+  vt::Duration inter_wait() const {
+    return inter_wait_world + inter_wait_frame;
+  }
+  vt::Duration total() const {
+    return exec + lock() + receive + reply + world + intra_wait +
+           inter_wait() + idle;
+  }
+  // Total excluding idle (the paper's "non-idle" denominator for §5.2).
+  vt::Duration busy() const { return total() - idle; }
+
+  Breakdown& operator+=(const Breakdown& o);
+};
+
+// Per-request and per-frame lock statistics (Figure 7, §5.1).
+struct LockStats {
+  uint64_t requests_locked = 0;       // requests that acquired any region
+  uint64_t lock_requests = 0;         // leaf lock requests incl. re-locks
+  uint64_t distinct_leaves = 0;       // sum over requests of distinct leaves
+  uint64_t relocks = 0;               // lock requests on already-held leaves
+  uint64_t parent_list_locks = 0;     // node-list lock operations
+
+  LockStats& operator+=(const LockStats& o);
+};
+
+struct ThreadStats {
+  Breakdown breakdown;
+  LockStats locks;
+  uint64_t frames_participated = 0;
+  uint64_t frames_as_master = 0;
+  uint64_t requests_processed = 0;
+  uint64_t replies_sent = 0;
+  uint64_t connects = 0;
+  // Requests handled per frame participated in (§5.2 imbalance analysis).
+  StatAccumulator requests_per_frame;
+  // Per-frame trace (frame id, moves processed); only filled while the
+  // server's frame trace is enabled. Used for the paper's §5.2 dynamic
+  // thread-imbalance measurement.
+  std::vector<std::pair<uint64_t, int>> frame_trace;
+
+  void reset();
+};
+
+// Frame-scoped lock sharing statistics collected by the lock manager and
+// harvested by the master each frame (Figure 7(c) and §5.1 text).
+struct FrameLockStats {
+  StatAccumulator leaves_locked_pct;      // % of leaves locked per frame
+  StatAccumulator leaves_shared_pct;      // % locked by >= 2 threads
+  StatAccumulator lock_ops_per_leaf;      // lock operations per leaf
+  uint64_t frames = 0;
+
+  void reset();
+};
+
+// Percentage view of a breakdown (each component as a fraction of total).
+struct BreakdownPct {
+  double exec = 0, lock_leaf = 0, lock_parent = 0, receive = 0, reply = 0,
+         world = 0, intra_wait = 0, inter_wait_world = 0, inter_wait_frame = 0,
+         idle = 0;
+  double lock() const { return lock_leaf + lock_parent; }
+  double inter_wait() const { return inter_wait_world + inter_wait_frame; }
+};
+
+BreakdownPct to_percent(const Breakdown& b);
+
+// One row per component, formatted for bench output.
+std::string format_breakdown(const Breakdown& b);
+
+}  // namespace qserv::core

@@ -1,0 +1,78 @@
+// The global state buffer (§3.3): game events produced during the world
+// and request-processing phases, protected by a single lock, used to
+// update every client's reply buffer, and cleared by the master at the
+// end of each frame. Also the per-client reply message buffers (one lock
+// each).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/net/protocol.hpp"
+#include "src/sim/world.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::core {
+
+class GlobalStateBuffer : public sim::EventSink {
+ public:
+  explicit GlobalStateBuffer(vt::Platform& platform)
+      : mu_(platform.make_mutex("global-state")) {}
+
+  // All accesses are synchronized with the single lock (§3.3).
+  void emit(const net::GameEvent& e) override {
+    vt::LockGuard g(*mu_);
+    events_.push_back(e);
+  }
+
+  std::vector<net::GameEvent> snapshot() const {
+    vt::LockGuard g(*mu_);
+    return events_;
+  }
+
+  // Master-only, at frame end.
+  void clear() {
+    vt::LockGuard g(*mu_);
+    events_.clear();
+  }
+
+  const vt::Mutex& mutex() const { return *mu_; }
+
+ private:
+  mutable std::unique_ptr<vt::Mutex> mu_;
+  std::vector<net::GameEvent> events_;
+};
+
+// Per-client reply message buffer: events queued for a client while it is
+// not being replied to, flushed into its next snapshot. One lock per
+// buffer (§3.3).
+class ReplyBuffer {
+ public:
+  explicit ReplyBuffer(vt::Platform& platform)
+      : mu_(platform.make_mutex("reply-buffer")) {}
+
+  void append(const std::vector<net::GameEvent>& events) {
+    if (events.empty()) return;
+    vt::LockGuard g(*mu_);
+    buffered_.insert(buffered_.end(), events.begin(), events.end());
+  }
+
+  // Drains the buffer into `out` (the snapshot's event list).
+  void drain_into(std::vector<net::GameEvent>& out) {
+    vt::LockGuard g(*mu_);
+    if (buffered_.empty()) return;
+    out.insert(out.end(), buffered_.begin(), buffered_.end());
+    buffered_.clear();
+  }
+
+  size_t size() const {
+    vt::LockGuard g(*mu_);
+    return buffered_.size();
+  }
+
+ private:
+  mutable std::unique_ptr<vt::Mutex> mu_;
+  std::vector<net::GameEvent> buffered_;
+};
+
+}  // namespace qserv::core

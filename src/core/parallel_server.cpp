@@ -1,0 +1,161 @@
+#include "src/core/parallel_server.hpp"
+
+namespace qserv::core {
+
+ParallelServer::ParallelServer(vt::Platform& platform,
+                               net::VirtualNetwork& net,
+                               const spatial::GameMap& map, ServerConfig cfg)
+    : Server(platform, net, map, cfg),
+      sync_mu_(platform.make_mutex("frame-sync")),
+      sync_cv_(platform.make_condvar()) {}
+
+void ParallelServer::start() {
+  for (int t = 0; t < cfg_.threads; ++t) {
+    platform_.spawn("server-worker-" + std::to_string(t), vt::Domain::kServer,
+                    [this, t] { worker_loop(t); });
+  }
+}
+
+vt::Duration ParallelServer::total_inter_wait_world() const {
+  vt::Duration d{};
+  for (const auto& s : stats_) d += s.breakdown.inter_wait_world;
+  return d;
+}
+
+vt::Duration ParallelServer::total_inter_wait_frame() const {
+  vt::Duration d{};
+  for (const auto& s : stats_) d += s.breakdown.inter_wait_frame;
+  return d;
+}
+
+void ParallelServer::worker_loop(int tid) {
+  ThreadStats& st = stats_[static_cast<size_t>(tid)];
+
+  while (!stop_requested()) {
+    // S: wait for requests on this thread's private port.
+    const vt::TimePoint idle0 = platform_.now();
+    const bool ready = selectors_[static_cast<size_t>(tid)]->wait_until(
+        platform_.now() + cfg_.select_timeout);
+    st.breakdown.idle += platform_.now() - idle0;
+    if (!ready) continue;
+    platform_.compute(cfg_.costs.select_syscall);
+
+    bool is_master = false;
+    sync_mu_->lock();
+    if (sync_.phase == FramePhase::kIdle) {
+      // Master election: first thread to detect an arriving request.
+      is_master = true;
+      sync_.phase = FramePhase::kWorld;
+      sync_.master = tid;
+      sync_.frame_id = ++frames_;
+      sync_.participants = 1;
+      sync_.participants_mask = 1ull << tid;
+      sync_.done_processing = 0;
+      sync_.done_reply = 0;
+      sync_mu_->unlock();
+
+      // Extension: batch requests by delaying the frame start, so that
+      // threads whose requests arrive slightly later join this frame
+      // instead of waiting a whole frame (§5.2 future work). The master's
+      // deliberate delay is accounted as idle time.
+      if (cfg_.batch_window.ns > 0) {
+        const vt::TimePoint b0 = platform_.now();
+        platform_.sleep_for(cfg_.batch_window);
+        st.breakdown.idle += platform_.now() - b0;
+      }
+
+      lock_manager_->frame_reset();
+      // P: world physics, performed by the master alone.
+      do_world_phase(st);
+      ++st.frames_as_master;
+
+      // Extension: periodic dynamic re-partitioning of players to
+      // threads by map region (§5.1 future work). Master-only, between
+      // request phases, so ownership never changes mid-frame.
+      if (cfg_.assign_policy == AssignPolicy::kRegion &&
+          cfg_.reassign_interval.ns > 0 &&
+          platform_.now() >= next_reassign_) {
+        reassign_clients();
+        next_reassign_ = platform_.now() + cfg_.reassign_interval;
+      }
+
+      sync_mu_->lock();
+      sync_.phase = FramePhase::kProcessing;
+      platform_.compute(cfg_.costs.signal_syscall);
+      sync_cv_->broadcast();
+      sync_mu_->unlock();
+    } else if (sync_.phase == FramePhase::kWorld) {
+      // Join the frame being formed; wait for the world update to end.
+      ++sync_.participants;
+      sync_.participants_mask |= 1ull << tid;
+      const vt::TimePoint w0 = platform_.now();
+      while (sync_.phase == FramePhase::kWorld) sync_cv_->wait(*sync_mu_);
+      st.breakdown.inter_wait_world += platform_.now() - w0;
+      sync_mu_->unlock();
+    } else {
+      // Too late for this frame: wait for it to end; we are guaranteed
+      // to take part in the next one (our queue is non-empty).
+      const uint64_t fid = sync_.frame_id;
+      const vt::TimePoint w0 = platform_.now();
+      while (sync_.phase != FramePhase::kIdle && sync_.frame_id == fid)
+        sync_cv_->wait(*sync_mu_);
+      st.breakdown.inter_wait_frame += platform_.now() - w0;
+      sync_mu_->unlock();
+      continue;
+    }
+
+    // Rx/E: drain this thread's request queue.
+    const int moves = drain_requests(tid, st, /*use_locks=*/true);
+    st.requests_per_frame.add(moves);
+    ++st.frames_participated;
+
+    // Global synchronization before the reply phase.
+    sync_mu_->lock();
+    if (frame_trace_enabled_ && st.frame_trace.size() < 100000)
+      st.frame_trace.emplace_back(sync_.frame_id, moves);
+    ++sync_.done_processing;
+    if (sync_.done_processing == sync_.participants) {
+      sync_.phase = FramePhase::kReply;
+      platform_.compute(cfg_.costs.signal_syscall);
+      sync_cv_->broadcast();
+    } else {
+      const vt::TimePoint w0 = platform_.now();
+      while (sync_.phase != FramePhase::kReply) sync_cv_->wait(*sync_mu_);
+      st.breakdown.intra_wait += platform_.now() - w0;
+    }
+    const uint64_t mask = sync_.participants_mask;
+    sync_mu_->unlock();
+
+    // T/Tx: replies for this thread's complete client set; the master
+    // also covers clients of threads not participating in this frame.
+    do_replies(tid, st, /*include_unowned=*/is_master, mask);
+
+    // Frame end.
+    sync_mu_->lock();
+    ++sync_.done_reply;
+    if (is_master) {
+      const vt::TimePoint w0 = platform_.now();
+      while (sync_.done_reply < sync_.participants) sync_cv_->wait(*sync_mu_);
+      st.breakdown.intra_wait += platform_.now() - w0;
+      sync_mu_->unlock();
+
+      // Master duties: clear the global state buffer, harvest per-frame
+      // lock statistics, then signal the frame end to wake any threads
+      // that missed this frame.
+      global_events_.clear();
+      lock_manager_->frame_harvest(frame_lock_stats_);
+
+      sync_mu_->lock();
+      sync_.phase = FramePhase::kIdle;
+      sync_.master = -1;
+      platform_.compute(cfg_.costs.signal_syscall);
+      sync_cv_->broadcast();
+      sync_mu_->unlock();
+    } else {
+      sync_cv_->broadcast();  // possibly the master waits on us
+      sync_mu_->unlock();
+    }
+  }
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,53 @@
+// The multithreaded game server (§3): N worker threads, each with a
+// private UDP port and a statically assigned block of players. Frames are
+// orchestrated exactly as Figure 3 describes:
+//
+//   select -> [master election] -> P (master only) -> Rx/E -> barrier ->
+//   T/Tx -> frame end signal
+//
+// The first thread to observe a request becomes the frame's master and
+// runs the world update; threads exiting select during the world update
+// join the frame; threads exiting later wait for the next frame (and are
+// guaranteed to participate in it). The three phases never overlap and
+// always run in order — the two §3 invariants.
+#pragma once
+
+#include "src/core/server.hpp"
+
+namespace qserv::core {
+
+class ParallelServer final : public Server {
+ public:
+  ParallelServer(vt::Platform& platform, net::VirtualNetwork& net,
+                 const spatial::GameMap& map, ServerConfig cfg);
+
+  void start() override;
+  int thread_count() const override { return cfg_.threads; }
+
+  // §5.2 analysis: how often a frame's inter-frame wait was spent on the
+  // world update vs. waiting for the previous frame to finish.
+  vt::Duration total_inter_wait_world() const;
+  vt::Duration total_inter_wait_frame() const;
+
+ private:
+  enum class FramePhase : uint8_t { kIdle, kWorld, kProcessing, kReply };
+
+  void worker_loop(int tid);
+
+  // Frame synchronization state, guarded by sync_mu_.
+  struct FrameSync {
+    FramePhase phase = FramePhase::kIdle;
+    uint64_t frame_id = 0;
+    int master = -1;
+    int participants = 0;
+    uint64_t participants_mask = 0;
+    int done_processing = 0;
+    int done_reply = 0;
+  };
+
+  std::unique_ptr<vt::Mutex> sync_mu_;
+  std::unique_ptr<vt::CondVar> sync_cv_;
+  FrameSync sync_;
+};
+
+}  // namespace qserv::core

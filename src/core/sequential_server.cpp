@@ -1,0 +1,50 @@
+#include "src/core/sequential_server.hpp"
+
+namespace qserv::core {
+
+SequentialServer::SequentialServer(vt::Platform& platform,
+                                   net::VirtualNetwork& net,
+                                   const spatial::GameMap& map,
+                                   ServerConfig cfg)
+    : Server(platform, net, map, [&] {
+        cfg.threads = 1;
+        // The sequential server takes no locks at all.
+        cfg.lock_policy = LockPolicy::kNone;
+        return cfg;
+      }()) {}
+
+void SequentialServer::start() {
+  platform_.spawn("seq-server", vt::Domain::kServer, [this] { main_loop(); });
+}
+
+void SequentialServer::main_loop() {
+  ThreadStats& st = stats_[0];
+  while (!stop_requested()) {
+    // S: spin in select until a client request arrives.
+    const vt::TimePoint idle0 = platform_.now();
+    const bool ready =
+        selectors_[0]->wait_until(platform_.now() + cfg_.select_timeout);
+    st.breakdown.idle += platform_.now() - idle0;
+    if (!ready) continue;
+    platform_.compute(cfg_.costs.select_syscall);
+
+    ++frames_;
+    ++st.frames_participated;
+
+    // P: world physics.
+    do_world_phase(st);
+
+    // Rx/E: receive and process requests until the queue is empty.
+    const int moves = drain_requests(0, st, /*use_locks=*/false);
+    st.requests_per_frame.add(moves);
+
+    // T/Tx: form and send replies to everyone who sent a request, and
+    // buffer global updates for everyone else.
+    do_replies(0, st, /*include_unowned=*/true, /*participants_mask=*/1);
+
+    // Frame end: clear the global state buffer.
+    global_events_.clear();
+  }
+}
+
+}  // namespace qserv::core

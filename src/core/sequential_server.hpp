@@ -1,0 +1,22 @@
+// The sequential (single-threaded) QuakeWorld-style server: one thread,
+// one UDP port, the §2.1 frame loop — select, world physics, drain
+// requests, reply — with no synchronization anywhere.
+#pragma once
+
+#include "src/core/server.hpp"
+
+namespace qserv::core {
+
+class SequentialServer final : public Server {
+ public:
+  SequentialServer(vt::Platform& platform, net::VirtualNetwork& net,
+                   const spatial::GameMap& map, ServerConfig cfg);
+
+  void start() override;
+  int thread_count() const override { return 1; }
+
+ private:
+  void main_loop();
+};
+
+}  // namespace qserv::core

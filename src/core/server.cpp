@@ -1,0 +1,379 @@
+#include "src/core/server.hpp"
+
+#include <algorithm>
+
+#include "src/sim/move.hpp"
+#include "src/sim/snapshot.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::core {
+
+const char* lock_policy_name(LockPolicy p) {
+  switch (p) {
+    case LockPolicy::kNone: return "none";
+    case LockPolicy::kConservative: return "conservative";
+    case LockPolicy::kOptimized: return "optimized";
+  }
+  return "?";
+}
+
+const char* assign_policy_name(AssignPolicy p) {
+  switch (p) {
+    case AssignPolicy::kBlock: return "block";
+    case AssignPolicy::kRegion: return "region";
+  }
+  return "?";
+}
+
+Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
+               const spatial::GameMap& map, ServerConfig cfg)
+    : platform_(platform),
+      net_(net),
+      cfg_(cfg),
+      world_(map, sim::World::Config{cfg.areanode_depth, cfg.seed}, &platform,
+             cfg.costs),
+      global_events_(platform),
+      clients_mu_(platform.make_mutex("clients")) {
+  QSERV_CHECK(cfg.threads >= 1 && cfg.threads <= 64);
+  lock_manager_ =
+      std::make_unique<LockManager>(platform, world_.tree(), cfg.costs);
+  // Entity storage must never reallocate once clients join (concurrent
+  // readers hold references during request processing).
+  world_.reserve_entities(world_.active_entities() +
+                          static_cast<size_t>(cfg.max_clients) + 256);
+  clients_.resize(static_cast<size_t>(cfg.max_clients));
+  const int n = cfg.threads;
+  stats_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sockets_.push_back(net.open(static_cast<uint16_t>(cfg.base_port + i)));
+    selectors_.push_back(std::make_unique<net::Selector>(platform));
+    selectors_.back()->add(*sockets_.back());
+  }
+}
+
+Server::~Server() = default;
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& sel : selectors_) sel->poke();
+}
+
+uint16_t Server::port_for_client(int ordinal, int expected_players) const {
+  // Static block assignment (§3.1): the first expected/T players go to
+  // thread 0, the next block to thread 1, and so on.
+  const int t = std::clamp(ordinal * cfg_.threads / std::max(1, expected_players),
+                           0, cfg_.threads - 1);
+  return static_cast<uint16_t>(cfg_.base_port + t);
+}
+
+Breakdown Server::total_breakdown() const {
+  Breakdown b;
+  for (const auto& s : stats_) b += s.breakdown;
+  return b;
+}
+
+LockStats Server::total_lock_stats() const {
+  LockStats l;
+  for (const auto& s : stats_) l += s.locks;
+  return l;
+}
+
+uint64_t Server::total_replies() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.replies_sent;
+  return n;
+}
+
+uint64_t Server::total_requests() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.requests_processed;
+  return n;
+}
+
+void Server::reset_stats() {
+  for (auto& s : stats_) s.reset();
+  frame_lock_stats_.reset();
+}
+
+int Server::connected_clients() const {
+  int n = 0;
+  for (const auto& c : clients_) n += c.in_use ? 1 : 0;
+  return n;
+}
+
+Server::Client* Server::client_by_port(uint16_t port) {
+  vt::LockGuard g(*clients_mu_);
+  const auto it = client_slot_by_port_.find(port);
+  return it == client_slot_by_port_.end()
+             ? nullptr
+             : &clients_[static_cast<size_t>(it->second)];
+}
+
+void Server::do_world_phase(ThreadStats& st) {
+  const vt::TimePoint t0 = platform_.now();
+  vt::Duration dt = t0 - last_world_;
+  // Clamp: the first frame (and long idle gaps) must not produce a huge
+  // physics step.
+  dt.ns = std::clamp<int64_t>(dt.ns, 0, vt::millis(100).ns);
+  last_world_ = t0;
+  world_.world_phase(t0, dt, global_events_);
+  st.breakdown.world += platform_.now() - t0;
+}
+
+int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
+  net::Datagram d;
+  int moves = 0;
+  while (sockets_[static_cast<size_t>(tid)]->try_recv(d)) {
+    // --- receive + parse ---
+    const vt::TimePoint t0 = platform_.now();
+    platform_.compute(cfg_.costs.recv_parse);
+    Client* client = client_by_port(d.src_port);
+
+    net::NetChannel::Incoming info;
+    net::ByteReader body(nullptr, 0);
+    bool framed = false;
+    if (client != nullptr && client->chan != nullptr) {
+      framed = client->chan->accept(d, info, body);
+    } else {
+      // Unknown peer: strip the channel header manually; only a connect
+      // is acceptable.
+      if (d.payload.size() > 8) {
+        body = net::ByteReader(d.payload.data() + 8, d.payload.size() - 8);
+        framed = true;
+      }
+    }
+    net::ClientMsgType type{};
+    const bool parsed = framed && net::decode_client_type(body, type);
+    st.breakdown.receive += platform_.now() - t0;
+    if (!parsed) continue;
+    if (client != nullptr && info.duplicate_or_old &&
+        type == net::ClientMsgType::kMove) {
+      continue;  // stale or duplicated move
+    }
+
+    switch (type) {
+      case net::ClientMsgType::kConnect: {
+        net::ConnectMsg msg;
+        if (decode(body, msg)) handle_connect(tid, d, msg, st);
+        break;
+      }
+      case net::ClientMsgType::kMove: {
+        if (client == nullptr) break;
+        net::MoveCmd cmd;
+        if (decode(body, cmd)) {
+          handle_move(tid, *client, cmd, st, use_locks);
+          ++moves;
+        }
+        break;
+      }
+      case net::ClientMsgType::kDisconnect:
+        if (client != nullptr) handle_disconnect(*client);
+        break;
+    }
+  }
+  return moves;
+}
+
+void Server::handle_connect(int tid, const net::Datagram& d,
+                            const net::ConnectMsg& msg, ThreadStats& st) {
+  int slot = -1;
+  {
+    vt::LockGuard g(*clients_mu_);
+    const auto it = client_slot_by_port_.find(d.src_port);
+    if (it != client_slot_by_port_.end()) {
+      slot = it->second;  // duplicate connect: re-ack below
+    } else {
+      for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
+        if (!clients_[static_cast<size_t>(i)].in_use) {
+          slot = i;
+          break;
+        }
+      }
+      if (slot < 0) return;  // server full; silently drop, like Quake
+      client_slot_by_port_[d.src_port] = slot;
+      Client& c = clients_[static_cast<size_t>(slot)];
+      c.in_use = true;
+      c.remote_port = d.src_port;
+      c.name = msg.name;
+      c.pending_reply = false;
+      c.last_seq = 0;
+
+      LockManager::ListLockContext ctx(*lock_manager_, st);
+      sim::Entity& player = world_.spawn_player(
+          msg.name, cfg_.threads > 1 ? &ctx : nullptr);
+      c.entity_id = player.id;
+
+      // Owner thread: the receiving thread under block assignment, or
+      // the thread responsible for the spawn region under region-based
+      // assignment (future-work extension).
+      const int owner = cfg_.assign_policy == AssignPolicy::kRegion
+                            ? owner_for_region(player.origin)
+                            : tid;
+      c.owner_thread = owner;
+      c.chan = std::make_unique<net::NetChannel>(
+          *sockets_[static_cast<size_t>(owner)], d.src_port);
+      c.buffer = std::make_unique<ReplyBuffer>(platform_);
+      ++st.connects;
+    }
+  }
+
+  Client& c = clients_[static_cast<size_t>(slot)];
+  const sim::Entity* player = world_.get(c.entity_id);
+  net::ConnectAck ack;
+  ack.player_id = c.entity_id;
+  ack.server_frame = static_cast<uint32_t>(frames_);
+  ack.assigned_port =
+      static_cast<uint16_t>(cfg_.base_port + c.owner_thread);
+  if (player != nullptr) ack.spawn_origin = player->origin;
+  platform_.compute(cfg_.costs.send_syscall);
+  c.chan->send(net::encode(ack));
+}
+
+void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
+                         ThreadStats& st, bool use_locks) {
+  sim::Entity* player = world_.get(client.entity_id);
+  if (player == nullptr) return;
+
+  const bool lock = use_locks && cfg_.lock_policy != LockPolicy::kNone;
+  LockManager::Region region;
+  if (lock) {
+    std::vector<std::vector<int>> sets;
+    lock_manager_->plan_request(cfg_.lock_policy, *player, cmd, sets);
+    lock_manager_->acquire(sets, tid, st, region);
+  }
+
+  // Execution time excludes any list-lock waiting incurred inside (that
+  // is attributed to the lock components by the ListLockContext).
+  LockManager::ListLockContext ctx(*lock_manager_, st);
+  const vt::Duration lock_before =
+      st.breakdown.lock_leaf + st.breakdown.lock_parent;
+  const vt::TimePoint t0 = platform_.now();
+  sim::execute_move(world_, *player, cmd, t0, lock ? &ctx : nullptr,
+                    &global_events_);
+  const vt::Duration elapsed = platform_.now() - t0;
+  const vt::Duration lock_delta =
+      st.breakdown.lock_leaf + st.breakdown.lock_parent - lock_before;
+  st.breakdown.exec += elapsed - lock_delta;
+
+  if (lock) lock_manager_->release(region);
+
+  client.pending_reply = true;
+  client.last_seq = std::max(client.last_seq, cmd.sequence);
+  client.last_move_time_ns = cmd.client_time_ns;
+  client.client_baseline_frame =
+      std::max(client.client_baseline_frame, cmd.baseline_frame);
+  ++st.requests_processed;
+}
+
+void Server::handle_disconnect(Client& client) {
+  vt::LockGuard g(*clients_mu_);
+  if (!client.in_use) return;
+  if (world_.get(client.entity_id) != nullptr)
+    world_.remove_entity(client.entity_id);
+  client_slot_by_port_.erase(client.remote_port);
+  client.in_use = false;
+  client.chan.reset();
+  client.buffer.reset();
+}
+
+int Server::owner_for_region(const Vec3& origin) const {
+  std::vector<int> leaves;
+  world_.tree().leaves_for({origin, origin}, leaves);
+  const int ord =
+      leaves.empty() ? 0 : world_.tree().leaf_ordinal(leaves.front());
+  return std::clamp(ord * cfg_.threads / world_.tree().leaf_count(), 0,
+                    cfg_.threads - 1);
+}
+
+int Server::reassign_clients() {
+  int moved = 0;
+  vt::LockGuard g(*clients_mu_);
+  for (auto& c : clients_) {
+    if (!c.in_use) continue;
+    const sim::Entity* player = world_.get(c.entity_id);
+    if (player == nullptr) continue;
+    const int owner = owner_for_region(player->origin);
+    if (owner == c.owner_thread) continue;
+    c.owner_thread = owner;
+    // Keep the netchan's sequencing state: the peer must see one
+    // continuous stream across the migration.
+    c.chan->rebind(*sockets_[static_cast<size_t>(owner)]);
+    c.notify_port = true;
+    ++moved;
+    ++reassignments_;
+  }
+  return moved;
+}
+
+void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
+                        uint64_t participants_mask) {
+  const vt::TimePoint t0 = platform_.now();
+  const std::vector<net::GameEvent> frame_events = global_events_.snapshot();
+
+  for (auto& c : clients_) {
+    if (!c.in_use) continue;
+    const bool owned = c.owner_thread == tid;
+    const bool orphaned =
+        include_unowned && !owned &&
+        ((participants_mask >> c.owner_thread) & 1ull) == 0;
+    if (!owned && !orphaned) continue;
+
+    if (owned && c.pending_reply) {
+      const sim::Entity* player = world_.get(c.entity_id);
+      if (player == nullptr) continue;
+      net::Snapshot snap;
+      // Buffered events from frames this client missed, then this
+      // frame's events.
+      std::vector<net::GameEvent> events;
+      c.buffer->drain_into(events);
+      events.insert(events.end(), frame_events.begin(), frame_events.end());
+      sim::build_snapshot(world_, *player, static_cast<uint32_t>(frames_),
+                          c.last_seq, c.last_move_time_ns, events, snap);
+      if (c.notify_port) {
+        snap.assigned_port =
+            static_cast<uint16_t>(cfg_.base_port + c.owner_thread);
+        c.notify_port = false;
+      }
+      platform_.compute(cfg_.costs.reply_base + cfg_.costs.send_syscall);
+
+      if (cfg_.delta_snapshots) {
+        // Delta against the newest snapshot the client reports having
+        // reconstructed (carried in its move commands); full snapshot if
+        // that frame is no longer in our history.
+        const Client::SentSnapshot* baseline = nullptr;
+        if (c.client_baseline_frame != 0) {
+          for (auto it = c.history.rbegin(); it != c.history.rend(); ++it) {
+            if (it->server_frame == c.client_baseline_frame) {
+              baseline = &*it;
+              break;
+            }
+          }
+        }
+        std::vector<uint8_t> bytes =
+            baseline != nullptr
+                ? net::encode_delta(snap, baseline->entities,
+                                    baseline->server_frame)
+                : net::encode(snap);
+        c.history.push_back({snap.server_frame, snap.entities});
+        while (static_cast<int>(c.history.size()) > cfg_.snapshot_history)
+          c.history.pop_front();
+        c.chan->send(std::move(bytes));
+      } else {
+        c.chan->send(net::encode(snap));
+      }
+      c.pending_reply = false;
+      ++st.replies_sent;
+    } else {
+      // No request this frame: update the client's message buffer from
+      // the global state buffer anyway (§3.3 — every client, every
+      // frame; per-buffer lock inside).
+      c.buffer->append(frame_events);
+      platform_.compute(cfg_.costs.per_buffer_update +
+                        cfg_.costs.per_event *
+                            static_cast<int64_t>(frame_events.size()));
+    }
+  }
+  st.breakdown.reply += platform_.now() - t0;
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,155 @@
+// Shared machinery of the sequential and parallel game servers: client
+// registry, request dispatch, world-phase and reply-phase implementations,
+// and instrumentation. The two concrete servers (sequential_server.hpp,
+// parallel_server.hpp) differ only in their main loops — exactly the
+// relationship between the original QuakeWorld server and the paper's
+// pthreads port.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/frame_stats.hpp"
+#include "src/core/global_state.hpp"
+#include "src/core/lock_manager.hpp"
+#include "src/net/netchan.hpp"
+#include "src/net/virtual_udp.hpp"
+#include "src/sim/world.hpp"
+
+namespace qserv::core {
+
+class Server {
+ public:
+  Server(vt::Platform& platform, net::VirtualNetwork& net,
+         const spatial::GameMap& map, ServerConfig cfg);
+  virtual ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Spawns the server thread(s) onto the platform. Call exactly once.
+  virtual void start() = 0;
+
+  // Signals the server loops to exit after the current frame.
+  void request_stop();
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Number of worker threads (1 for the sequential server).
+  virtual int thread_count() const = 0;
+
+  // The server port a joining client with ordinal `i` of `expected`
+  // should initially address (static block assignment, §3.1).
+  uint16_t port_for_client(int ordinal, int expected_players) const;
+
+  // --- statistics ---
+  const std::vector<ThreadStats>& thread_stats() const { return stats_; }
+  const FrameLockStats& frame_lock_stats() const { return frame_lock_stats_; }
+  Breakdown total_breakdown() const;
+  LockStats total_lock_stats() const;
+  uint64_t frames() const { return frames_; }
+  uint64_t total_replies() const;
+  uint64_t total_requests() const;
+  // Zeroes all measurement state (warmup boundary).
+  void reset_stats();
+
+  // Records (frame, moves) per thread for §5.2's dynamic-imbalance
+  // analysis. Bounded to ~100k entries per thread.
+  void enable_frame_trace() { frame_trace_enabled_ = true; }
+  bool frame_trace_enabled() const { return frame_trace_enabled_; }
+
+  // Dynamic-assignment client migrations performed so far.
+  uint64_t reassignments() const { return reassignments_; }
+
+  const sim::World& world() const { return world_; }
+  sim::World& world() { return world_; }
+  const ServerConfig& config() const { return cfg_; }
+  LockManager& lock_manager() { return *lock_manager_; }
+  int connected_clients() const;
+
+ protected:
+  struct Client {
+    bool in_use = false;
+    uint32_t entity_id = 0;
+    uint16_t remote_port = 0;
+    std::string name;
+    int owner_thread = 0;
+    bool notify_port = false;  // next snapshot carries assigned_port
+    uint32_t last_seq = 0;          // latest move sequence processed
+    int64_t last_move_time_ns = 0;  // echoed back in the reply
+    bool pending_reply = false;     // sent a request this frame
+    std::unique_ptr<net::NetChannel> chan;
+    std::unique_ptr<ReplyBuffer> buffer;
+    // Delta-snapshot support (owner thread only): recently sent snapshot
+    // entity lists keyed by server frame, and the newest frame the client
+    // reports having reconstructed.
+    struct SentSnapshot {
+      uint32_t server_frame = 0;
+      std::vector<net::EntityUpdate> entities;
+    };
+    std::deque<SentSnapshot> history;
+    uint32_t client_baseline_frame = 0;
+  };
+
+  // --- pieces shared by both main loops ---
+  // Runs the world-physics phase (master/sequential only) and stamps the
+  // elapsed time into st.breakdown.world.
+  void do_world_phase(ThreadStats& st);
+
+  // Drains socket `tid`, dispatching every ready datagram. `lm` null means
+  // lock-free execution (sequential server). Returns moves processed.
+  int drain_requests(int tid, ThreadStats& st, bool use_locks);
+
+  // Reply phase for the clients owned by `tid`. When `include_unowned`,
+  // also updates the reply buffers of clients whose owner threads did not
+  // participate this frame (master duty, §3.3). `participants` is a
+  // bitmask of participating threads.
+  void do_replies(int tid, ThreadStats& st, bool include_unowned,
+                  uint64_t participants_mask);
+
+  // --- request handlers ---
+  void handle_connect(int tid, const net::Datagram& d,
+                      const net::ConnectMsg& msg, ThreadStats& st);
+  void handle_move(int tid, Client& client, const net::MoveCmd& cmd,
+                   ThreadStats& st, bool use_locks);
+  void handle_disconnect(Client& client);
+
+  Client* client_by_port(uint16_t port);
+
+  // Thread that should own a player at `origin` under region assignment.
+  int owner_for_region(const Vec3& origin) const;
+
+  // Re-partitions all clients by their current region (master-only, runs
+  // between frames). Returns how many clients moved.
+  int reassign_clients();
+
+  vt::Platform& platform_;
+  net::VirtualNetwork& net_;
+  ServerConfig cfg_;
+  sim::World world_;
+  GlobalStateBuffer global_events_;
+  std::unique_ptr<LockManager> lock_manager_;
+
+  std::vector<std::unique_ptr<net::Socket>> sockets_;     // one per thread
+  std::vector<std::unique_ptr<net::Selector>> selectors_; // one per thread
+
+  std::unique_ptr<vt::Mutex> clients_mu_;  // slot allocation / ownership moves
+  std::vector<Client> clients_;            // fixed capacity max_clients
+  std::unordered_map<uint16_t, int> client_slot_by_port_;
+
+  std::vector<ThreadStats> stats_;  // one per thread
+  FrameLockStats frame_lock_stats_;
+  uint64_t frames_ = 0;
+  vt::TimePoint last_world_{};  // previous world-phase time (for dt)
+
+  std::atomic<bool> stop_{false};
+  bool frame_trace_enabled_ = false;
+  uint64_t reassignments_ = 0;
+  vt::TimePoint next_reassign_{};
+};
+
+}  // namespace qserv::core

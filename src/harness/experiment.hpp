@@ -1,0 +1,91 @@
+// Experiment runner: builds a complete simulated testbed (SMP machine,
+// network, server, client population), runs warmup + measurement windows
+// in virtual time, and collects every metric the paper's figures need.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bots/client_driver.hpp"
+#include "src/core/config.hpp"
+#include "src/core/frame_stats.hpp"
+#include "src/spatial/map.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv::harness {
+
+enum class ServerMode : uint8_t { kSequential, kParallel };
+
+struct ExperimentConfig {
+  ServerMode mode = ServerMode::kParallel;
+  core::ServerConfig server;
+  int players = 64;
+  vt::Duration warmup = vt::seconds(2);
+  vt::Duration measure = vt::seconds(8);
+  vt::Duration client_frame = vt::millis(33);
+  float bot_aggression = 0.8f;
+  float bot_grenade_ratio = 0.3f;
+  uint64_t seed = 1;
+  // Record the per-frame, per-thread request counts (§5.2 analysis).
+  bool frame_trace = false;
+  // Machine model: the paper's quad Xeon with 2-way hyper-threading.
+  vt::SimPlatform::MachineConfig machine{};
+  // Map shared across experiments of a sweep (generated once).
+  std::shared_ptr<const spatial::GameMap> map;
+};
+
+struct ExperimentResult {
+  // Client-side (§4 metrics).
+  double response_rate = 0.0;  // replies/s
+  double response_ms_mean = 0.0;
+  double response_ms_p50 = 0.0;
+  double response_ms_p95 = 0.0;
+  double snapshot_entities_mean = 0.0;  // visibility proxy
+  int connected = 0;
+
+  // Server-side breakdowns.
+  core::Breakdown breakdown;        // summed across threads
+  core::BreakdownPct pct;           // percentage view
+  std::vector<core::Breakdown> per_thread;
+
+  // Lock analysis (Figure 7 / §5.1).
+  core::LockStats locks;
+  double distinct_leaves_per_request_pct = 0.0;
+  double relock_pct = 0.0;  // fraction of lock requests that were re-locks
+  double leaves_locked_per_frame_pct = 0.0;
+  double leaves_shared_per_frame_pct = 0.0;
+  double lock_ops_per_leaf_per_frame = 0.0;
+
+  // §5.2 wait analysis.
+  double requests_per_thread_frame_mean = 0.0;
+  double requests_per_thread_frame_stddev = 0.0;
+  double inter_wait_world_fraction = 0.0;  // of total inter-frame wait
+
+  // Volume counters.
+  // Per-thread (frame id, moves processed) traces when frame_trace is on.
+  std::vector<std::vector<std::pair<uint64_t, int>>> frame_traces;
+
+  uint64_t frames = 0;
+  uint64_t requests = 0;
+  uint64_t replies = 0;
+  uint64_t overflow_drops = 0;
+  uint64_t reassignments = 0;  // dynamic-assignment client migrations
+  int total_frags = 0;
+  uint64_t sim_events = 0;   // scheduler events processed (determinism aid)
+  double host_seconds = 0.0; // wall time the simulation took to run
+};
+
+// Runs one experiment to completion in virtual time.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// The default workload: the large deathmatch map the whole evaluation
+// uses (cached across calls with the same seed).
+std::shared_ptr<const spatial::GameMap> default_map(uint64_t seed = 7);
+
+// Canonical configuration factory matching the paper's testbed: 4 cores x
+// 2-way HT machine, given thread count / player count / lock policy.
+ExperimentConfig paper_config(ServerMode mode, int threads, int players,
+                              core::LockPolicy policy);
+
+}  // namespace qserv::harness

@@ -1,0 +1,25 @@
+// Turns experiment results into the tables the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/util/table.hpp"
+
+namespace qserv::harness {
+
+// Standard header for an execution-time breakdown table.
+std::vector<std::string> breakdown_header(const std::string& label);
+// One row of percentages for a result (label + each component).
+std::vector<std::string> breakdown_row(const std::string& label,
+                                       const ExperimentResult& r);
+
+// Response-rate and response-time rows.
+std::vector<std::string> rate_row(const std::string& label,
+                                  const ExperimentResult& r);
+
+// Prints a one-line summary useful for progress logs.
+void print_summary(const std::string& label, const ExperimentResult& r);
+
+}  // namespace qserv::harness

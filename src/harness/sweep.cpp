@@ -1,0 +1,55 @@
+#include "src/harness/sweep.hpp"
+
+#include <cstdio>
+
+#include "src/harness/report.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::harness {
+
+void run_sweep(std::vector<SweepPoint>& points, bool verbose) {
+  for (auto& p : points) {
+    p.result = run_experiment(p.config);
+    if (verbose) print_summary(p.label, p.result);
+  }
+}
+
+std::vector<SweepPoint> paper_grid(const std::vector<int>& thread_counts,
+                                   const std::vector<int>& player_counts,
+                                   core::LockPolicy policy) {
+  std::vector<SweepPoint> out;
+  for (const int t : thread_counts) {
+    for (const int n : player_counts) {
+      SweepPoint p;
+      if (t == 0) {
+        p.label = "seq/" + std::to_string(n) + "p";
+        p.config = paper_config(ServerMode::kSequential, 1, n,
+                                core::LockPolicy::kNone);
+      } else {
+        p.label = std::to_string(t) + "t/" + std::to_string(n) + "p";
+        p.config = paper_config(ServerMode::kParallel, t, n, policy);
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+int saturation_players(const std::vector<SweepPoint>& points,
+                       const std::vector<int>& player_counts,
+                       double min_gain) {
+  QSERV_CHECK(points.size() == player_counts.size());
+  if (points.empty()) return 0;
+  int sat = player_counts[0];
+  double best = points[0].result.response_rate;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double rate = points[i].result.response_rate;
+    if (rate >= best * (1.0 + min_gain)) {
+      best = rate;
+      sat = player_counts[i];
+    }
+  }
+  return sat;
+}
+
+}  // namespace qserv::harness

@@ -1,0 +1,36 @@
+// Parameter sweeps over (threads x players x policy), run sequentially
+// with progress output — the workhorse behind the figure benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+
+namespace qserv::harness {
+
+struct SweepPoint {
+  std::string label;
+  ExperimentConfig config;
+  ExperimentResult result;
+};
+
+// Runs every point in order, printing a summary line per point.
+void run_sweep(std::vector<SweepPoint>& points, bool verbose = true);
+
+// Builds the paper's standard grid: for each thread count, each player
+// count. Thread count 0 encodes the sequential server.
+std::vector<SweepPoint> paper_grid(const std::vector<int>& thread_counts,
+                                   const std::vector<int>& player_counts,
+                                   core::LockPolicy policy);
+
+// Finds the saturation player count: the highest player count in the
+// sweep whose response rate improves on the previous by at least
+// `min_gain` (fractional). Expects points of one server config with
+// increasing player counts.
+int saturation_players(const std::vector<SweepPoint>& points,
+                       const std::vector<int>& player_counts,
+                       double min_gain = 0.05);
+
+}  // namespace qserv::harness

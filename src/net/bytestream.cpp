@@ -1,0 +1,100 @@
+#include "src/net/bytestream.hpp"
+
+#include <cstring>
+
+namespace qserv::net {
+
+void ByteWriter::u8(uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(uint32_t v) {
+  u16(static_cast<uint16_t>(v));
+  u16(static_cast<uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(uint64_t v) {
+  u32(static_cast<uint32_t>(v));
+  u32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::f32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u32(bits);
+}
+
+void ByteWriter::vec3(const Vec3& v) {
+  f32(v.x);
+  f32(v.y);
+  f32(v.z);
+}
+
+void ByteWriter::str(const std::string& s) {
+  const size_t n = s.size() > 65535 ? 65535 : s.size();
+  u16(static_cast<uint16_t>(n));
+  bytes(reinterpret_cast<const uint8_t*>(s.data()), n);
+}
+
+void ByteWriter::bytes(const uint8_t* data, size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool ByteReader::take(size_t n) {
+  if (size_ - pos_ < n) {
+    overflowed_ = true;
+    pos_ = size_;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::u16() {
+  if (!take(2)) return 0;
+  const uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+                     static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::u32() {
+  const uint32_t lo = u16();
+  const uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+uint64_t ByteReader::u64() {
+  const uint64_t lo = u32();
+  const uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+float ByteReader::f32() {
+  const uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Vec3 ByteReader::vec3() {
+  const float x = f32(), y = f32(), z = f32();
+  return {x, y, z};
+}
+
+std::string ByteReader::str() {
+  const uint16_t n = u16();
+  if (!take(n)) return {};
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace qserv::net

@@ -1,0 +1,46 @@
+#include "src/net/netchan.hpp"
+
+#include "src/net/bytestream.hpp"
+
+namespace qserv::net {
+
+namespace {
+constexpr size_t kHeaderBytes = 8;  // out sequence + ack
+}
+
+NetChannel::NetChannel(Socket& sock, uint16_t remote)
+    : sock_(&sock), remote_(remote) {}
+
+bool NetChannel::send(std::vector<uint8_t> body) {
+  ByteWriter w;
+  w.u32(++out_seq_);
+  w.u32(in_seq_);
+  w.bytes(body.data(), body.size());
+  ++sent_;
+  return sock_->send(remote_, w.take());
+}
+
+bool NetChannel::accept(const Datagram& d, Incoming& info,
+                        ByteReader& body_out) {
+  if (d.payload.size() < kHeaderBytes) return false;
+  ByteReader header(d.payload.data(), kHeaderBytes);
+  info.sequence = header.u32();
+  info.acked = header.u32();
+  info.duplicate_or_old = info.sequence <= in_seq_ && in_seq_ != 0;
+  info.dropped_before = 0;
+  if (!info.duplicate_or_old) {
+    if (in_seq_ != 0 && info.sequence > in_seq_ + 1)
+      info.dropped_before = info.sequence - in_seq_ - 1;
+    drops_ += info.dropped_before;
+    in_seq_ = info.sequence;
+    if (info.acked > in_acked_) in_acked_ = info.acked;
+    ++accepted_;
+  } else {
+    ++dups_;
+  }
+  body_out = ByteReader(d.payload.data() + kHeaderBytes,
+                        d.payload.size() - kHeaderBytes);
+  return true;
+}
+
+}  // namespace qserv::net

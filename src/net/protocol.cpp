@@ -1,0 +1,311 @@
+#include "src/net/protocol.hpp"
+
+#include <map>
+#include <set>
+
+namespace qserv::net {
+
+namespace {
+constexpr size_t kMaxSnapshotEntities = 4096;
+constexpr size_t kMaxSnapshotEvents = 4096;
+}  // namespace
+
+std::vector<uint8_t> encode(const ConnectMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ClientMsgType::kConnect));
+  w.str(m.name);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const MoveCmd& m) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ClientMsgType::kMove));
+  w.u32(m.sequence);
+  w.i64(m.client_time_ns);
+  w.u32(m.baseline_frame);
+  w.u16(m.msec);
+  w.f32(m.yaw_deg);
+  w.f32(m.pitch_deg);
+  w.f32(m.forward);
+  w.f32(m.side);
+  w.f32(m.up);
+  w.u8(m.buttons);
+  return w.take();
+}
+
+std::vector<uint8_t> encode_disconnect() {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ClientMsgType::kDisconnect));
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const ConnectAck& m) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ServerMsgType::kConnectAck));
+  w.u32(m.player_id);
+  w.u32(m.server_frame);
+  w.u16(m.assigned_port);
+  w.vec3(m.spawn_origin);
+  return w.take();
+}
+
+void encode(const Snapshot& m, ByteWriter& w) {
+  w.u8(static_cast<uint8_t>(ServerMsgType::kSnapshot));
+  w.u32(m.server_frame);
+  w.u32(m.ack_sequence);
+  w.i64(m.client_time_echo_ns);
+  w.u16(m.assigned_port);
+  w.vec3(m.origin);
+  w.vec3(m.velocity);
+  w.u16(static_cast<uint16_t>(m.health));
+  w.u16(static_cast<uint16_t>(m.armor));
+  w.u16(static_cast<uint16_t>(m.frags));
+  w.u16(static_cast<uint16_t>(m.entities.size()));
+  for (const auto& e : m.entities) {
+    w.u32(e.id);
+    w.u8(e.type);
+    w.vec3(e.origin);
+    w.f32(e.yaw_deg);
+    w.u8(e.state);
+  }
+  w.u16(static_cast<uint16_t>(m.events.size()));
+  for (const auto& ev : m.events) {
+    w.u8(ev.kind);
+    w.u32(ev.a);
+    w.u32(ev.b);
+    w.vec3(ev.pos);
+  }
+}
+
+std::vector<uint8_t> encode(const Snapshot& m) {
+  ByteWriter w;
+  encode(m, w);
+  return w.take();
+}
+
+namespace {
+
+void encode_events(const std::vector<GameEvent>& events, ByteWriter& w) {
+  w.u16(static_cast<uint16_t>(events.size()));
+  for (const auto& ev : events) {
+    w.u8(ev.kind);
+    w.u32(ev.a);
+    w.u32(ev.b);
+    w.vec3(ev.pos);
+  }
+}
+
+bool decode_events(ByteReader& r, std::vector<GameEvent>& events) {
+  const uint16_t n = r.u16();
+  if (!r.ok() || n > kMaxSnapshotEvents) return false;
+  events.resize(n);
+  for (auto& ev : events) {
+    ev.kind = r.u8();
+    ev.a = r.u32();
+    ev.b = r.u32();
+    ev.pos = r.vec3();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_delta(const Snapshot& now,
+                                  const std::vector<EntityUpdate>& baseline,
+                                  uint32_t baseline_frame,
+                                  int* stats_encoded_out) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ServerMsgType::kDeltaSnapshot));
+  w.u32(now.server_frame);
+  w.u32(now.ack_sequence);
+  w.i64(now.client_time_echo_ns);
+  w.u16(now.assigned_port);
+  w.u32(baseline_frame);
+  // Private player state is small and always sent in full.
+  w.vec3(now.origin);
+  w.vec3(now.velocity);
+  w.u16(static_cast<uint16_t>(now.health));
+  w.u16(static_cast<uint16_t>(now.armor));
+  w.u16(static_cast<uint16_t>(now.frags));
+
+  // Index the baseline by id.
+  std::map<uint32_t, const EntityUpdate*> base;
+  for (const auto& e : baseline) base[e.id] = &e;
+
+  // Removals: baseline entities no longer visible.
+  std::vector<uint32_t> removed;
+  {
+    std::map<uint32_t, bool> present;
+    for (const auto& e : now.entities) present[e.id] = true;
+    for (const auto& e : baseline) {
+      if (!present.contains(e.id)) removed.push_back(e.id);
+    }
+  }
+  w.u16(static_cast<uint16_t>(removed.size()));
+  for (const uint32_t id : removed) w.u32(id);
+
+  // Changed/new entities with per-field masks.
+  int encoded = 0;
+  ByteWriter body;
+  for (const auto& e : now.entities) {
+    uint8_t mask = 0;
+    const auto it = base.find(e.id);
+    if (it == base.end()) {
+      mask = kDeltaAll;
+    } else {
+      const EntityUpdate& b = *it->second;
+      if (e.origin != b.origin) mask |= kDeltaOrigin;
+      if (e.yaw_deg != b.yaw_deg) mask |= kDeltaYaw;
+      if (e.state != b.state) mask |= kDeltaState;
+      if (e.type != b.type) mask |= kDeltaType;
+    }
+    if (mask == 0) continue;  // unchanged: costs nothing on the wire
+    ++encoded;
+    body.u32(e.id);
+    body.u8(mask);
+    if (mask & kDeltaOrigin) body.vec3(e.origin);
+    if (mask & kDeltaYaw) body.f32(e.yaw_deg);
+    if (mask & kDeltaState) body.u8(e.state);
+    if (mask & kDeltaType) body.u8(e.type);
+  }
+  w.u16(static_cast<uint16_t>(encoded));
+  w.bytes(body.data().data(), body.size());
+
+  encode_events(now.events, w);
+  if (stats_encoded_out != nullptr) *stats_encoded_out = encoded;
+  return w.take();
+}
+
+bool decode_delta(ByteReader& r, const BaselineLookup& baseline_lookup,
+                  Snapshot& out) {
+  out = Snapshot{};
+  out.server_frame = r.u32();
+  out.ack_sequence = r.u32();
+  out.client_time_echo_ns = r.i64();
+  out.assigned_port = r.u16();
+  out.baseline_frame = r.u32();
+  out.origin = r.vec3();
+  out.velocity = r.vec3();
+  out.health = static_cast<int16_t>(r.u16());
+  out.armor = static_cast<int16_t>(r.u16());
+  out.frags = static_cast<int16_t>(r.u16());
+  if (!r.ok()) return false;
+
+  const std::vector<EntityUpdate>* baseline_ptr =
+      baseline_lookup(out.baseline_frame);
+  if (baseline_ptr == nullptr) return false;  // baseline unknown: wait
+  const std::vector<EntityUpdate>& baseline = *baseline_ptr;
+
+  const uint16_t n_removed = r.u16();
+  if (!r.ok() || n_removed > kMaxSnapshotEntities) return false;
+  std::set<uint32_t> removed;
+  for (int i = 0; i < n_removed; ++i) removed.insert(r.u32());
+
+  // Start from the baseline, drop removals, then apply changes.
+  std::map<uint32_t, EntityUpdate> merged;
+  for (const auto& e : baseline) {
+    if (!removed.contains(e.id)) merged[e.id] = e;
+  }
+  const uint16_t n_changed = r.u16();
+  if (!r.ok() || n_changed > kMaxSnapshotEntities) return false;
+  for (int i = 0; i < n_changed; ++i) {
+    const uint32_t id = r.u32();
+    const uint8_t mask = r.u8();
+    if (!r.ok()) return false;
+    EntityUpdate& e = merged[id];
+    e.id = id;
+    if (mask & kDeltaOrigin) e.origin = r.vec3();
+    if (mask & kDeltaYaw) e.yaw_deg = r.f32();
+    if (mask & kDeltaState) e.state = r.u8();
+    if (mask & kDeltaType) e.type = r.u8();
+  }
+  out.entities.reserve(merged.size());
+  for (auto& [id, e] : merged) out.entities.push_back(e);
+
+  return decode_events(r, out.events) && r.ok();
+}
+
+bool decode_client_type(ByteReader& r, ClientMsgType& type) {
+  const uint8_t t = r.u8();
+  if (!r.ok()) return false;
+  if (t != static_cast<uint8_t>(ClientMsgType::kConnect) &&
+      t != static_cast<uint8_t>(ClientMsgType::kMove) &&
+      t != static_cast<uint8_t>(ClientMsgType::kDisconnect)) {
+    return false;
+  }
+  type = static_cast<ClientMsgType>(t);
+  return true;
+}
+
+bool decode(ByteReader& r, ConnectMsg& m) {
+  m.name = r.str();
+  return r.ok();
+}
+
+bool decode(ByteReader& r, MoveCmd& m) {
+  m.sequence = r.u32();
+  m.client_time_ns = r.i64();
+  m.baseline_frame = r.u32();
+  m.msec = r.u16();
+  m.yaw_deg = r.f32();
+  m.pitch_deg = r.f32();
+  m.forward = r.f32();
+  m.side = r.f32();
+  m.up = r.f32();
+  m.buttons = r.u8();
+  return r.ok();
+}
+
+bool decode_server_type(ByteReader& r, ServerMsgType& type) {
+  const uint8_t t = r.u8();
+  if (!r.ok()) return false;
+  if (t != static_cast<uint8_t>(ServerMsgType::kConnectAck) &&
+      t != static_cast<uint8_t>(ServerMsgType::kSnapshot) &&
+      t != static_cast<uint8_t>(ServerMsgType::kDeltaSnapshot)) {
+    return false;
+  }
+  type = static_cast<ServerMsgType>(t);
+  return true;
+}
+
+bool decode(ByteReader& r, ConnectAck& m) {
+  m.player_id = r.u32();
+  m.server_frame = r.u32();
+  m.assigned_port = r.u16();
+  m.spawn_origin = r.vec3();
+  return r.ok();
+}
+
+bool decode(ByteReader& r, Snapshot& m) {
+  m.server_frame = r.u32();
+  m.ack_sequence = r.u32();
+  m.client_time_echo_ns = r.i64();
+  m.assigned_port = r.u16();
+  m.origin = r.vec3();
+  m.velocity = r.vec3();
+  m.health = static_cast<int16_t>(r.u16());
+  m.armor = static_cast<int16_t>(r.u16());
+  m.frags = static_cast<int16_t>(r.u16());
+  const uint16_t n_ent = r.u16();
+  if (!r.ok() || n_ent > kMaxSnapshotEntities) return false;
+  m.entities.resize(n_ent);
+  for (auto& e : m.entities) {
+    e.id = r.u32();
+    e.type = r.u8();
+    e.origin = r.vec3();
+    e.yaw_deg = r.f32();
+    e.state = r.u8();
+  }
+  const uint16_t n_ev = r.u16();
+  if (!r.ok() || n_ev > kMaxSnapshotEvents) return false;
+  m.events.resize(n_ev);
+  for (auto& ev : m.events) {
+    ev.kind = r.u8();
+    ev.a = r.u32();
+    ev.b = r.u32();
+    ev.pos = r.vec3();
+  }
+  return r.ok();
+}
+
+}  // namespace qserv::net

@@ -1,0 +1,173 @@
+#include "src/net/virtual_udp.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace qserv::net {
+
+VirtualNetwork::VirtualNetwork(vt::Platform& platform, Config cfg)
+    : platform_(platform),
+      cfg_(cfg),
+      mu_(platform.make_mutex("vnet")),
+      rng_(cfg.seed) {
+  QSERV_CHECK(cfg.loss >= 0.0f && cfg.loss < 1.0f);
+  QSERV_CHECK(cfg.latency.ns >= 0 && cfg.jitter.ns >= 0);
+}
+
+VirtualNetwork::~VirtualNetwork() {
+  QSERV_CHECK_MSG(ports_.empty(), "sockets outliving their VirtualNetwork");
+}
+
+std::unique_ptr<Socket> VirtualNetwork::open(uint16_t port) {
+  vt::LockGuard g(*mu_);
+  QSERV_CHECK_MSG(!ports_.contains(port), "port already bound");
+  auto sock = std::unique_ptr<Socket>(new Socket(*this, port));
+  ports_[port] = sock.get();
+  return sock;
+}
+
+void VirtualNetwork::unregister(uint16_t port) {
+  vt::LockGuard g(*mu_);
+  ports_.erase(port);
+}
+
+bool VirtualNetwork::route(uint16_t src, uint16_t dst,
+                           std::vector<uint8_t> payload) {
+  Socket* target = nullptr;
+  Datagram d;
+  {
+    vt::LockGuard g(*mu_);
+    ++packets_sent_;
+    bytes_sent_ += payload.size();
+    if (cfg_.loss > 0.0f && rng_.chance(cfg_.loss)) {
+      ++packets_dropped_;
+      return false;
+    }
+    const auto it = ports_.find(dst);
+    if (it == ports_.end()) {
+      ++packets_dead_;
+      return false;
+    }
+    target = it->second;
+    vt::Duration delay = cfg_.latency;
+    if (cfg_.jitter.ns > 0) {
+      const float sampled = rng_.normalish(static_cast<float>(cfg_.latency.ns),
+                                           static_cast<float>(cfg_.jitter.ns));
+      delay.ns = std::max<int64_t>(0, static_cast<int64_t>(sampled));
+    }
+    d.src_port = src;
+    d.dst_port = dst;
+    d.payload = std::move(payload);
+    d.sent_at = platform_.now();
+    d.deliver_at = d.sent_at + delay;
+  }
+  target->deliver(std::move(d));
+  return true;
+}
+
+Socket::Socket(VirtualNetwork& net, uint16_t port)
+    : net_(net), port_(port), mu_(net.platform().make_mutex("socket")) {}
+
+Socket::~Socket() { net_.unregister(port_); }
+
+bool Socket::send(uint16_t dst, std::vector<uint8_t> payload) {
+  return net_.route(port_, dst, std::move(payload));
+}
+
+void Socket::deliver(Datagram d) {
+  Selector* to_notify = nullptr;
+  {
+    vt::LockGuard g(*mu_);
+    if (queue_.size() >= net_.cfg_.socket_buffer) {
+      // Receive buffer full: the datagram is dropped, as a kernel UDP
+      // socket would.
+      net_.packets_overflow_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    queue_.emplace(std::make_pair(d.deliver_at.ns, arrival_seq_++),
+                   std::move(d));
+    to_notify = selector_;
+  }
+  // Notify outside the socket lock: the selector's wait path locks
+  // selector-then-socket, so locking socket-then-selector here would
+  // deadlock on the real platform.
+  if (to_notify != nullptr) to_notify->notify();
+}
+
+bool Socket::try_recv(Datagram& out) {
+  vt::LockGuard g(*mu_);
+  if (queue_.empty()) return false;
+  const auto it = queue_.begin();
+  if (it->second.deliver_at > net_.platform().now()) return false;
+  out = std::move(it->second);
+  queue_.erase(it);
+  ++received_;
+  return true;
+}
+
+vt::TimePoint Socket::next_ready() const {
+  vt::LockGuard g(*mu_);
+  if (queue_.empty()) return vt::TimePoint::max();
+  return queue_.begin()->second.deliver_at;
+}
+
+bool Socket::has_ready() const {
+  return next_ready() <= net_.platform().now();
+}
+
+size_t Socket::queued() const {
+  vt::LockGuard g(*mu_);
+  return queue_.size();
+}
+
+Selector::Selector(vt::Platform& platform)
+    : platform_(platform),
+      mu_(platform.make_mutex("selector")),
+      cv_(platform.make_condvar()) {}
+
+Selector::~Selector() {
+  for (Socket* s : sockets_) {
+    vt::LockGuard g(*s->mu_);
+    s->selector_ = nullptr;
+  }
+}
+
+void Selector::add(Socket& s) {
+  vt::LockGuard g(*s.mu_);
+  QSERV_CHECK_MSG(s.selector_ == nullptr, "socket already has a selector");
+  s.selector_ = this;
+  sockets_.push_back(&s);
+}
+
+bool Selector::wait_until(vt::TimePoint deadline) {
+  vt::LockGuard g(*mu_);
+  for (;;) {
+    if (poked_) {
+      poked_ = false;
+      return false;
+    }
+    vt::TimePoint earliest = vt::TimePoint::max();
+    for (Socket* s : sockets_)
+      earliest = std::min(earliest, s->next_ready());
+    const vt::TimePoint now = platform_.now();
+    if (earliest <= now) return true;
+    if (deadline <= now) return false;
+    // Sleep until either new traffic arrives (signal) or the earlier of
+    // (queued-packet delivery time, caller deadline).
+    cv_->wait_until(*mu_, std::min(deadline, earliest));
+  }
+}
+
+void Selector::poke() {
+  vt::LockGuard g(*mu_);
+  poked_ = true;
+  cv_->broadcast();
+}
+
+void Selector::notify() {
+  vt::LockGuard g(*mu_);
+  cv_->broadcast();
+}
+
+}  // namespace qserv::net

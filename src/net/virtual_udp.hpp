@@ -1,0 +1,173 @@
+// Virtual UDP: an in-process datagram network with modelled latency,
+// jitter and loss, plus a select(2) emulation (`Selector`). The paper's
+// testbed put the server and the client machines on a dedicated 100 Mbit
+// Ethernet segment; this module substitutes for that segment.
+//
+// Delivery model: send() timestamps the datagram with
+// `deliver_at = now + latency + jitter` and inserts it into the
+// destination socket's queue, which is ordered by delivery time. A
+// datagram becomes visible to recv only once `now >= deliver_at` — so on
+// the simulated platform in-flight time is virtual, and on the real
+// platform it is wall-clock, with no extra threads or timers either way.
+//
+// Thread safety: sockets and selectors use platform mutexes, so the module
+// works identically under SimPlatform (where it is also deterministic:
+// jitter and loss draw from a seeded RNG) and RealPlatform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::net {
+
+struct Datagram {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  std::vector<uint8_t> payload;
+  vt::TimePoint sent_at{};
+  vt::TimePoint deliver_at{};
+};
+
+class Socket;
+class Selector;
+
+class VirtualNetwork {
+ public:
+  struct Config {
+    vt::Duration latency = vt::micros(500);  // one-way, LAN-like
+    vt::Duration jitter = vt::micros(100);   // stddev around latency
+    float loss = 0.0f;                       // drop probability per packet
+    // Per-socket receive queue capacity, like a kernel UDP buffer:
+    // datagrams arriving at a full socket are dropped. This is what
+    // bounds a saturated server's request backlog.
+    size_t socket_buffer = 128;
+    uint64_t seed = 1;
+  };
+
+  VirtualNetwork(vt::Platform& platform, Config cfg);
+  ~VirtualNetwork();
+
+  VirtualNetwork(const VirtualNetwork&) = delete;
+  VirtualNetwork& operator=(const VirtualNetwork&) = delete;
+
+  // Opens a socket bound to `port` (must be unused). Sockets must not
+  // outlive the network.
+  std::unique_ptr<Socket> open(uint16_t port);
+
+  vt::Platform& platform() { return platform_; }
+
+  // Global counters (racy reads are fine for reporting).
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t packets_overflowed() const { return packets_overflow_; }
+  uint64_t packets_to_closed_ports() const { return packets_dead_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class Socket;
+
+  // Routes one datagram; called by Socket::send with no locks held.
+  bool route(uint16_t src, uint16_t dst, std::vector<uint8_t> payload);
+  void unregister(uint16_t port);
+
+  vt::Platform& platform_;
+  Config cfg_;
+  std::unique_ptr<vt::Mutex> mu_;  // guards ports_ map, rng_, counters
+  std::map<uint16_t, Socket*> ports_;
+  Rng rng_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  std::atomic<uint64_t> packets_overflow_{0};
+  uint64_t packets_dead_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+class Socket {
+ public:
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Sends `payload` to `dst`. Returns false if the packet was dropped by
+  // the loss model or the destination port is closed (like UDP, the
+  // sender normally cannot tell; the return value exists for tests).
+  bool send(uint16_t dst, std::vector<uint8_t> payload);
+
+  // Non-blocking receive of the next ready datagram (deliver_at <= now).
+  bool try_recv(Datagram& out);
+
+  // Earliest delivery time among queued datagrams; TimePoint::max() if
+  // none. "Ready" means next_ready() <= now.
+  vt::TimePoint next_ready() const;
+  bool has_ready() const;
+
+  // Number of datagrams queued (ready or in flight).
+  size_t queued() const;
+
+  uint64_t received_count() const { return received_; }
+
+  // send() returning false means loss-model drop or closed port; receive
+  // buffer overflow at the destination is invisible to the sender (see
+  // VirtualNetwork::packets_overflowed()).
+
+ private:
+  friend class VirtualNetwork;
+  friend class Selector;
+
+  Socket(VirtualNetwork& net, uint16_t port);
+
+  void deliver(Datagram d);  // called by the network's route()
+
+  VirtualNetwork& net_;
+  uint16_t port_;
+  std::unique_ptr<vt::Mutex> mu_;
+  // Ordered by (deliver_at, arrival sequence) so jitter can reorder
+  // packets exactly as a real network would.
+  std::multimap<std::pair<int64_t, uint64_t>, Datagram> queue_;
+  uint64_t arrival_seq_ = 0;
+  uint64_t received_ = 0;
+  Selector* selector_ = nullptr;  // at most one watcher
+};
+
+// select(2) emulation over a fixed set of sockets. One selector per
+// waiting thread; a socket belongs to at most one selector.
+class Selector {
+ public:
+  explicit Selector(vt::Platform& platform);
+  ~Selector();
+  Selector(const Selector&) = delete;
+  Selector& operator=(const Selector&) = delete;
+
+  // Registers a socket; must happen before any wait.
+  void add(Socket& s);
+
+  // Blocks until any registered socket has a ready datagram or the
+  // deadline passes. Returns true if a datagram is ready. Also returns
+  // (false) when poke() is called, so shutdown can interrupt a wait.
+  bool wait_until(vt::TimePoint deadline);
+
+  // Wakes a blocked wait_until() immediately.
+  void poke();
+
+ private:
+  friend class Socket;
+
+  void notify();  // called by sockets on delivery
+
+  vt::Platform& platform_;
+  std::unique_ptr<vt::Mutex> mu_;
+  std::unique_ptr<vt::CondVar> cv_;
+  std::vector<Socket*> sockets_;
+  bool poked_ = false;
+};
+
+}  // namespace qserv::net

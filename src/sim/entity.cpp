@@ -1,0 +1,24 @@
+#include "src/sim/entity.hpp"
+
+namespace qserv::sim {
+
+const char* entity_type_name(EntityType t) {
+  switch (t) {
+    case EntityType::kNone: return "none";
+    case EntityType::kPlayer: return "player";
+    case EntityType::kItem: return "item";
+    case EntityType::kProjectile: return "projectile";
+    case EntityType::kTeleporter: return "teleporter";
+  }
+  return "?";
+}
+
+const char* weapon_name(Weapon w) {
+  switch (w) {
+    case Weapon::kBlaster: return "blaster";
+    case Weapon::kRailgun: return "railgun";
+  }
+  return "?";
+}
+
+}  // namespace qserv::sim

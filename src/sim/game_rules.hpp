@@ -1,0 +1,28 @@
+// Deathmatch rules: damage, armor absorption, frags, and respawn.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+// Applies `damage` to `victim` (armor absorbs 2/3 of what it can). If the
+// victim dies it is fragged (attacker scores, self-kills score -1), a
+// kFrag event is emitted, and the victim respawns immediately at a fresh
+// spawn point. Returns true if the victim died.
+bool apply_damage(World& world, Entity& victim, uint32_t attacker_id,
+                  int damage, NodeListLocks* locks, EventSink* events);
+
+// Scoreboard line used by examples and tests.
+struct ScoreEntry {
+  uint32_t id = 0;
+  std::string name;
+  int frags = 0;
+  uint32_t deaths = 0;
+};
+
+// All players sorted by frags (descending), then id.
+std::vector<ScoreEntry> scoreboard(const World& world);
+
+}  // namespace qserv::sim

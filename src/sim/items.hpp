@@ -1,0 +1,17 @@
+// Item pickup and respawn rules (Quake-style: picked-up items vanish and
+// respawn after a fixed delay).
+#pragma once
+
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+// True if the player would benefit from picking up `item` right now.
+bool pickup_useful(const Entity& player, const Entity& item);
+
+// Attempts the pickup. On success applies the item effect, marks the item
+// for respawn, and emits a kPickup event. Returns true if picked up.
+bool try_pickup(World& world, Entity& player, Entity& item, vt::TimePoint now,
+                EventSink* events);
+
+}  // namespace qserv::sim

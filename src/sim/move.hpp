@@ -1,0 +1,41 @@
+// Move command execution (§2.3 of the paper): player figure motion
+// (slide-move physics against world geometry and other players), touch
+// interactions (item pickup, teleporters), and the long-range actions the
+// move's buttons request.
+#pragma once
+
+#include "src/net/protocol.hpp"
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+// The short-range bounding box of a move: the player's bounds expanded by
+// the maximum distance a player can travel in a single move, plus a touch
+// margin. This is the region the move may affect (and the region the
+// conservative short-range lock covers).
+Aabb move_bounds(const Entity& player, const net::MoveCmd& cmd);
+
+// The lateral pad used by directional long-range locks.
+inline constexpr float kDirectionalLockPad = 64.0f;
+
+struct MoveStats {
+  int traces = 0;
+  int brushes_tested = 0;
+  int entities_scanned = 0;
+  int nodes_visited = 0;
+  int touches = 0;
+  bool teleported = false;
+  bool fired_hitscan = false;
+  bool threw_grenade = false;
+  bool hit_player = false;
+};
+
+// Executes one move command. The caller must hold the region locks
+// required by the active locking policy for move_bounds() (and for the
+// long-range region if cmd requests an attack/throw). The player is
+// relinked into the areanode tree afterwards.
+MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
+                       vt::TimePoint now, NodeListLocks* locks,
+                       EventSink* events);
+
+}  // namespace qserv::sim

@@ -1,0 +1,79 @@
+#include "src/sim/snapshot.hpp"
+
+#include "src/sim/combat.hpp"
+
+namespace qserv::sim {
+
+SnapshotStats build_snapshot(const World& world, const Entity& player,
+                             uint32_t server_frame, uint32_t ack_sequence,
+                             int64_t client_time_echo_ns,
+                             const std::vector<net::GameEvent>& events,
+                             net::Snapshot& out) {
+  SnapshotStats stats;
+  out = net::Snapshot{};
+  out.server_frame = server_frame;
+  out.ack_sequence = ack_sequence;
+  out.client_time_echo_ns = client_time_echo_ns;
+  out.origin = player.origin;
+  out.velocity = player.velocity;
+  out.health = static_cast<int16_t>(player.health);
+  out.armor = static_cast<int16_t>(player.armor);
+  out.frags = static_cast<int16_t>(player.frags);
+
+  const Vec3 eye = eye_pos(player);
+  const spatial::PvsData& pvs = world.map().pvs;
+  const bool use_pvs = !pvs.empty();
+  const int my_cluster = use_pvs ? player.cluster : -1;
+  world.for_each_entity([&](const Entity& e) {
+    if (e.id == player.id || e.type == EntityType::kNone) return;
+    ++stats.interest_checks;
+    const float d2 = dist_sq(e.origin, player.origin);
+    if (d2 > kInterestRange * kInterestRange) return;
+
+    if (e.is_player() && d2 > kAlwaysAudibleRange * kAlwaysAudibleRange) {
+      if (use_pvs) {
+        // Quake-style: a precomputed PVS lookup instead of a ray trace.
+        // Maps with higher visibility pass more entities and so cost
+        // more reply time.
+        world.charge(world.costs().per_pvs_check);
+        if (!pvs.can_see(my_cluster, e.cluster)) return;
+      } else {
+        // No PVS on this map: fall back to a line-of-sight trace.
+        const auto tr = world.collision().trace_line(eye, eye_pos(e));
+        ++stats.los_traces;
+        stats.los_brushes += tr.brushes_tested;
+        world.charge(world.costs().per_los_trace_brush * tr.brushes_tested);
+        if (tr.hit()) return;
+      }
+    }
+
+    net::EntityUpdate u;
+    u.id = e.id;
+    u.type = static_cast<uint8_t>(e.type);
+    u.origin = e.origin;
+    u.yaw_deg = e.yaw_deg;
+    switch (e.type) {
+      case EntityType::kItem:
+        u.state = e.available ? 1 : 0;
+        break;
+      case EntityType::kPlayer:
+        u.state = e.health > 0 ? 1 : 0;
+        break;
+      default:
+        u.state = 0;
+        break;
+    }
+    out.entities.push_back(u);
+    ++stats.visible_entities;
+  });
+
+  out.events = events;
+
+  world.charge(world.costs().per_interest_check * stats.interest_checks +
+               world.costs().per_visible_entity * stats.visible_entities +
+               world.costs().per_event *
+                   static_cast<int64_t>(events.size()));
+  return stats;
+}
+
+}  // namespace qserv::sim

@@ -1,0 +1,35 @@
+// Reply-phase snapshot construction: interest management ("the server
+// determines which entities are of interest to each client and sends out
+// information only for those") and serialization into the wire snapshot.
+// Read-only with respect to global server state, as §3.3 requires of the
+// reply phase.
+#pragma once
+
+#include "src/net/protocol.hpp"
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+// An entity is of interest if it is within this range of the client...
+inline constexpr float kInterestRange = 800.0f;
+// ...and, for players, also line-of-sight visible (or close enough that
+// sound would carry).
+inline constexpr float kAlwaysAudibleRange = 250.0f;
+
+struct SnapshotStats {
+  int interest_checks = 0;
+  int los_traces = 0;
+  int los_brushes = 0;
+  int visible_entities = 0;
+};
+
+// Fills `out` (entities + player private state) for `player`. `events` is
+// the frame's global event list, broadcast to everyone. Charges reply
+// costs to the attached platform.
+SnapshotStats build_snapshot(const World& world, const Entity& player,
+                             uint32_t server_frame, uint32_t ack_sequence,
+                             int64_t client_time_echo_ns,
+                             const std::vector<net::GameEvent>& events,
+                             net::Snapshot& out);
+
+}  // namespace qserv::sim

@@ -1,0 +1,279 @@
+#include "src/sim/world.hpp"
+
+#include <algorithm>
+
+#include "src/sim/combat.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::sim {
+
+net::GameEvent make_event(EventKind kind, uint32_t a, uint32_t b,
+                          const Vec3& pos) {
+  net::GameEvent e;
+  e.kind = static_cast<uint8_t>(kind);
+  e.a = a;
+  e.b = b;
+  e.pos = pos;
+  return e;
+}
+
+World::World(const spatial::GameMap& map, Config cfg, vt::Platform* platform,
+             CostModel costs)
+    : map_(map),
+      collision_(map.brushes),
+      tree_(map.bounds, cfg.areanode_depth),
+      platform_(platform),
+      costs_(costs),
+      rng_(cfg.seed) {
+  if (platform_ != nullptr) projectile_mu_ = platform_->make_mutex("projq");
+
+  // Materialize static entities from the map: items and teleporter pads.
+  for (const auto& it : map_.items) {
+    Entity& e = spawn_entity(EntityType::kItem);
+    e.origin = it.origin;
+    e.mins = {-12, -12, -8};
+    e.maxs = {12, 12, 24};
+    e.item = it.type;
+    e.available = true;
+    link(e);
+  }
+  for (const auto& t : map_.teleporters) {
+    Entity& e = spawn_entity(EntityType::kTeleporter);
+    e.origin = t.origin;
+    e.mins = {-24, -24, -24};
+    e.maxs = {24, 24, 8};
+    e.teleport_dest = t.destination;
+    link(e);
+  }
+}
+
+Entity& World::spawn_entity(EntityType type) {
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(entities_.size());
+    entities_.emplace_back();
+  }
+  Entity& e = entities_[id];
+  e = Entity{};
+  e.id = id;
+  e.type = type;
+  e.active = true;
+  ++active_count_;
+  return e;
+}
+
+void World::remove_entity(uint32_t id, NodeListLocks* locks) {
+  Entity* e = get(id);
+  QSERV_CHECK_MSG(e != nullptr, "removing missing entity");
+  if (e->areanode >= 0) unlink(*e, locks);
+  e->active = false;
+  e->type = EntityType::kNone;
+  free_ids_.push_back(id);
+  --active_count_;
+}
+
+Entity* World::get(uint32_t id) {
+  if (id >= entities_.size() || !entities_[id].active) return nullptr;
+  return &entities_[id];
+}
+
+const Entity* World::get(uint32_t id) const {
+  if (id >= entities_.size() || !entities_[id].active) return nullptr;
+  return &entities_[id];
+}
+
+void World::for_each_entity(const std::function<void(Entity&)>& fn) {
+  for (auto& e : entities_) {
+    if (e.active) fn(e);
+  }
+}
+
+void World::for_each_entity(
+    const std::function<void(const Entity&)>& fn) const {
+  for (const auto& e : entities_) {
+    if (e.active) fn(e);
+  }
+}
+
+void World::link(Entity& e, NodeListLocks* locks) {
+  QSERV_CHECK_MSG(e.areanode < 0, "linking an already-linked entity");
+  const int node = tree_.link_node_for(e.bounds());
+  if (locks != nullptr) locks->lock_list(node);
+  tree_.link(e.id, e.bounds());
+  if (locks != nullptr) locks->unlock_list(node);
+  e.areanode = node;
+  // Track the PVS cluster alongside the areanode link (reply-phase
+  // interest checks read it instead of ray tracing).
+  if (!map_.pvs.empty()) e.cluster = map_.pvs.cluster_of(e.origin);
+}
+
+void World::unlink(Entity& e, NodeListLocks* locks) {
+  QSERV_CHECK_MSG(e.areanode >= 0, "unlinking an unlinked entity");
+  if (locks != nullptr) locks->lock_list(e.areanode);
+  tree_.unlink(e.id, e.areanode);
+  if (locks != nullptr) locks->unlock_list(e.areanode);
+  e.areanode = -1;
+}
+
+void World::relink(Entity& e, NodeListLocks* locks) {
+  if (e.areanode >= 0) unlink(e, locks);
+  link(e, locks);
+}
+
+void World::gather(const Aabb& box, std::vector<uint32_t>& out,
+                   NodeListLocks* locks, GatherStats* stats) const {
+  GatherStats local;
+  tree_.traverse(box, [&](int node_index) {
+    ++local.nodes_visited;
+    if (locks != nullptr) locks->lock_list(node_index);
+    const auto& objects = tree_.node(node_index).objects;
+    int scanned = 0;
+    for (const uint32_t id : objects) {
+      ++scanned;
+      const Entity& e = entities_[id];
+      if (e.active && e.bounds().intersects(box)) out.push_back(id);
+    }
+    // Scan cost is charged while the list lock is held: this is exactly
+    // the paper's parent-areanode lock hold time.
+    charge(costs_.per_node_visit + costs_.per_entity_scan * scanned);
+    if (locks != nullptr) locks->unlock_list(node_index);
+    local.entities_scanned += scanned;
+  });
+  if (stats != nullptr) {
+    stats->nodes_visited += local.nodes_visited;
+    stats->entities_scanned += local.entities_scanned;
+  }
+}
+
+spatial::SpawnPoint World::pick_spawn_point() {
+  QSERV_CHECK_MSG(!map_.spawns.empty(), "map has no spawn points");
+  // Try a few random spawn points and take the first not blocked by a
+  // player; fall back to a random one (telefrag-free: we allow overlap).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& sp =
+        map_.spawns[rng_.below(static_cast<uint64_t>(map_.spawns.size()))];
+    std::vector<uint32_t> nearby;
+    gather(Aabb::at(sp.origin, kPlayerMins, kPlayerMaxs), nearby);
+    bool blocked = false;
+    for (const uint32_t id : nearby) blocked |= entities_[id].is_player();
+    if (!blocked) return sp;
+  }
+  return map_.spawns[rng_.below(static_cast<uint64_t>(map_.spawns.size()))];
+}
+
+Entity& World::spawn_player(const std::string& name, NodeListLocks* locks) {
+  Entity& e = spawn_entity(EntityType::kPlayer);
+  const auto sp = pick_spawn_point();
+  e.name = name;
+  e.origin = sp.origin;
+  e.yaw_deg = sp.yaw_deg;
+  e.mins = kPlayerMins;
+  e.maxs = kPlayerMaxs;
+  e.solid = true;
+  e.health = kSpawnHealth;
+  e.armor = 0;
+  e.grenades = kStartGrenades;
+  e.weapon = Weapon::kBlaster;
+  link(e, locks);
+  return e;
+}
+
+void World::respawn_player(Entity& player, NodeListLocks* locks,
+                           EventSink* events) {
+  const auto sp = pick_spawn_point();
+  player.origin = sp.origin;
+  player.yaw_deg = sp.yaw_deg;
+  player.velocity = Vec3{};
+  player.health = kSpawnHealth;
+  player.armor = 0;
+  player.grenades = kStartGrenades;
+  player.weapon = Weapon::kBlaster;
+  player.on_ground = false;
+  relink(player, locks);
+  if (events != nullptr)
+    events->emit(make_event(EventKind::kSpawn, player.id, 0, player.origin));
+}
+
+void World::queue_projectile(const ProjectileSpec& spec) {
+  if (projectile_mu_ != nullptr) {
+    vt::LockGuard g(*projectile_mu_);
+    pending_projectiles_.push_back(spec);
+  } else {
+    pending_projectiles_.push_back(spec);
+  }
+}
+
+size_t World::pending_projectiles() const { return pending_projectiles_.size(); }
+
+void World::world_phase(vt::TimePoint now, vt::Duration dt,
+                        EventSink& events) {
+  charge(costs_.world_base);
+
+  // Materialize projectiles thrown during the previous request phase.
+  std::vector<ProjectileSpec> specs;
+  if (projectile_mu_ != nullptr) {
+    vt::LockGuard g(*projectile_mu_);
+    specs.swap(pending_projectiles_);
+  } else {
+    specs.swap(pending_projectiles_);
+  }
+  for (const auto& spec : specs) {
+    Entity& e = spawn_entity(EntityType::kProjectile);
+    e.origin = spec.origin;
+    e.dir = spec.dir;
+    e.velocity = spec.dir * kGrenadeSpeed;
+    e.mins = {-4, -4, -4};
+    e.maxs = {4, 4, 4};
+    e.owner = spec.owner;
+    e.expire_at = spec.expire_at;
+    link(e);
+  }
+
+  // Step live projectiles; collect ids first since explosion mutates
+  // storage.
+  std::vector<uint32_t> projectiles;
+  for (const auto& e : entities_) {
+    if (e.active && e.type == EntityType::kProjectile) projectiles.push_back(e.id);
+  }
+  int steps = 0;
+  for (const uint32_t id : projectiles) {
+    Entity& e = entities_[id];
+    ++steps;
+    const Vec3 target = e.origin + e.velocity * static_cast<float>(dt.seconds());
+    const auto tr = collision_.trace_box(e.origin, target, e.mins, e.maxs);
+    charge(costs_.per_brush_trace * tr.brushes_tested);
+    e.origin = tr.endpos;
+    // Direct hits on players.
+    std::vector<uint32_t> hits;
+    gather(e.bounds().expanded(8.0f), hits);
+    bool direct = false;
+    for (const uint32_t hid : hits) {
+      if (entities_[hid].is_player() && entities_[hid].health > 0 &&
+          hid != e.owner) {
+        direct = true;
+        break;
+      }
+    }
+    if (tr.hit() || direct || now >= e.expire_at) {
+      explode_at(*this, e.owner, e.origin, nullptr, &events);
+      remove_entity(id);
+    } else {
+      relink(e);
+    }
+  }
+  charge(costs_.per_projectile_step * steps);
+
+  // Item respawns.
+  int item_checks = 0;
+  for (auto& e : entities_) {
+    if (!e.active || e.type != EntityType::kItem) continue;
+    ++item_checks;
+    if (!e.available && now >= e.respawn_at) e.available = true;
+  }
+  charge(costs_.per_item_check * item_checks);
+}
+
+}  // namespace qserv::sim

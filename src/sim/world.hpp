@@ -1,0 +1,157 @@
+// The game world: entity storage, areanode linkage, and the world-physics
+// phase. This is the shared mutable state the paper's locking protocols
+// protect.
+//
+// Concurrency contract (matching the parallel server design):
+//  * entity state is mutated during request processing only under the
+//    region locks covering the entity's location;
+//  * areanode object lists are mutated/scanned under per-node list locks
+//    (the paper's "parent areanode" locks), passed in as a NodeListLocks;
+//    a null NodeListLocks means the caller is single-threaded (sequential
+//    server, world phase, setup);
+//  * entity *creation/destruction* happens only in single-threaded phases;
+//    request processing defers projectile spawns through the thread-safe
+//    queue_projectile(), and the world phase materializes them — exactly
+//    the paper's "type 1" objects whose simulation completes during world
+//    physics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.hpp"
+#include "src/sim/cost_model.hpp"
+#include "src/sim/entity.hpp"
+#include "src/spatial/areanode_tree.hpp"
+#include "src/spatial/collision.hpp"
+#include "src/spatial/map.hpp"
+#include "src/util/rng.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::sim {
+
+// Per-node object-list locks, implemented by core/lock_manager in the
+// parallel server. lock/unlock pairs must be short (list access only).
+class NodeListLocks {
+ public:
+  virtual ~NodeListLocks() = default;
+  virtual void lock_list(int node_index) = 0;
+  virtual void unlock_list(int node_index) = 0;
+};
+
+// Sink for global game events (the global state buffer in the server).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const net::GameEvent& e) = 0;
+};
+
+net::GameEvent make_event(EventKind kind, uint32_t a, uint32_t b,
+                          const Vec3& pos);
+
+struct GatherStats {
+  int nodes_visited = 0;
+  int entities_scanned = 0;
+};
+
+class World {
+ public:
+  struct Config {
+    int areanode_depth = 4;  // 31 nodes / 16 leaves, the paper's default
+    uint64_t seed = 1;
+  };
+
+  // `platform` may be null (pure-logic tests): no compute is charged and
+  // internal mutexes are omitted.
+  World(const spatial::GameMap& map, Config cfg,
+        vt::Platform* platform = nullptr, CostModel costs = CostModel{});
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // Pre-sizes entity storage so spawns never reallocate the entity
+  // vector (required before running with concurrent readers on the real
+  // platform).
+  void reserve_entities(size_t n) { entities_.reserve(n); }
+
+  // --- entity management (single-threaded phases only) ---
+  Entity& spawn_entity(EntityType type);
+  void remove_entity(uint32_t id, NodeListLocks* locks = nullptr);
+  Entity* get(uint32_t id);
+  const Entity* get(uint32_t id) const;
+  size_t active_entities() const { return active_count_; }
+
+  // Iterates active entities in id order.
+  void for_each_entity(const std::function<void(Entity&)>& fn);
+  void for_each_entity(const std::function<void(const Entity&)>& fn) const;
+
+  // --- areanode linkage ---
+  void link(Entity& e, NodeListLocks* locks = nullptr);
+  void unlink(Entity& e, NodeListLocks* locks = nullptr);
+  void relink(Entity& e, NodeListLocks* locks = nullptr);
+
+  // Appends ids of active entities whose bounds intersect `box`. Scans
+  // node object lists under `locks` (if provided) and charges traversal
+  // costs.
+  void gather(const Aabb& box, std::vector<uint32_t>& out,
+              NodeListLocks* locks = nullptr,
+              GatherStats* stats = nullptr) const;
+
+  // --- players ---
+  Entity& spawn_player(const std::string& name,
+                       NodeListLocks* locks = nullptr);
+  // Moves a (dead) player to a fresh spawn point, restores stats, relinks.
+  void respawn_player(Entity& player, NodeListLocks* locks,
+                      EventSink* events);
+  // A spawn point currently clear of other players.
+  spatial::SpawnPoint pick_spawn_point();
+
+  // --- projectiles ---
+  struct ProjectileSpec {
+    uint32_t owner = 0;
+    Vec3 origin;
+    Vec3 dir;  // unit
+    vt::TimePoint expire_at{};
+  };
+  // Thread-safe; callable from request processing.
+  void queue_projectile(const ProjectileSpec& spec);
+  size_t pending_projectiles() const;
+
+  // --- world physics phase (single-threaded) ---
+  void world_phase(vt::TimePoint now, vt::Duration dt, EventSink& events);
+
+  // --- accessors ---
+  const spatial::GameMap& map() const { return map_; }
+  const spatial::CollisionWorld& collision() const { return collision_; }
+  const spatial::AreanodeTree& tree() const { return tree_; }
+  spatial::AreanodeTree& tree() { return tree_; }
+  const CostModel& costs() const { return costs_; }
+  Rng& rng() { return rng_; }
+
+  // Charges virtual CPU time if a platform is attached.
+  void charge(vt::Duration d) const {
+    if (platform_ != nullptr && d.ns > 0) platform_->compute(d);
+  }
+  vt::TimePoint now_or_zero() const {
+    return platform_ != nullptr ? platform_->now() : vt::TimePoint{};
+  }
+
+ private:
+  spatial::GameMap map_;
+  spatial::CollisionWorld collision_;
+  spatial::AreanodeTree tree_;
+  vt::Platform* platform_;
+  CostModel costs_;
+  Rng rng_;
+
+  std::vector<Entity> entities_;
+  std::vector<uint32_t> free_ids_;
+  size_t active_count_ = 0;
+
+  std::unique_ptr<vt::Mutex> projectile_mu_;  // null without a platform
+  std::vector<ProjectileSpec> pending_projectiles_;
+};
+
+}  // namespace qserv::sim

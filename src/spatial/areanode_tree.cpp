@@ -1,0 +1,101 @@
+#include "src/spatial/areanode_tree.hpp"
+
+#include <algorithm>
+
+namespace qserv::spatial {
+
+AreanodeTree::AreanodeTree(const Aabb& world_bounds, int depth)
+    : depth_(depth) {
+  QSERV_CHECK(world_bounds.valid());
+  QSERV_CHECK(depth >= 0 && depth <= 12);
+  leaf_count_ = 1 << depth;
+  nodes_.resize((2u << depth) - 1u);
+  build(0, -1, 0, world_bounds);
+}
+
+void AreanodeTree::build(int index, int parent, int depth,
+                         const Aabb& bounds) {
+  AreaNode& n = nodes_[static_cast<size_t>(index)];
+  n.index = index;
+  n.parent = parent;
+  n.depth = depth;
+  n.bounds = bounds;
+  if (depth == depth_) {
+    n.axis = -1;
+    return;
+  }
+  // Split the node's longer horizontal axis (as Quake's SV_CreateAreaNode
+  // does); for square-ish worlds this alternates between x and y at each
+  // depth, exactly as the paper describes. Splits are always vertical
+  // planes (the tree is 2-D).
+  const Vec3 size = bounds.size();
+  n.axis = size.x >= size.y ? 0 : 1;
+  n.dist = (bounds.mins[n.axis] + bounds.maxs[n.axis]) * 0.5f;
+  n.child_lo = 2 * index + 1;
+  n.child_hi = 2 * index + 2;
+  Aabb lo = bounds, hi = bounds;
+  lo.maxs[n.axis] = n.dist;
+  hi.mins[n.axis] = n.dist;
+  build(n.child_lo, index, depth + 1, lo);
+  build(n.child_hi, index, depth + 1, hi);
+}
+
+int AreanodeTree::link_node_for(const Aabb& box) const {
+  int index = 0;
+  for (;;) {
+    const AreaNode& n = nodes_[static_cast<size_t>(index)];
+    if (n.axis < 0) return index;
+    if (box.mins[n.axis] > n.dist) {
+      index = n.child_hi;
+    } else if (box.maxs[n.axis] < n.dist) {
+      index = n.child_lo;
+    } else {
+      return index;  // crosses (or touches) the division plane
+    }
+  }
+}
+
+int AreanodeTree::link(uint32_t id, const Aabb& box) {
+  const int index = link_node_for(box);
+  nodes_[static_cast<size_t>(index)].objects.push_back(id);
+  return index;
+}
+
+void AreanodeTree::unlink(uint32_t id, int node_index) {
+  auto& objs = nodes_[static_cast<size_t>(node_index)].objects;
+  const auto it = std::find(objs.begin(), objs.end(), id);
+  QSERV_CHECK_MSG(it != objs.end(), "unlinking entity not linked to node");
+  objs.erase(it);  // order-preserving: keeps traversal deterministic
+}
+
+void AreanodeTree::leaves_for(const Aabb& box, std::vector<int>& out) const {
+  // Iterative walk in index order; indices come out ascending because
+  // children are visited lo-then-hi and the tree is heap-ordered... which
+  // holds within a level but not across levels, so sort to the canonical
+  // order explicitly. Leaf lists are tiny (<= 64).
+  int stack[64];
+  int top = 0;
+  stack[top++] = 0;
+  const size_t first = out.size();
+  while (top > 0) {
+    const AreaNode& n = nodes_[static_cast<size_t>(stack[--top])];
+    if (n.axis < 0) {
+      out.push_back(n.index);
+      continue;
+    }
+    // Use closed-interval overlap so a box touching the plane locks both
+    // sides — required for correctness: entities exactly on the plane are
+    // reachable from either side.
+    if (box.maxs[n.axis] >= n.dist) stack[top++] = n.child_hi;
+    if (box.mins[n.axis] <= n.dist) stack[top++] = n.child_lo;
+  }
+  std::sort(out.begin() + static_cast<long>(first), out.end());
+}
+
+size_t AreanodeTree::total_linked() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node.objects.size();
+  return n;
+}
+
+}  // namespace qserv::spatial

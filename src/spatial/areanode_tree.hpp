@@ -1,0 +1,106 @@
+// The Quake areanode tree (§2.2 of the paper), reproduced faithfully:
+//
+//  * the world volume is split recursively in half by vertical planes,
+//    alternating between the x and y axes, to a configurable depth
+//    (default 4 → 31 nodes, 16 leaves, exactly the server's default);
+//  * the structure is 2-D: every node spans the full world height;
+//  * an entity is linked to the deepest node whose volume fully contains
+//    its bounding box — entities crossing a division plane therefore link
+//    to an interior ("parent") node, all others to a leaf;
+//  * each node carries the list of entities linked to it.
+//
+// The tree itself is a passive data structure; region locks over its
+// nodes live in core/lock_manager. Node indices are heap-ordered
+// (children of i are 2i+1 / 2i+2), which doubles as the canonical lock
+// acquisition order that makes leaf locking deadlock-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/aabb.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::spatial {
+
+struct AreaNode {
+  int index = 0;
+  int parent = -1;
+  int depth = 0;
+  int axis = -1;      // split axis (0=x, 1=y); -1 for leaves
+  float dist = 0.0f;  // split plane position on `axis`
+  int child_lo = -1;  // side with coordinate < dist
+  int child_hi = -1;
+  Aabb bounds;
+  // Entities linked to this node (ids are opaque to the tree). Order is
+  // insertion order; unlink preserves it, keeping runs deterministic.
+  std::vector<uint32_t> objects;
+};
+
+class AreanodeTree {
+ public:
+  // `depth` is the leaf depth: node count = 2^(depth+1) - 1. The paper
+  // sweeps total node counts {3, 7, 15, 31, 63} = depths {1..5}.
+  AreanodeTree(const Aabb& world_bounds, int depth);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int leaf_count() const { return leaf_count_; }
+  int depth() const { return depth_; }
+  const Aabb& world_bounds() const { return nodes_[0].bounds; }
+
+  const AreaNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  bool is_leaf(int i) const { return nodes_[static_cast<size_t>(i)].axis < 0; }
+  // Leaves occupy the tail of the index space; this maps a node index to
+  // a dense leaf ordinal in [0, leaf_count).
+  int leaf_ordinal(int node_index) const {
+    QSERV_DCHECK(is_leaf(node_index));
+    return node_index - (node_count() - leaf_count());
+  }
+
+  // The node a box should be linked to: the deepest node whose volume
+  // fully contains the box (walk down while the box is strictly on one
+  // side of the split plane).
+  int link_node_for(const Aabb& box) const;
+
+  // Links entity `id` with bounds `box`; returns the node linked to.
+  int link(uint32_t id, const Aabb& box);
+  // Unlinks entity `id` from `node_index` (must be linked there).
+  void unlink(uint32_t id, int node_index);
+
+  // Appends the indices of all leaves whose volume intersects `box`, in
+  // canonical (ascending index) order.
+  void leaves_for(const Aabb& box, std::vector<int>& out) const;
+
+  // SV_AreaEdicts-style traversal: visits every node whose volume
+  // intersects `box`, root first, calling visit(node_index). The visitor
+  // scans that node's object list (under the parent lock, in the parallel
+  // server).
+  template <typename Fn>
+  void traverse(const Aabb& box, Fn&& visit) const {
+    traverse_from(0, box, visit);
+  }
+
+  // Total entities currently linked anywhere (O(nodes), for tests).
+  size_t total_linked() const;
+
+ private:
+  void build(int index, int parent, int depth, const Aabb& bounds);
+
+  template <typename Fn>
+  void traverse_from(int index, const Aabb& box, Fn& visit) const {
+    const AreaNode& n = nodes_[static_cast<size_t>(index)];
+    visit(index);
+    if (n.axis < 0) return;
+    // Closed-interval tests, consistent with leaves_for(): a box touching
+    // the plane descends into both children, so the set of leaves visited
+    // is exactly the set of leaves locked for the same box.
+    if (box.mins[n.axis] <= n.dist) traverse_from(n.child_lo, box, visit);
+    if (box.maxs[n.axis] >= n.dist) traverse_from(n.child_hi, box, visit);
+  }
+
+  int depth_ = 0;
+  int leaf_count_ = 0;
+  std::vector<AreaNode> nodes_;
+};
+
+}  // namespace qserv::spatial

@@ -1,0 +1,94 @@
+// Brush-based collision world. Quake maps are sets of convex solid
+// brushes compiled into a BSP; our procedurally generated maps are built
+// from axis-aligned brushes, accelerated by a kd-tree over brush bounds.
+// The queries the game needs are:
+//
+//  * point-solid tests,
+//  * swept-AABB traces (Quake's SV_Move / trace_t): move a box from
+//    `start` to `end`, returning the first hit fraction, the clipped end
+//    position and the hit plane normal.
+//
+// Traces report how many brushes they tested, which the cost model uses
+// to charge virtual CPU time for collision work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/aabb.hpp"
+#include "src/util/vec.hpp"
+
+namespace qserv::spatial {
+
+struct Brush {
+  Aabb bounds;
+};
+
+struct TraceResult {
+  float fraction = 1.0f;  // how far the move got, 0..1
+  Vec3 endpos;            // final (clipped) position of the box origin
+  Vec3 normal;            // normal of the plane hit (if fraction < 1)
+  bool start_solid = false;
+  int brushes_tested = 0;
+
+  bool hit() const { return fraction < 1.0f || start_solid; }
+};
+
+class CollisionWorld {
+ public:
+  CollisionWorld() = default;
+  explicit CollisionWorld(std::vector<Brush> brushes);
+
+  // Replaces the geometry (rebuilds the kd-tree).
+  void rebuild(std::vector<Brush> brushes);
+
+  size_t brush_count() const { return brushes_.size(); }
+  const std::vector<Brush>& brushes() const { return brushes_; }
+
+  bool point_solid(const Vec3& p) const;
+
+  // True if a box placed with its origin at `origin` (carrying local
+  // bounds mins/maxs) intersects any solid brush.
+  bool box_solid(const Vec3& origin, const Vec3& mins, const Vec3& maxs) const;
+
+  // Sweeps a box with local bounds [mins, maxs] from `start` to `end`.
+  TraceResult trace_box(const Vec3& start, const Vec3& end, const Vec3& mins,
+                        const Vec3& maxs) const;
+
+  // Zero-extent ray trace (line of sight, hitscan weapons).
+  TraceResult trace_line(const Vec3& start, const Vec3& end) const {
+    return trace_box(start, end, Vec3{}, Vec3{});
+  }
+
+  // Appends indices of brushes whose bounds intersect `box`.
+  void query(const Aabb& box, std::vector<uint32_t>& out) const;
+
+ private:
+  struct KdNode {
+    Aabb bounds;
+    int axis = -1;  // -1 = leaf
+    float dist = 0.0f;
+    int child_lo = -1;
+    int child_hi = -1;
+    std::vector<uint32_t> brush_ids;  // leaves only
+  };
+
+  int build_node(std::vector<uint32_t> ids, const Aabb& bounds, int depth);
+  void query_node(int node, const Aabb& box, std::vector<uint32_t>& out) const;
+
+  std::vector<Brush> brushes_;
+  std::vector<KdNode> nodes_;
+};
+
+// Distance traces back off from hit surfaces, as in Quake (DIST_EPSILON),
+// so a clipped move never leaves the box touching/inside the surface.
+inline constexpr float kTraceEpsilon = 0.03125f;
+
+// Intersects the segment start -> start+delta with `box`. Returns the
+// entry fraction in [0, 1], or a negative value on a miss. A start point
+// already inside the box returns 0. `normal_out`, if non-null, receives
+// the entry face normal.
+float ray_vs_aabb(const Vec3& start, const Vec3& delta, const Aabb& box,
+                  Vec3* normal_out = nullptr);
+
+}  // namespace qserv::spatial

@@ -1,0 +1,231 @@
+#include "src/spatial/map_gen.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace qserv::spatial {
+
+namespace {
+
+// Clearance used when sampling spawn/item positions: a standing player
+// box (matches sim::kPlayerMins/Maxs; duplicated here so spatial/ stays
+// independent of sim/).
+constexpr Vec3 kClearMins{-16.0f, -16.0f, -24.0f};
+constexpr Vec3 kClearMaxs{16.0f, 16.0f, 32.0f};
+constexpr float kEyeHeight = 24.0f;  // origin sits this far above the floor
+
+Brush slab(float x0, float y0, float z0, float x1, float y1, float z1) {
+  return Brush{Aabb{{x0, y0, z0}, {x1, y1, z1}}};
+}
+
+}  // namespace
+
+GameMap generate_map(const MapGenParams& p, const std::string& name) {
+  QSERV_CHECK(p.rooms_x >= 1 && p.rooms_y >= 1);
+  QSERV_CHECK(p.door_width < p.room_size);
+  Rng rng(p.seed);
+
+  GameMap map;
+  map.name = name;
+
+  const float wall = p.wall_thickness;
+  const float pitch = p.room_size + wall;
+  const float width = static_cast<float>(p.rooms_x) * pitch + wall;
+  const float depth = static_cast<float>(p.rooms_y) * pitch + wall;
+  const float h = p.ceiling_height;
+  // Centered on the origin so areanode splits fall between rooms.
+  const float x_min = -width * 0.5f, y_min = -depth * 0.5f;
+  const float x_max = width * 0.5f, y_max = depth * 0.5f;
+  map.bounds = Aabb{{x_min, y_min, -16.0f}, {x_max, y_max, h + 16.0f}};
+
+  auto room_x0 = [&](int i) { return x_min + wall + static_cast<float>(i) * pitch; };
+  auto room_y0 = [&](int j) { return y_min + wall + static_cast<float>(j) * pitch; };
+
+  // Floor and ceiling.
+  map.brushes.push_back(slab(x_min, y_min, -16.0f, x_max, y_max, 0.0f));
+  map.brushes.push_back(slab(x_min, y_min, h, x_max, y_max, h + 16.0f));
+  // Outer walls.
+  map.brushes.push_back(slab(x_min, y_min, 0, x_min + wall, y_max, h));
+  map.brushes.push_back(slab(x_max - wall, y_min, 0, x_max, y_max, h));
+  map.brushes.push_back(slab(x_min, y_min, 0, x_max, y_min + wall, h));
+  map.brushes.push_back(slab(x_min, y_max - wall, 0, x_max, y_max, h));
+
+  struct Door {
+    Vec3 pos;
+    int room_a, room_b;  // flat room indices
+  };
+  std::vector<Door> doors;
+  auto room_index = [&](int i, int j) { return j * p.rooms_x + i; };
+
+  // Interior walls with one door gap each.
+  for (int i = 0; i + 1 < p.rooms_x; ++i) {
+    for (int j = 0; j < p.rooms_y; ++j) {
+      const float wx0 = room_x0(i) + p.room_size;
+      const float wx1 = wx0 + wall;
+      const float y0 = room_y0(j), y1 = y0 + p.room_size;
+      const float margin = p.door_width * 0.5f + 32.0f;
+      const float gap_c = rng.uniform(y0 + margin, y1 - margin);
+      const float g0 = gap_c - p.door_width * 0.5f;
+      const float g1 = gap_c + p.door_width * 0.5f;
+      if (g0 > y0) map.brushes.push_back(slab(wx0, y0 - wall, 0, wx1, g0, h));
+      if (g1 < y1) map.brushes.push_back(slab(wx0, g1, 0, wx1, y1 + wall, h));
+      doors.push_back({{(wx0 + wx1) * 0.5f, gap_c, kEyeHeight},
+                       room_index(i, j), room_index(i + 1, j)});
+    }
+  }
+  for (int j = 0; j + 1 < p.rooms_y; ++j) {
+    for (int i = 0; i < p.rooms_x; ++i) {
+      const float wy0 = room_y0(j) + p.room_size;
+      const float wy1 = wy0 + wall;
+      const float x0 = room_x0(i), x1 = x0 + p.room_size;
+      const float margin = p.door_width * 0.5f + 32.0f;
+      const float gap_c = rng.uniform(x0 + margin, x1 - margin);
+      const float g0 = gap_c - p.door_width * 0.5f;
+      const float g1 = gap_c + p.door_width * 0.5f;
+      if (g0 > x0) map.brushes.push_back(slab(x0 - wall, wy0, 0, g0, wy1, h));
+      if (g1 < x1) map.brushes.push_back(slab(g1, wy0, 0, x1 + wall, wy1, h));
+      doors.push_back({{gap_c, (wy0 + wy1) * 0.5f, kEyeHeight},
+                       room_index(i, j), room_index(i, j + 1)});
+    }
+  }
+
+  // Pillars: square columns away from room edges (doors are at edges, so
+  // clearance is automatic).
+  for (int j = 0; j < p.rooms_y; ++j) {
+    for (int i = 0; i < p.rooms_x; ++i) {
+      for (int k = 0; k < p.pillars_per_room; ++k) {
+        const float half = 32.0f;
+        const float inset = 128.0f;
+        const float cx =
+            rng.uniform(room_x0(i) + inset, room_x0(i) + p.room_size - inset);
+        const float cy =
+            rng.uniform(room_y0(j) + inset, room_y0(j) + p.room_size - inset);
+        map.brushes.push_back(
+            slab(cx - half, cy - half, 0, cx + half, cy + half, h));
+      }
+    }
+  }
+
+  const CollisionWorld world(map.brushes);
+  auto sample_clear = [&](int i, int j, float z, Vec3& out) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const float inset = 48.0f;
+      Vec3 cand{
+          rng.uniform(room_x0(i) + inset, room_x0(i) + p.room_size - inset),
+          rng.uniform(room_y0(j) + inset, room_y0(j) + p.room_size - inset),
+          z};
+      if (!world.box_solid(cand, kClearMins, kClearMaxs)) {
+        out = cand;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Spawn points and items per room.
+  int item_cycle = 0;
+  for (int j = 0; j < p.rooms_y; ++j) {
+    for (int i = 0; i < p.rooms_x; ++i) {
+      for (int s = 0; s < p.spawns_per_room; ++s) {
+        Vec3 pos;
+        if (sample_clear(i, j, kEyeHeight, pos))
+          map.spawns.push_back({pos, rng.uniform(0.0f, 360.0f)});
+      }
+      for (int s = 0; s < p.items_per_room; ++s) {
+        Vec3 pos;
+        if (!sample_clear(i, j, kEyeHeight, pos)) continue;
+        pos.z = 8.0f;
+        constexpr ItemType kCycle[] = {ItemType::kHealth, ItemType::kWeapon,
+                                       ItemType::kArmor, ItemType::kAmmo};
+        map.items.push_back({kCycle[item_cycle++ % 4], pos});
+      }
+      if ((room_index(i, j) % 7) == 3) {
+        Vec3 pos;
+        if (sample_clear(i, j, 8.0f, pos))
+          map.items.push_back({ItemType::kMegaHealth, pos});
+      }
+    }
+  }
+
+  // Teleporter pairs between distant rooms.
+  const int n_rooms = p.rooms_x * p.rooms_y;
+  for (int t = 0; t < p.teleporter_pairs && n_rooms >= 2; ++t) {
+    const int ra = static_cast<int>(rng.below(static_cast<uint64_t>(n_rooms)));
+    int rb = static_cast<int>(rng.below(static_cast<uint64_t>(n_rooms)));
+    if (rb == ra) rb = (ra + n_rooms / 2) % n_rooms;
+    Vec3 pa, pb;
+    if (sample_clear(ra % p.rooms_x, ra / p.rooms_x, kEyeHeight, pa) &&
+        sample_clear(rb % p.rooms_x, rb / p.rooms_x, kEyeHeight, pb)) {
+      map.teleporters.push_back({pa, pb});
+      map.teleporters.push_back({pb, pa});
+    }
+  }
+
+  // Waypoint graph: one node per room center, one per door, linked
+  // door <-> both adjoining rooms.
+  map.waypoints.resize(static_cast<size_t>(n_rooms));
+  for (int j = 0; j < p.rooms_y; ++j) {
+    for (int i = 0; i < p.rooms_x; ++i) {
+      Vec3 c{room_x0(i) + p.room_size * 0.5f, room_y0(j) + p.room_size * 0.5f,
+             kEyeHeight};
+      // Nudge off a pillar if the room center is blocked.
+      if (world.box_solid(c, kClearMins, kClearMaxs)) sample_clear(i, j, kEyeHeight, c);
+      map.waypoints[static_cast<size_t>(room_index(i, j))].pos = c;
+    }
+  }
+  for (const Door& d : doors) {
+    const int wp = static_cast<int>(map.waypoints.size());
+    map.waypoints.push_back({d.pos, {d.room_a, d.room_b}});
+    map.waypoints[static_cast<size_t>(d.room_a)].neighbors.push_back(wp);
+    map.waypoints[static_cast<size_t>(d.room_b)].neighbors.push_back(wp);
+  }
+
+  // PVS: one cluster per room interior, visibility by sight-line
+  // sampling (doors connect; walls occlude).
+  {
+    std::vector<Aabb> clusters;
+    clusters.reserve(static_cast<size_t>(n_rooms));
+    for (int j = 0; j < p.rooms_y; ++j) {
+      for (int i = 0; i < p.rooms_x; ++i) {
+        clusters.push_back(Aabb{{room_x0(i), room_y0(j), 0.0f},
+                                {room_x0(i) + p.room_size,
+                                 room_y0(j) + p.room_size, h}});
+      }
+    }
+    map.pvs = compute_pvs(clusters, world);
+  }
+
+  return map;
+}
+
+GameMap make_large_deathmatch(uint64_t seed) {
+  // Sized like the paper's gmdm10 ("one of the largest maps we could
+  // find", designed for 16-32 players): at 64-160 players it is heavily
+  // overcrowded, which is exactly the regime the paper measures. With the
+  // default areanode depth of 4, each of the 16 leaves covers about one
+  // room.
+  MapGenParams p;
+  p.rooms_x = 4;
+  p.rooms_y = 4;
+  p.spawns_per_room = 14;
+  p.items_per_room = 4;
+  p.seed = seed;
+  return generate_map(p, "qdm-large");
+}
+
+GameMap make_arena(float size, uint64_t seed) {
+  MapGenParams p;
+  p.rooms_x = 1;
+  p.rooms_y = 1;
+  p.room_size = size;
+  p.pillars_per_room = 0;
+  p.spawns_per_room = 16;
+  p.items_per_room = 4;
+  p.teleporter_pairs = 0;
+  p.seed = seed;
+  return generate_map(p, "arena");
+}
+
+}  // namespace qserv::spatial

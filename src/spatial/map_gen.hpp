@@ -1,0 +1,38 @@
+// Procedural map generator: grid-of-rooms deathmatch maps in the style of
+// the large compilation maps the paper benchmarks with. Deterministic for
+// a given parameter set + seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/spatial/map.hpp"
+
+namespace qserv::spatial {
+
+struct MapGenParams {
+  int rooms_x = 6;
+  int rooms_y = 6;
+  float room_size = 512.0f;       // interior side length, world units
+  float wall_thickness = 16.0f;
+  float door_width = 128.0f;      // gap in each shared wall
+  float ceiling_height = 256.0f;
+  int pillars_per_room = 1;       // cover inside rooms
+  int spawns_per_room = 8;
+  int items_per_room = 3;
+  int teleporter_pairs = 4;
+  uint64_t seed = 7;
+};
+
+// Full generator.
+GameMap generate_map(const MapGenParams& params, const std::string& name);
+
+// The canonical large deathmatch map used by the reproduction (substitute
+// for gmdm10.bsp): 6x6 rooms, ~3 km² of floor, items and teleporters.
+GameMap make_large_deathmatch(uint64_t seed = 7);
+
+// One open room with a handful of items; used by unit tests and the
+// quickstart example.
+GameMap make_arena(float size = 1024.0f, uint64_t seed = 3);
+
+}  // namespace qserv::spatial

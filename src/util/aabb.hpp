@@ -1,0 +1,95 @@
+// Axis-aligned bounding boxes. Quake represents every entity and every
+// region of interest as an AABB (mins/maxs); the areanode tree, the lock
+// manager, and collision queries all operate on this type.
+#pragma once
+
+#include "src/util/check.hpp"
+#include "src/util/vec.hpp"
+
+namespace qserv {
+
+struct Aabb {
+  Vec3 mins;
+  Vec3 maxs;
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& mn, const Vec3& mx) : mins(mn), maxs(mx) {}
+
+  // Box centred at `origin` carrying entity-local bounds.
+  static constexpr Aabb at(const Vec3& origin, const Vec3& local_mins,
+                           const Vec3& local_maxs) {
+    return {origin + local_mins, origin + local_maxs};
+  }
+
+  constexpr bool valid() const {
+    return mins.x <= maxs.x && mins.y <= maxs.y && mins.z <= maxs.z;
+  }
+
+  constexpr Vec3 center() const { return (mins + maxs) * 0.5f; }
+  constexpr Vec3 size() const { return maxs - mins; }
+  constexpr float volume() const {
+    const Vec3 s = size();
+    return s.x * s.y * s.z;
+  }
+
+  // Closed-interval overlap test (touching boxes intersect), matching
+  // Quake's SV_AreaEdicts semantics.
+  constexpr bool intersects(const Aabb& o) const {
+    return mins.x <= o.maxs.x && maxs.x >= o.mins.x &&
+           mins.y <= o.maxs.y && maxs.y >= o.mins.y &&
+           mins.z <= o.maxs.z && maxs.z >= o.mins.z;
+  }
+
+  constexpr bool contains(const Vec3& p) const {
+    return p.x >= mins.x && p.x <= maxs.x && p.y >= mins.y && p.y <= maxs.y &&
+           p.z >= mins.z && p.z <= maxs.z;
+  }
+
+  constexpr bool contains(const Aabb& o) const {
+    return o.mins.x >= mins.x && o.maxs.x <= maxs.x && o.mins.y >= mins.y &&
+           o.maxs.y <= maxs.y && o.mins.z >= mins.z && o.maxs.z <= maxs.z;
+  }
+
+  // Smallest box containing both inputs.
+  constexpr Aabb unioned(const Aabb& o) const {
+    return {min3(mins, o.mins), max3(maxs, o.maxs)};
+  }
+
+  // Box grown outwards by `amount` on every axis (expanded-bbox locking).
+  constexpr Aabb expanded(float amount) const {
+    const Vec3 d{amount, amount, amount};
+    return {mins - d, maxs + d};
+  }
+
+  constexpr Aabb expanded(const Vec3& d) const { return {mins - d, maxs + d}; }
+
+  // Bounds swept by moving this box from its position by `delta`.
+  constexpr Aabb swept(const Vec3& delta) const {
+    return unioned({mins + delta, maxs + delta});
+  }
+
+  // Clips this box to `limit`; result may be inverted if disjoint.
+  constexpr Aabb clipped(const Aabb& limit) const {
+    return {max3(mins, limit.mins), min3(maxs, limit.maxs)};
+  }
+};
+
+// Bounding box for a directional lock: extends the player box from its
+// position to the world boundary along `dir` (§4.3 of the paper). The
+// region covers everything the simulated object could reach in that
+// direction, padded laterally by `lateral_pad`.
+inline Aabb directional_bounds(const Aabb& start, const Vec3& dir,
+                               const Aabb& world, float lateral_pad) {
+  QSERV_DCHECK(world.valid());
+  Aabb out = start.expanded(lateral_pad);
+  for (int axis = 0; axis < 3; ++axis) {
+    if (dir[axis] > 1e-6f) {
+      out.maxs[axis] = world.maxs[axis];
+    } else if (dir[axis] < -1e-6f) {
+      out.mins[axis] = world.mins[axis];
+    }
+  }
+  return out.clipped(world);
+}
+
+}  // namespace qserv

@@ -1,0 +1,39 @@
+// Lightweight always-on assertion macros.
+//
+// QSERV_CHECK aborts with a message on violation in all build types; it
+// guards invariants whose violation would make simulation results silently
+// wrong (a much worse outcome for a measurement system than a crash).
+// QSERV_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qserv {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "QSERV_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace qserv
+
+#define QSERV_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::qserv::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define QSERV_CHECK_MSG(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr)) ::qserv::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define QSERV_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define QSERV_DCHECK(expr) QSERV_CHECK(expr)
+#endif

@@ -1,0 +1,116 @@
+#include "src/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.hpp"
+
+namespace qserv {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const uint64_t n = count_ + o.count_;
+  m2_ += o.m2_ + delta * delta * double(count_) * double(o.count_) / double(n);
+  mean_ = (mean_ * double(count_) + o.mean_ * double(o.count_)) / double(n);
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  count_ = n;
+}
+
+void StatAccumulator::reset() { *this = StatAccumulator{}; }
+
+double StatAccumulator::variance() const {
+  return count_ ? m2_ / double(count_) : 0.0;
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string StatAccumulator::summary(const char* unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.4g%s sd=%.4g min=%.4g max=%.4g",
+                static_cast<unsigned long long>(count_), mean(), unit,
+                stddev(), min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double smallest, double base, int buckets)
+    : smallest_(smallest), log_base_(std::log(base)) {
+  QSERV_CHECK(smallest > 0.0 && base > 1.0 && buckets > 1);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+int Histogram::bucket_for(double x) const {
+  if (x <= smallest_) return 0;
+  const int i = 1 + static_cast<int>(std::log(x / smallest_) / log_base_);
+  return std::min(i, static_cast<int>(counts_.size()) - 1);
+}
+
+double Histogram::bucket_lo(int i) const {
+  return i == 0 ? 0.0 : smallest_ * std::exp(log_base_ * (i - 1));
+}
+
+double Histogram::bucket_hi(int i) const {
+  return smallest_ * std::exp(log_base_ * i);
+}
+
+void Histogram::add(double x) {
+  ++counts_[static_cast<size_t>(bucket_for(x))];
+  ++total_;
+  stats_.add(x);
+}
+
+void Histogram::merge(const Histogram& o) {
+  QSERV_CHECK(counts_.size() == o.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  stats_.merge(o.stats_);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  stats_.reset();
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * double(total_);
+  double seen = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + double(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - seen) / double(counts_[i]) : 0.0;
+      const int bi = static_cast<int>(i);
+      return bucket_lo(bi) + frac * (bucket_hi(bi) - bucket_lo(bi));
+    }
+    seen = next;
+  }
+  return stats_.max();
+}
+
+}  // namespace qserv

@@ -1,0 +1,70 @@
+// Statistics accumulators used by the instrumentation layer: streaming
+// mean/variance (Welford), min/max, and a log-bucketed histogram with
+// percentile queries. All values are doubles; callers convert times to
+// seconds or counts as appropriate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qserv {
+
+// Streaming scalar statistics. O(1) memory.
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& o);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  std::string summary(const char* unit = "") const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log-bucketed histogram over (0, +inf); values <= 0 land in bucket 0.
+// Buckets are powers of `base` starting at `smallest`. Percentiles are
+// linearly interpolated within a bucket, which is accurate enough for
+// latency reporting.
+class Histogram {
+ public:
+  explicit Histogram(double smallest = 1e-6, double base = 1.25,
+                     int buckets = 160);
+
+  void add(double x);
+  void merge(const Histogram& o);
+  void reset();
+
+  uint64_t count() const { return total_; }
+  double percentile(double p) const;  // p in [0, 100]
+  double median() const { return percentile(50.0); }
+
+  const StatAccumulator& stats() const { return stats_; }
+
+ private:
+  int bucket_for(double x) const;
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+  double smallest_;
+  double log_base_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  StatAccumulator stats_;
+};
+
+}  // namespace qserv

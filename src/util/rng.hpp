@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation (SplitMix64 seeding +
+// xoshiro256**). Every stochastic component (bots, network jitter, map
+// generation) owns its own Rng derived from the experiment seed, so results
+// are reproducible bit-for-bit and components can be re-seeded
+// independently.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/check.hpp"
+#include "src/util/vec.hpp"
+
+namespace qserv {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Derives an independent stream; `stream` distinguishes consumers.
+  Rng fork(uint64_t stream) const {
+    Rng out(state_[0] ^ (stream * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+    return out;
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) {
+    QSERV_DCHECK(n > 0);
+    // Multiply-shift; bias is negligible for our n (≪ 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    QSERV_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform float in [0, 1).
+  float uniform() { return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f; }
+
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  // True with probability p.
+  bool chance(float p) { return uniform() < p; }
+
+  // Approximately normal via sum of uniforms (Irwin-Hall, k=4); adequate
+  // for jitter models and far cheaper than Box-Muller.
+  float normalish(float mean, float stddev) {
+    const float s = uniform() + uniform() + uniform() + uniform();
+    return mean + (s - 2.0f) * 1.732f * stddev;
+  }
+
+  Vec3 point_in(const Vec3& mins, const Vec3& maxs) {
+    return {uniform(mins.x, maxs.x), uniform(mins.y, maxs.y),
+            uniform(mins.z, maxs.z)};
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace qserv

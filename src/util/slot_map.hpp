@@ -1,0 +1,109 @@
+// Generational slot map: stable 32+32-bit handles to densely stored
+// objects. Entities are referenced by handle throughout the server so that
+// a stale reference (to a removed/respawned entity) is detected rather
+// than silently aliased.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace qserv {
+
+struct Handle {
+  uint32_t index = UINT32_MAX;
+  uint32_t generation = 0;
+
+  constexpr bool operator==(const Handle&) const = default;
+  constexpr bool is_null() const { return index == UINT32_MAX; }
+  static constexpr Handle null() { return {}; }
+  // Stable total order; useful for canonical processing sequences.
+  constexpr bool operator<(const Handle& o) const {
+    return index != o.index ? index < o.index : generation < o.generation;
+  }
+};
+
+template <typename T>
+class SlotMap {
+ public:
+  Handle insert(T value) {
+    uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[index];
+    s.value = std::move(value);
+    s.live = true;
+    ++size_;
+    return Handle{index, s.generation};
+  }
+
+  bool contains(Handle h) const {
+    return h.index < slots_.size() && slots_[h.index].live &&
+           slots_[h.index].generation == h.generation;
+  }
+
+  T& operator[](Handle h) {
+    QSERV_CHECK_MSG(contains(h), "stale or null slot-map handle");
+    return slots_[h.index].value;
+  }
+
+  const T& operator[](Handle h) const {
+    QSERV_CHECK_MSG(contains(h), "stale or null slot-map handle");
+    return slots_[h.index].value;
+  }
+
+  T* try_get(Handle h) {
+    return contains(h) ? &slots_[h.index].value : nullptr;
+  }
+  const T* try_get(Handle h) const {
+    return contains(h) ? &slots_[h.index].value : nullptr;
+  }
+
+  void erase(Handle h) {
+    QSERV_CHECK_MSG(contains(h), "erasing stale slot-map handle");
+    Slot& s = slots_[h.index];
+    s.live = false;
+    ++s.generation;
+    s.value = T{};
+    free_.push_back(h.index);
+    --size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Iterates live elements in index order (deterministic).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) fn(Handle{i, slots_[i].generation}, slots_[i].value);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) fn(Handle{i, slots_[i].generation}, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    uint32_t generation = 0;
+    bool live = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
+  size_t size_ = 0;
+};
+
+}  // namespace qserv

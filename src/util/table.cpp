@@ -1,0 +1,103 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qserv {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::render() const {
+  // Column widths over header + rows.
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto line = [&](char fill, char sep) {
+    std::string out = "+";
+    (void)sep;
+    for (size_t i = 0; i < ncols; ++i) {
+      out.append(width[i] + 2, fill);
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out += ' ';
+      out += c;
+      out.append(width[i] - c.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += line('-', '+');
+  if (!header_.empty()) {
+    out += emit(header_);
+    out += line('=', '+');
+  }
+  for (const auto& r : rows_) out += emit(r);
+  out += line('-', '+');
+  return out;
+}
+
+std::string Table::csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += escape(cells[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace qserv

@@ -1,0 +1,35 @@
+// Aligned text tables and CSV emission for the benchmark harness. Every
+// bench binary prints the same rows the paper's figures plot, so output
+// formatting lives in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qserv {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  // Renders an aligned, boxed ASCII table.
+  std::string render() const;
+  // Renders the same data as CSV (header row + data rows).
+  std::string csv() const;
+
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qserv

@@ -1,0 +1,92 @@
+// 3-component float vector math, in the style of Quake's vec3_t but with
+// value semantics. Floats (not doubles) match the original engine and are
+// deterministic for a fixed binary, which the virtual-time platform relies
+// on.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace qserv {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  float& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  constexpr float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float length() const { return std::sqrt(dot(*this)); }
+  constexpr float length_sq() const { return dot(*this); }
+
+  // Returns the zero vector when the input has zero length.
+  Vec3 normalized() const {
+    const float len = length();
+    return len > 0.0f ? *this * (1.0f / len) : Vec3{};
+  }
+
+  std::string str() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "(%.2f %.2f %.2f)", double(x), double(y), double(z));
+    return buf;
+  }
+};
+
+constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+constexpr Vec3 min3(const Vec3& a, const Vec3& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+
+constexpr Vec3 max3(const Vec3& a, const Vec3& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+inline float dist(const Vec3& a, const Vec3& b) { return (a - b).length(); }
+constexpr float dist_sq(const Vec3& a, const Vec3& b) { return (a - b).length_sq(); }
+
+// Builds forward/right/up basis vectors from yaw and pitch angles (degrees),
+// matching the Quake convention: yaw rotates around +z, pitch tilts forward.
+struct ViewAngles {
+  float yaw_deg = 0.0f;
+  float pitch_deg = 0.0f;
+
+  Vec3 forward() const {
+    const float yaw = yaw_deg * 3.14159265358979f / 180.0f;
+    const float pitch = pitch_deg * 3.14159265358979f / 180.0f;
+    const float cp = std::cos(pitch);
+    return {std::cos(yaw) * cp, std::sin(yaw) * cp, -std::sin(pitch)};
+  }
+  Vec3 right() const {
+    const float yaw = yaw_deg * 3.14159265358979f / 180.0f;
+    return {std::sin(yaw), -std::cos(yaw), 0.0f};
+  }
+};
+
+}  // namespace qserv

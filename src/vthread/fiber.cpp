@@ -1,0 +1,73 @@
+#include "src/vthread/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "src/util/check.hpp"
+
+namespace qserv::vt {
+
+namespace {
+size_t page_size() {
+  static const size_t ps = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> entry, size_t stack_bytes)
+    : entry_(std::move(entry)) {
+  const size_t ps = page_size();
+  // Round the usable stack up to whole pages and add one guard page below.
+  const size_t usable = (stack_bytes + ps - 1) / ps * ps;
+  stack_total_ = usable + ps;
+  stack_base_ = ::mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  QSERV_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+  QSERV_CHECK(::mprotect(stack_base_, ps, PROT_NONE) == 0);
+
+  QSERV_CHECK(::getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + ps;
+  context_.uc_stack.ss_size = usable;
+  context_.uc_link = &hub_context_;  // entry return falls back to the hub
+
+  // makecontext only passes ints; split the `this` pointer into two words.
+  const auto self = reinterpret_cast<uintptr_t>(this);
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned int>(self >> 32),
+                static_cast<unsigned int>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  QSERV_CHECK_MSG(!running_, "destroying a running fiber");
+  if (stack_base_ != nullptr) ::munmap(stack_base_, stack_total_);
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  const uintptr_t ptr =
+      (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(ptr)->run();
+}
+
+void Fiber::run() {
+  entry_();
+  finished_ = true;
+  // Returning lets uc_link (the hub context) take over.
+}
+
+void Fiber::resume() {
+  QSERV_CHECK_MSG(!finished_, "resuming a finished fiber");
+  QSERV_CHECK_MSG(!running_, "fiber resumed while already running");
+  running_ = true;
+  started_ = true;
+  QSERV_CHECK(::swapcontext(&hub_context_, &context_) == 0);
+  running_ = false;
+}
+
+void Fiber::switch_to_hub() {
+  QSERV_CHECK_MSG(running_, "switch_to_hub outside the fiber");
+  QSERV_CHECK(::swapcontext(&context_, &hub_context_) == 0);
+}
+
+}  // namespace qserv::vt

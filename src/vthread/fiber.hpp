@@ -1,0 +1,51 @@
+// Stackful fibers over POSIX ucontext. Each simulated thread is a fiber;
+// the SimScheduler switches between fibers and its own (main) context in a
+// hub-and-spoke pattern: fibers always switch back to the hub, never to
+// each other, which keeps scheduling decisions in one place and the whole
+// simulation deterministic.
+//
+// Stacks are mmap'ed with a PROT_NONE guard page below them so stack
+// overflow faults loudly instead of corrupting a neighbouring fiber.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+
+namespace qserv::vt {
+
+class Fiber {
+ public:
+  // `entry` runs when the fiber is first resumed. When it returns, control
+  // transfers back to the hub context permanently and finished() is true.
+  explicit Fiber(std::function<void()> entry, size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches from the hub into this fiber. Returns when the fiber calls
+  // switch_to_hub() or its entry function returns.
+  void resume();
+
+  // Called from inside the fiber: suspends it and returns to the hub.
+  void switch_to_hub();
+
+  bool finished() const { return finished_; }
+
+ private:
+  static void trampoline(unsigned int hi, unsigned int lo);
+  void run();
+
+  std::function<void()> entry_;
+  ucontext_t context_{};
+  ucontext_t hub_context_{};
+  void* stack_base_ = nullptr;   // mmap base (includes guard page)
+  size_t stack_total_ = 0;       // mmap length
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+};
+
+}  // namespace qserv::vt

@@ -1,0 +1,55 @@
+// Time types shared by the simulated and real platforms. Strong types (not
+// bare int64) so that durations and instants cannot be mixed up, and so the
+// unit (nanoseconds) is encapsulated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qserv::vt {
+
+struct Duration {
+  int64_t ns = 0;
+
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration operator*(int64_t k) const { return {ns * k}; }
+  constexpr Duration operator*(int k) const { return {ns * k}; }
+  constexpr Duration operator*(double k) const {
+    return {static_cast<int64_t>(static_cast<double>(ns) * k)};
+  }
+  constexpr Duration operator/(int64_t k) const { return {ns / k}; }
+  Duration& operator+=(Duration o) { ns += o.ns; return *this; }
+  Duration& operator-=(Duration o) { ns -= o.ns; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  constexpr double millis() const { return static_cast<double>(ns) * 1e-6; }
+  constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+  constexpr bool is_zero() const { return ns == 0; }
+};
+
+struct TimePoint {
+  int64_t ns = 0;
+
+  constexpr TimePoint operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr TimePoint operator-(Duration d) const { return {ns - d.ns}; }
+  constexpr Duration operator-(TimePoint o) const { return {ns - o.ns}; }
+  TimePoint& operator+=(Duration d) { ns += d.ns; return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+
+  static constexpr TimePoint zero() { return {0}; }
+  static constexpr TimePoint max() { return {INT64_MAX}; }
+};
+
+constexpr Duration nanos(int64_t v) { return {v}; }
+constexpr Duration micros(int64_t v) { return {v * 1000}; }
+constexpr Duration millis(int64_t v) { return {v * 1000000}; }
+constexpr Duration seconds(int64_t v) { return {v * 1000000000}; }
+constexpr Duration seconds_d(double v) {
+  return {static_cast<int64_t>(v * 1e9)};
+}
+
+}  // namespace qserv::vt

@@ -1,0 +1,106 @@
+// Harness tests: canonical configuration factory, sweep helpers, report
+// formatting, and the experiment runner's accounting identities.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/report.hpp"
+#include "src/harness/sweep.hpp"
+
+namespace qserv::harness {
+namespace {
+
+TEST(PaperConfig, MatchesTable1Machine) {
+  const auto cfg = paper_config(ServerMode::kParallel, 8, 128,
+                                core::LockPolicy::kOptimized);
+  EXPECT_EQ(cfg.machine.cores, 4);
+  EXPECT_EQ(cfg.machine.ht_per_core, 2);
+  EXPECT_DOUBLE_EQ(cfg.machine.ht_throughput, 1.25);
+  EXPECT_EQ(cfg.server.threads, 8);
+  EXPECT_EQ(cfg.players, 128);
+  EXPECT_NE(cfg.map, nullptr);
+}
+
+TEST(DefaultMap, IsCachedPerSeed) {
+  const auto a = default_map(7);
+  const auto b = default_map(7);
+  const auto c = default_map(8);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(PaperGrid, BuildsThreadByPlayerMatrix) {
+  const auto grid =
+      paper_grid({2, 4}, {64, 96, 128}, core::LockPolicy::kConservative);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].label, "2t/64p");
+  EXPECT_EQ(grid[5].label, "4t/128p");
+  EXPECT_EQ(grid[3].config.server.threads, 4);
+  EXPECT_EQ(grid[3].config.players, 64);
+  // Thread count 0 encodes the sequential server.
+  const auto seq = paper_grid({0}, {64}, core::LockPolicy::kConservative);
+  EXPECT_EQ(seq[0].config.mode, ServerMode::kSequential);
+  EXPECT_EQ(seq[0].config.server.lock_policy, core::LockPolicy::kNone);
+}
+
+TEST(SaturationHelper, FindsLastImprovingPoint) {
+  std::vector<SweepPoint> pts(4);
+  const std::vector<int> players{64, 96, 128, 160};
+  pts[0].result.response_rate = 1000;
+  pts[1].result.response_rate = 1500;
+  pts[2].result.response_rate = 2000;
+  pts[3].result.response_rate = 1900;  // declined
+  EXPECT_EQ(saturation_players(pts, players), 128);
+  // Monotonic growth all the way: saturation = last point.
+  pts[3].result.response_rate = 2600;
+  EXPECT_EQ(saturation_players(pts, players), 160);
+  // Flat from the start: saturation = first point.
+  for (auto& p : pts) p.result.response_rate = 1000;
+  EXPECT_EQ(saturation_players(pts, players), 64);
+}
+
+TEST(Report, BreakdownRowsAreWellFormed) {
+  ExperimentResult r;
+  r.breakdown.exec = vt::millis(40);
+  r.breakdown.reply = vt::millis(50);
+  r.breakdown.idle = vt::millis(10);
+  r.pct = core::to_percent(r.breakdown);
+  const auto header = breakdown_header("cfg");
+  const auto row = breakdown_row("x", r);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(row[0], "x");
+  EXPECT_EQ(row[1], "40.0%");  // exec share
+}
+
+TEST(Experiment, AccountingIdentitiesHold) {
+  auto cfg = paper_config(ServerMode::kParallel, 2, 24,
+                          core::LockPolicy::kConservative);
+  cfg.warmup = vt::seconds(1);
+  cfg.measure = vt::seconds(3);
+  const auto r = run_experiment(cfg);
+  // Breakdown totals the threads' wall time over the measured window
+  // (within the slack of frames straddling the boundary).
+  const double expected = 2.0 * 3.0;
+  EXPECT_NEAR(r.breakdown.total().seconds(), expected, 0.25);
+  // Percentages sum to 1.
+  const auto& p = r.pct;
+  EXPECT_NEAR(p.exec + p.lock() + p.receive + p.reply + p.world +
+                  p.intra_wait + p.inter_wait() + p.idle,
+              1.0, 1e-9);
+  // Client replies match server replies sent (no loss configured),
+  // modulo in-flight packets at the stop boundary.
+  EXPECT_NEAR(static_cast<double>(r.replies),
+              static_cast<double>(r.requests), r.requests * 0.25);
+}
+
+TEST(Experiment, MeasureWindowExcludesWarmup) {
+  auto cfg = paper_config(ServerMode::kSequential, 1, 16,
+                          core::LockPolicy::kNone);
+  cfg.warmup = vt::seconds(1);
+  cfg.measure = vt::seconds(2);
+  const auto r = run_experiment(cfg);
+  // 16 clients x ~30 replies/s x 2 s measured.
+  EXPECT_NEAR(static_cast<double>(r.replies), 16 * 30.3 * 2, 120.0);
+}
+
+}  // namespace
+}  // namespace qserv::harness

@@ -1,0 +1,157 @@
+// End-to-end tests: full server + client populations on the virtual-time
+// platform, exercising connect, frames, combat, saturation behaviour and
+// determinism.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/sweep.hpp"
+
+namespace qserv::harness {
+namespace {
+
+ExperimentConfig small_config(ServerMode mode, int threads, int players,
+                              core::LockPolicy policy) {
+  ExperimentConfig cfg = paper_config(mode, threads, players, policy);
+  cfg.warmup = vt::seconds(1);
+  cfg.measure = vt::seconds(3);
+  return cfg;
+}
+
+TEST(Integration, SequentialServerServesClients) {
+  const auto r = run_experiment(
+      small_config(ServerMode::kSequential, 1, 16, core::LockPolicy::kNone));
+  EXPECT_EQ(r.connected, 16);
+  // 16 clients at ~30 req/s for 3 s -> ~1440 replies.
+  EXPECT_GT(r.replies, 1000u);
+  EXPECT_GT(r.response_rate, 300.0);
+  EXPECT_LT(r.response_ms_mean, 40.0);
+  EXPECT_GT(r.frames, 100u);
+  // A lightly loaded sequential server is mostly idle.
+  EXPECT_GT(r.pct.idle, 0.3);
+  EXPECT_EQ(r.pct.lock(), 0.0);
+}
+
+TEST(Integration, ParallelServerServesClients) {
+  const auto r = run_experiment(small_config(ServerMode::kParallel, 4, 32,
+                                             core::LockPolicy::kConservative));
+  EXPECT_EQ(r.connected, 32);
+  EXPECT_GT(r.replies, 2000u);
+  EXPECT_GT(r.frames, 100u);
+  EXPECT_GT(r.requests, 2000u);
+}
+
+TEST(Integration, GameActuallyHappens) {
+  auto cfg = small_config(ServerMode::kParallel, 2, 24,
+                          core::LockPolicy::kConservative);
+  cfg.measure = vt::seconds(6);
+  cfg.bot_aggression = 1.0f;
+  const auto r = run_experiment(cfg);
+  // Bots fight: somebody must die within 6 simulated seconds of a 24-bot
+  // deathmatch with full aggression.
+  EXPECT_NE(r.total_frags, 0);
+}
+
+TEST(Integration, ParallelDistributesWorkAcrossThreads) {
+  const auto r = run_experiment(small_config(ServerMode::kParallel, 4, 48,
+                                             core::LockPolicy::kConservative));
+  ASSERT_EQ(r.per_thread.size(), 4u);
+  // Every thread must have done some request execution (block assignment
+  // gives each 12 clients).
+  for (const auto& b : r.per_thread) EXPECT_GT(b.exec.ns, 0);
+}
+
+TEST(Integration, VirtualTimeRunsAreDeterministic) {
+  auto cfg = small_config(ServerMode::kParallel, 2, 16,
+                          core::LockPolicy::kConservative);
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.replies, b.replies);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.breakdown.exec.ns, b.breakdown.exec.ns);
+  EXPECT_EQ(a.breakdown.lock_leaf.ns, b.breakdown.lock_leaf.ns);
+  EXPECT_EQ(a.total_frags, b.total_frags);
+}
+
+TEST(Integration, SeedChangesOutcome) {
+  auto cfg = small_config(ServerMode::kParallel, 2, 16,
+                          core::LockPolicy::kConservative);
+  const auto a = run_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.sim_events, b.sim_events);
+}
+
+TEST(Integration, LocksAreActuallyTaken) {
+  const auto r = run_experiment(small_config(ServerMode::kParallel, 4, 48,
+                                             core::LockPolicy::kConservative));
+  EXPECT_GT(r.locks.requests_locked, 1000u);
+  EXPECT_GT(r.locks.distinct_leaves, r.locks.requests_locked);  // >1 leaf avg
+  EXPECT_GT(r.leaves_locked_per_frame_pct, 0.0);
+}
+
+TEST(Integration, OptimizedLockingLocksLessOfTheMap) {
+  auto base = small_config(ServerMode::kParallel, 4, 48,
+                           core::LockPolicy::kConservative);
+  base.bot_aggression = 1.0f;  // plenty of long-range interactions
+  const auto cons = run_experiment(base);
+  base.server.lock_policy = core::LockPolicy::kOptimized;
+  const auto opt = run_experiment(base);
+  // Conservative long-range locking grabs all 16 leaves per attack;
+  // optimized takes a slice.
+  EXPECT_LT(opt.distinct_leaves_per_request_pct,
+            cons.distinct_leaves_per_request_pct * 0.8);
+}
+
+TEST(Integration, RegionAssignmentConnectsEveryone) {
+  auto cfg = small_config(ServerMode::kParallel, 4, 32,
+                          core::LockPolicy::kConservative);
+  cfg.server.assign_policy = core::AssignPolicy::kRegion;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.connected, 32);
+  EXPECT_GT(r.replies, 2000u);
+}
+
+TEST(Integration, BatchingWindowStillServes) {
+  auto cfg = small_config(ServerMode::kParallel, 4, 32,
+                          core::LockPolicy::kConservative);
+  cfg.server.batch_window = vt::millis(2);
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.connected, 32);
+  EXPECT_GT(r.replies, 2000u);
+}
+
+TEST(Integration, MoreThreadsReduceExecTimePerThread) {
+  // With equal load, per-thread exec time must drop as threads grow.
+  const auto r1 = run_experiment(small_config(
+      ServerMode::kParallel, 1, 64, core::LockPolicy::kConservative));
+  const auto r4 = run_experiment(small_config(
+      ServerMode::kParallel, 4, 64, core::LockPolicy::kConservative));
+  ASSERT_EQ(r4.per_thread.size(), 4u);
+  const double per_thread_exec_1 =
+      static_cast<double>(r1.breakdown.exec.ns);
+  double max_exec_4 = 0;
+  for (const auto& b : r4.per_thread)
+    max_exec_4 = std::max(max_exec_4, static_cast<double>(b.exec.ns));
+  EXPECT_LT(max_exec_4, per_thread_exec_1 * 0.6);
+}
+
+TEST(Integration, WorldPhaseIsSmallFractionOfTime) {
+  const auto r = run_experiment(small_config(ServerMode::kSequential, 1, 64,
+                                             core::LockPolicy::kNone));
+  // Paper: world processing < 5% of total execution time.
+  EXPECT_LT(r.pct.world, 0.05);
+}
+
+TEST(Integration, SaturationHelperPicksKnee) {
+  std::vector<SweepPoint> pts(3);
+  std::vector<int> players{64, 96, 128};
+  pts[0].result.response_rate = 2000;
+  pts[1].result.response_rate = 3000;
+  pts[2].result.response_rate = 3050;  // marginal gain: saturated at 96
+  EXPECT_EQ(saturation_players(pts, players), 96);
+}
+
+}  // namespace
+}  // namespace qserv::harness

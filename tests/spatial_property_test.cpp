@@ -1,0 +1,314 @@
+// Property sweeps over the spatial substrate: areanode invariants across
+// tree depths, collision-trace consistency laws, and map-generator
+// validity across its parameter space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/spatial/areanode_tree.hpp"
+#include "src/spatial/collision.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/util/rng.hpp"
+
+namespace qserv::spatial {
+namespace {
+
+const Aabb kWorld{{-2048, -2048, 0}, {2048, 2048, 512}};
+
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+// Invariant: link_node_for always returns the deepest node whose bounds
+// contain the box; the node's bounds contain the box; no child of that
+// node contains it.
+TEST_P(DepthSweep, LinkNodeIsDeepestContainer) {
+  AreanodeTree t(kWorld, GetParam());
+  Rng rng(GetParam() * 131u + 7u);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 c = rng.point_in(kWorld.mins, kWorld.maxs);
+    const float h = rng.uniform(1.0f, 200.0f);
+    const Aabb box{{c.x - h, c.y - h, c.z}, {c.x + h, c.y + h, c.z + 10}};
+    const int node = t.link_node_for(box);
+    const auto& n = t.node(node);
+    // Strictness: Quake links to the parent when the box touches the
+    // plane, so containment is only guaranteed within the world bounds.
+    const Aabb clipped = box.clipped(kWorld);
+    EXPECT_TRUE(n.bounds.contains(clipped))
+        << "node " << node << " does not contain its box";
+    if (!t.is_leaf(node)) {
+      // The box must straddle (or touch) this node's split plane.
+      EXPECT_TRUE(box.mins[n.axis] <= n.dist && box.maxs[n.axis] >= n.dist);
+    }
+  }
+}
+
+// Invariant: leaves_for returns exactly the leaves whose bounds intersect
+// the box (validated against brute force).
+TEST_P(DepthSweep, LeavesForMatchesBruteForce) {
+  AreanodeTree t(kWorld, GetParam());
+  Rng rng(GetParam() * 733u + 3u);
+  std::vector<int> got;
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 c = rng.point_in(kWorld.mins, kWorld.maxs);
+    const Vec3 h{rng.uniform(1, 800), rng.uniform(1, 800), 100};
+    const Aabb box{c - h, c + h};
+    got.clear();
+    t.leaves_for(box, got);
+    std::vector<int> expect;
+    for (int n = 0; n < t.node_count(); ++n) {
+      if (t.is_leaf(n) && t.node(n).bounds.intersects(box))
+        expect.push_back(n);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+// Invariant: leaf ordinals form a dense [0, leaf_count) range.
+TEST_P(DepthSweep, LeafOrdinalsAreDense) {
+  AreanodeTree t(kWorld, GetParam());
+  std::set<int> ordinals;
+  for (int n = 0; n < t.node_count(); ++n) {
+    if (t.is_leaf(n)) ordinals.insert(t.leaf_ordinal(n));
+  }
+  EXPECT_EQ(static_cast<int>(ordinals.size()), t.leaf_count());
+  EXPECT_EQ(*ordinals.begin(), 0);
+  EXPECT_EQ(*ordinals.rbegin(), t.leaf_count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+class TraceSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+// Law: endpos == start + delta * fraction, and tracing the already-clipped
+// segment again hits nothing closer (stability under re-trace).
+TEST_P(TraceSeeds, TraceIsConsistentAndStable) {
+  Rng rng(GetParam());
+  std::vector<Brush> brushes;
+  for (int i = 0; i < 60; ++i) {
+    const Vec3 c = rng.point_in({-800, -800, -800}, {800, 800, 800});
+    const Vec3 h{rng.uniform(20, 150), rng.uniform(20, 150),
+                 rng.uniform(20, 150)};
+    brushes.push_back(Brush{{c - h, c + h}});
+  }
+  const CollisionWorld w(brushes);
+  const Vec3 mins{-16, -16, -24}, maxs{16, 16, 32};
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 start = rng.point_in({-900, -900, -900}, {900, 900, 900});
+    const Vec3 end = rng.point_in({-900, -900, -900}, {900, 900, 900});
+    const auto tr = w.trace_box(start, end, mins, maxs);
+    if (tr.start_solid) continue;
+    const Vec3 expect = start + (end - start) * tr.fraction;
+    EXPECT_NEAR(tr.endpos.x, expect.x, 0.01f);
+    EXPECT_NEAR(tr.endpos.y, expect.y, 0.01f);
+    EXPECT_NEAR(tr.endpos.z, expect.z, 0.01f);
+    // Re-trace along the clipped segment: must be (nearly) free.
+    const auto re = w.trace_box(start, tr.endpos, mins, maxs);
+    EXPECT_FALSE(re.start_solid);
+    EXPECT_GT(re.fraction, 0.99f);
+  }
+}
+
+// Law: a hit reported by a long trace is also reported by any longer
+// trace through the same corridor (monotonicity).
+TEST_P(TraceSeeds, HitsAreMonotonicInSegmentLength) {
+  Rng rng(GetParam() * 17 + 5);
+  std::vector<Brush> brushes;
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 c = rng.point_in({-500, -500, -500}, {500, 500, 500});
+    brushes.push_back(Brush{{c - Vec3{50, 50, 50}, c + Vec3{50, 50, 50}}});
+  }
+  const CollisionWorld w(brushes);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 start = rng.point_in({-600, -600, -600}, {600, 600, 600});
+    const Vec3 dir = Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                          rng.uniform(-1, 1)}
+                         .normalized();
+    if (dir.length_sq() < 0.5f) continue;
+    const auto short_tr = w.trace_line(start, start + dir * 200.0f);
+    const auto long_tr = w.trace_line(start, start + dir * 400.0f);
+    if (short_tr.start_solid) continue;
+    if (short_tr.hit()) {
+      ASSERT_TRUE(long_tr.hit());
+      // Same absolute hit distance.
+      EXPECT_NEAR(short_tr.fraction * 200.0f, long_tr.fraction * 400.0f,
+                  0.5f);
+    }
+  }
+}
+
+// Law: ray_vs_aabb agrees with trace_line against a single brush.
+TEST_P(TraceSeeds, RayVsAabbAgreesWithTrace) {
+  Rng rng(GetParam() * 29 + 11);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 c = rng.point_in({-100, -100, -100}, {100, 100, 100});
+    const Vec3 h{rng.uniform(10, 60), rng.uniform(10, 60), rng.uniform(10, 60)};
+    const Aabb box{c - h, c + h};
+    const CollisionWorld w({Brush{box}});
+    const Vec3 start = rng.point_in({-300, -300, -300}, {300, 300, 300});
+    const Vec3 end = rng.point_in({-300, -300, -300}, {300, 300, 300});
+    const float f = ray_vs_aabb(start, end - start, box);
+    const auto tr = w.trace_line(start, end);
+    if (tr.start_solid) {
+      EXPECT_FLOAT_EQ(f, 0.0f);
+    } else if (tr.hit()) {
+      ASSERT_GE(f, 0.0f);
+      // trace backs off by kTraceEpsilon; ray reports the raw fraction.
+      EXPECT_NEAR(f, tr.fraction, 0.01f + kTraceEpsilon);
+    } else {
+      EXPECT_LT(f, 0.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+struct GenParams {
+  int rooms;
+  float room_size;
+  int pillars;
+  uint64_t seed;
+};
+
+class MapGenSweep : public ::testing::TestWithParam<GenParams> {};
+
+TEST_P(MapGenSweep, GeneratedMapsAreAlwaysValid) {
+  const auto gp = GetParam();
+  MapGenParams p;
+  p.rooms_x = gp.rooms;
+  p.rooms_y = gp.rooms;
+  p.room_size = gp.room_size;
+  p.pillars_per_room = gp.pillars;
+  p.seed = gp.seed;
+  const GameMap map = generate_map(p, "sweep");
+  std::string err;
+  ASSERT_TRUE(map.validate(&err)) << err;
+  // Round-trip fidelity for every generated map.
+  GameMap loaded;
+  ASSERT_TRUE(GameMap::parse(map.serialize(), loaded));
+  EXPECT_EQ(loaded.serialize(), map.serialize());
+  // Every room-center waypoint is reachable (graph is connected).
+  std::vector<bool> seen(map.waypoints.size(), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const int wpt = stack.back();
+    stack.pop_back();
+    for (const int n : map.waypoints[static_cast<size_t>(wpt)].neighbors) {
+      if (!seen[static_cast<size_t>(n)]) {
+        seen[static_cast<size_t>(n)] = true;
+        stack.push_back(n);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MapGenSweep,
+    ::testing::Values(GenParams{1, 384, 0, 1}, GenParams{2, 384, 1, 2},
+                      GenParams{3, 448, 2, 3}, GenParams{4, 512, 1, 4},
+                      GenParams{6, 512, 1, 5}, GenParams{8, 384, 0, 6},
+                      GenParams{2, 1024, 3, 7}, GenParams{5, 640, 2, 8}));
+
+TEST(Pvs, SingleRoomSeesItselfOnly) {
+  const GameMap map = make_arena(512);
+  ASSERT_EQ(map.pvs.cluster_count(), 1);
+  EXPECT_TRUE(map.pvs.can_see(0, 0));
+  const Vec3 inside = map.pvs.clusters[0].center();
+  EXPECT_EQ(map.pvs.cluster_of(inside), 0);
+  EXPECT_EQ(map.pvs.cluster_of(map.bounds.mins - Vec3{10, 10, 0}), -1);
+}
+
+TEST(Pvs, AdjacentRoomsSeeEachOtherThroughDoors) {
+  MapGenParams p;
+  p.rooms_x = 2;
+  p.rooms_y = 1;
+  p.seed = 3;
+  const GameMap map = generate_map(p, "pair");
+  ASSERT_EQ(map.pvs.cluster_count(), 2);
+  EXPECT_TRUE(map.pvs.can_see(0, 1));
+}
+
+TEST(Pvs, LongCorridorEndsAreMutuallyInvisible) {
+  // An 8-room corridor with narrow, randomly offset doors: the two end
+  // rooms cannot possibly see each other.
+  MapGenParams p;
+  p.rooms_x = 8;
+  p.rooms_y = 1;
+  p.room_size = 280;
+  p.door_width = 56;
+  p.seed = 5;
+  const GameMap map = generate_map(p, "corridor");
+  ASSERT_EQ(map.pvs.cluster_count(), 8);
+  EXPECT_FALSE(map.pvs.can_see(0, 7));
+  // And visibility never skips a wall: if A sees C two rooms over, the
+  // line must pass through B, so A-B and B-C hold too (corridor maps).
+  for (int a = 0; a + 2 < 8; ++a) {
+    if (map.pvs.can_see(a, a + 2)) {
+      EXPECT_TRUE(map.pvs.can_see(a, a + 1));
+      EXPECT_TRUE(map.pvs.can_see(a + 1, a + 2));
+    }
+  }
+}
+
+TEST(Pvs, MatrixIsConservativeAgainstSampledTraces) {
+  // Soundness direction: if PVS says "not visible", no sampled sightline
+  // between the clusters may be clear.
+  MapGenParams p;
+  p.rooms_x = 4;
+  p.rooms_y = 4;
+  p.door_width = 96;
+  p.seed = 11;
+  const GameMap map = generate_map(p, "grid");
+  const CollisionWorld world = map.build_collision();
+  Rng rng(17);
+  const int n = map.pvs.cluster_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (map.pvs.can_see(a, b)) continue;
+      const auto& ca = map.pvs.clusters[static_cast<size_t>(a)];
+      const auto& cb = map.pvs.clusters[static_cast<size_t>(b)];
+      for (int trial = 0; trial < 20; ++trial) {
+        Vec3 s = rng.point_in(ca.mins, ca.maxs);
+        Vec3 t = rng.point_in(cb.mins, cb.maxs);
+        s.z = ca.mins.z + 46.0f;
+        t.z = cb.mins.z + 46.0f;
+        EXPECT_TRUE(world.trace_line(s, t).hit())
+            << "clusters " << a << "->" << b
+            << " marked invisible but a sightline is clear";
+      }
+    }
+  }
+}
+
+TEST(Pvs, SerializationRoundTripsTheMatrix) {
+  MapGenParams p;
+  p.rooms_x = 3;
+  p.rooms_y = 3;
+  p.seed = 9;
+  const GameMap map = generate_map(p, "rt");
+  GameMap loaded;
+  ASSERT_TRUE(GameMap::parse(map.serialize(), loaded));
+  ASSERT_EQ(loaded.pvs.cluster_count(), map.pvs.cluster_count());
+  EXPECT_EQ(loaded.pvs.visible, map.pvs.visible);
+  std::string err;
+  EXPECT_TRUE(loaded.validate(&err)) << err;
+}
+
+TEST(Pvs, RejectsCorruptMatrices) {
+  MapGenParams p;
+  p.rooms_x = 2;
+  p.rooms_y = 1;
+  p.seed = 1;
+  const GameMap map = generate_map(p, "bad");
+  // Truncate one pvs row: matrix no longer square -> parse fails.
+  std::string text = map.serialize();
+  const auto pos = text.rfind("pvs ");
+  text = text.substr(0, pos);
+  GameMap out;
+  EXPECT_FALSE(GameMap::parse(text, out));
+}
+
+}  // namespace
+}  // namespace qserv::spatial

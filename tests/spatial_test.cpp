@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/spatial/areanode_tree.hpp"
+#include "src/spatial/collision.hpp"
+#include "src/spatial/map.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/util/rng.hpp"
+
+namespace qserv::spatial {
+namespace {
+
+const Aabb kWorld{{-1024, -1024, 0}, {1024, 1024, 256}};
+
+TEST(AreanodeTree, DefaultShapeMatchesQuake) {
+  AreanodeTree t(kWorld, 4);
+  EXPECT_EQ(t.node_count(), 31);  // the paper's default: 31 nodes
+  EXPECT_EQ(t.leaf_count(), 16);  // ... 16 of which are leaves
+  EXPECT_FALSE(t.is_leaf(0));
+  EXPECT_TRUE(t.is_leaf(30));
+  EXPECT_EQ(t.leaf_ordinal(15), 0);
+  EXPECT_EQ(t.leaf_ordinal(30), 15);
+}
+
+TEST(AreanodeTree, SweepableSizes) {
+  for (int depth : {1, 2, 3, 4, 5}) {
+    AreanodeTree t(kWorld, depth);
+    EXPECT_EQ(t.node_count(), (2 << depth) - 1);  // 3, 7, 15, 31, 63
+    EXPECT_EQ(t.leaf_count(), 1 << depth);
+  }
+}
+
+TEST(AreanodeTree, SplitsAlternateAxesAndHalveVolumes) {
+  AreanodeTree t(kWorld, 4);
+  const auto& root = t.node(0);
+  EXPECT_GE(root.axis, 0);
+  const auto& c = t.node(root.child_lo);
+  EXPECT_NE(c.axis, root.axis);
+  EXPECT_NEAR(c.bounds.volume() * 2.0f, root.bounds.volume(), 1.0f);
+  // Every node spans the full world height (the tree is 2-D).
+  for (int i = 0; i < t.node_count(); ++i) {
+    EXPECT_FLOAT_EQ(t.node(i).bounds.mins.z, kWorld.mins.z);
+    EXPECT_FLOAT_EQ(t.node(i).bounds.maxs.z, kWorld.maxs.z);
+  }
+}
+
+TEST(AreanodeTree, LeavesPartitionTheWorld) {
+  AreanodeTree t(kWorld, 4);
+  float leaf_volume = 0.0f;
+  for (int i = 0; i < t.node_count(); ++i) {
+    if (t.is_leaf(i)) leaf_volume += t.node(i).bounds.volume();
+  }
+  EXPECT_NEAR(leaf_volume, kWorld.volume(), kWorld.volume() * 1e-5f);
+}
+
+TEST(AreanodeTree, LinkGoesToDeepestContainingNode) {
+  AreanodeTree t(kWorld, 4);
+  // A small box well inside one quadrant must land in a leaf.
+  const Aabb small{{100, 100, 0}, {132, 132, 56}};
+  const int leaf = t.link_node_for(small);
+  EXPECT_TRUE(t.is_leaf(leaf));
+  EXPECT_TRUE(t.node(leaf).bounds.contains(small));
+  // A box straddling the root split plane links to the root.
+  const auto& root = t.node(0);
+  Aabb straddle = small;
+  straddle.mins[root.axis] = root.dist - 10;
+  straddle.maxs[root.axis] = root.dist + 10;
+  EXPECT_EQ(t.link_node_for(straddle), 0);
+}
+
+TEST(AreanodeTree, LinkUnlinkMaintainsObjectLists) {
+  AreanodeTree t(kWorld, 4);
+  const Aabb box{{10, 10, 0}, {40, 40, 56}};
+  const int node = t.link(7, box);
+  EXPECT_EQ(t.total_linked(), 1u);
+  const auto& objs = t.node(node).objects;
+  EXPECT_EQ(objs, (std::vector<uint32_t>{7}));
+  t.unlink(7, node);
+  EXPECT_EQ(t.total_linked(), 0u);
+}
+
+TEST(AreanodeTree, LeavesForReturnsCanonicalOrder) {
+  AreanodeTree t(kWorld, 4);
+  std::vector<int> leaves;
+  t.leaves_for(kWorld, leaves);  // whole world -> all 16 leaves
+  EXPECT_EQ(leaves.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(leaves.begin(), leaves.end()));
+  leaves.clear();
+  t.leaves_for(Aabb{{10, 10, 0}, {20, 20, 56}}, leaves);
+  EXPECT_EQ(leaves.size(), 1u);
+}
+
+TEST(AreanodeTree, BoxOnPlaneLocksBothSides) {
+  AreanodeTree t(kWorld, 1);  // one split
+  const auto& root = t.node(0);
+  Aabb on_plane{{-5, -5, 0}, {5, 5, 56}};
+  on_plane.mins[root.axis] = root.dist - 5;
+  on_plane.maxs[root.axis] = root.dist + 5;
+  std::vector<int> leaves;
+  t.leaves_for(on_plane, leaves);
+  EXPECT_EQ(leaves.size(), 2u);
+}
+
+// Property: for random entity placements and random query boxes, the
+// traverse() visit set includes the node of every entity whose box
+// intersects the query box.
+TEST(AreanodeTree, TraverseFindsAllIntersectingEntities) {
+  Rng rng(1234);
+  AreanodeTree t(kWorld, 4);
+  struct Placed {
+    uint32_t id;
+    Aabb box;
+    int node;
+  };
+  std::vector<Placed> placed;
+  for (uint32_t id = 0; id < 200; ++id) {
+    const Vec3 c = rng.point_in(kWorld.mins + Vec3{40, 40, 0},
+                                kWorld.maxs - Vec3{40, 40, 60});
+    const float half = rng.uniform(4.0f, 30.0f);
+    const Aabb box{{c.x - half, c.y - half, c.z},
+                   {c.x + half, c.y + half, c.z + 56}};
+    placed.push_back({id, box, t.link(id, box)});
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Vec3 c = rng.point_in(kWorld.mins, kWorld.maxs);
+    const float half = rng.uniform(10.0f, 400.0f);
+    const Aabb query{{c.x - half, c.y - half, kWorld.mins.z},
+                     {c.x + half, c.y + half, kWorld.maxs.z}};
+    std::set<int> visited;
+    t.traverse(query, [&](int node) { visited.insert(node); });
+    for (const auto& pl : placed) {
+      if (pl.box.intersects(query)) {
+        EXPECT_TRUE(visited.contains(pl.node))
+            << "entity " << pl.id << " in node " << pl.node << " missed";
+      }
+    }
+  }
+}
+
+// Property: traverse() visits exactly the leaves leaves_for() reports
+// (plus interior nodes) — the lock manager relies on this agreement.
+TEST(AreanodeTree, TraverseVisitsExactlyTheLockedLeaves) {
+  Rng rng(99);
+  AreanodeTree t(kWorld, 4);
+  for (int q = 0; q < 200; ++q) {
+    const Vec3 c = rng.point_in(kWorld.mins, kWorld.maxs);
+    const float hx = rng.uniform(1.0f, 500.0f);
+    const float hy = rng.uniform(1.0f, 500.0f);
+    const Aabb query{{c.x - hx, c.y - hy, kWorld.mins.z},
+                     {c.x + hx, c.y + hy, kWorld.maxs.z}};
+    std::vector<int> locked;
+    t.leaves_for(query, locked);
+    std::vector<int> visited_leaves;
+    t.traverse(query, [&](int node) {
+      if (t.is_leaf(node)) visited_leaves.push_back(node);
+    });
+    std::sort(visited_leaves.begin(), visited_leaves.end());
+    EXPECT_EQ(visited_leaves, locked);
+  }
+}
+
+TEST(CollisionWorld, PointAndBoxSolid) {
+  CollisionWorld w({Brush{{{0, 0, 0}, {100, 100, 100}}}});
+  EXPECT_TRUE(w.point_solid({50, 50, 50}));
+  EXPECT_FALSE(w.point_solid({150, 50, 50}));
+  EXPECT_TRUE(w.box_solid({110, 50, 50}, {-20, -20, -20}, {20, 20, 20}));
+  EXPECT_FALSE(w.box_solid({130, 50, 50}, {-20, -20, -20}, {20, 20, 20}));
+  // Touching exactly is not solid (open intervals).
+  EXPECT_FALSE(w.box_solid({120, 50, 50}, {-20, -20, -20}, {20, 20, 20}));
+}
+
+TEST(CollisionWorld, LineTraceHitsFirstSurface) {
+  CollisionWorld w({Brush{{{100, -50, -50}, {120, 50, 50}}}});
+  const auto tr = w.trace_line({0, 0, 0}, {200, 0, 0});
+  EXPECT_TRUE(tr.hit());
+  EXPECT_NEAR(tr.fraction, 0.5f, 0.01f);
+  EXPECT_NEAR(tr.endpos.x, 100.0f, 0.1f);
+  EXPECT_FLOAT_EQ(tr.normal.x, -1.0f);
+}
+
+TEST(CollisionWorld, MissedTraceRunsFull) {
+  CollisionWorld w({Brush{{{100, 100, 0}, {120, 120, 50}}}});
+  const auto tr = w.trace_line({0, 0, 10}, {200, 0, 10});
+  EXPECT_FALSE(tr.hit());
+  EXPECT_FLOAT_EQ(tr.fraction, 1.0f);
+  EXPECT_EQ(tr.endpos, Vec3(200, 0, 10));
+}
+
+TEST(CollisionWorld, BoxTraceAccountsForExtents) {
+  CollisionWorld w({Brush{{{100, -50, -50}, {120, 50, 50}}}});
+  // A 32-wide box must stop 16 units earlier than a point.
+  const auto tr = w.trace_box({0, 0, 0}, {200, 0, 0}, {-16, -16, -16},
+                              {16, 16, 16});
+  EXPECT_TRUE(tr.hit());
+  EXPECT_NEAR(tr.endpos.x, 84.0f, 0.1f);
+}
+
+TEST(CollisionWorld, TraceFromInsideReportsStartSolid) {
+  CollisionWorld w({Brush{{{0, 0, 0}, {100, 100, 100}}}});
+  const auto tr = w.trace_line({50, 50, 50}, {200, 50, 50});
+  EXPECT_TRUE(tr.start_solid);
+  EXPECT_FLOAT_EQ(tr.fraction, 0.0f);
+}
+
+TEST(CollisionWorld, TraceEndpointNeverInsideSolid) {
+  Rng rng(5);
+  std::vector<Brush> brushes;
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 c = rng.point_in({-500, -500, -500}, {500, 500, 500});
+    const Vec3 half{rng.uniform(10, 80), rng.uniform(10, 80),
+                    rng.uniform(10, 80)};
+    brushes.push_back(Brush{{c - half, c + half}});
+  }
+  CollisionWorld w(brushes);
+  const Vec3 mins{-16, -16, -24}, maxs{16, 16, 32};
+  int traced = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 start = rng.point_in({-600, -600, -600}, {600, 600, 600});
+    if (w.box_solid(start, mins, maxs)) continue;
+    const Vec3 end = rng.point_in({-600, -600, -600}, {600, 600, 600});
+    const auto tr = w.trace_box(start, end, mins, maxs);
+    ASSERT_FALSE(tr.start_solid);
+    EXPECT_FALSE(w.box_solid(tr.endpos, mins, maxs))
+        << "trace " << i << " ended inside solid at " << tr.endpos.str();
+    ++traced;
+  }
+  EXPECT_GT(traced, 100);  // the property must actually have been exercised
+}
+
+TEST(CollisionWorld, QueryFindsIntersectingBrushes) {
+  std::vector<Brush> brushes;
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(i) * 50.0f;
+    brushes.push_back(Brush{{{x, 0, 0}, {x + 20, 20, 20}}});
+  }
+  CollisionWorld w(brushes);
+  std::vector<uint32_t> hits;
+  w.query({{0, 0, 0}, {200, 20, 20}}, hits);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MapGen, LargeDeathmatchIsValid) {
+  const GameMap map = make_large_deathmatch(7);
+  std::string err;
+  EXPECT_TRUE(map.validate(&err)) << err;
+  EXPECT_GT(map.brushes.size(), 50u);
+  EXPECT_GE(map.spawns.size(), 200u);  // enough for 176+ players
+  EXPECT_GT(map.items.size(), 50u);
+  EXPECT_GE(map.teleporters.size(), 2u);
+  EXPECT_GT(map.waypoints.size(), 36u);
+}
+
+TEST(MapGen, ArenaIsValidAndOpen) {
+  const GameMap map = make_arena(1024);
+  std::string err;
+  EXPECT_TRUE(map.validate(&err)) << err;
+  const CollisionWorld w = map.build_collision();
+  // The arena interior is one open space: a trace between two spawn
+  // points at standing height must not start solid.
+  ASSERT_GE(map.spawns.size(), 2u);
+  const auto tr =
+      w.trace_line(map.spawns[0].origin, map.spawns[1].origin);
+  EXPECT_FALSE(tr.start_solid);
+}
+
+TEST(MapGen, DeterministicForSeed) {
+  const GameMap a = make_large_deathmatch(11);
+  const GameMap b = make_large_deathmatch(11);
+  const GameMap c = make_large_deathmatch(12);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_NE(a.serialize(), c.serialize());
+}
+
+TEST(MapGen, RoomsAreConnectedThroughDoors) {
+  const GameMap map = make_large_deathmatch(7);
+  // BFS over the waypoint graph must reach every room waypoint.
+  std::vector<bool> seen(map.waypoints.size(), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const int w = stack.back();
+    stack.pop_back();
+    for (const int n : map.waypoints[static_cast<size_t>(w)].neighbors) {
+      if (!seen[static_cast<size_t>(n)]) {
+        seen[static_cast<size_t>(n)] = true;
+        stack.push_back(n);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(GameMapIo, SerializeParseRoundTrip) {
+  const GameMap map = make_large_deathmatch(3);
+  GameMap out;
+  ASSERT_TRUE(GameMap::parse(map.serialize(), out));
+  EXPECT_EQ(out.name, map.name);
+  EXPECT_EQ(out.brushes.size(), map.brushes.size());
+  EXPECT_EQ(out.spawns.size(), map.spawns.size());
+  EXPECT_EQ(out.items.size(), map.items.size());
+  EXPECT_EQ(out.teleporters.size(), map.teleporters.size());
+  EXPECT_EQ(out.waypoints.size(), map.waypoints.size());
+  std::string err;
+  EXPECT_TRUE(out.validate(&err)) << err;
+  // Numeric fidelity: re-serialization is a fixed point.
+  EXPECT_EQ(out.serialize(), map.serialize());
+}
+
+TEST(GameMapIo, ParseRejectsGarbage) {
+  GameMap out;
+  EXPECT_FALSE(GameMap::parse("nonsense directive\n", out));
+  EXPECT_FALSE(GameMap::parse("", out));              // no bounds
+  EXPECT_FALSE(GameMap::parse("brush 1 2 3\n", out)); // short vector
+  EXPECT_FALSE(GameMap::parse("bounds 0 0 0 1 1 1\nitem 99 0 0 0\n", out));
+}
+
+}  // namespace
+}  // namespace qserv::spatial
