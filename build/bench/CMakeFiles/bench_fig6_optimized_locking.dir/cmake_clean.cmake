@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_optimized_locking.dir/bench_fig6_optimized_locking.cpp.o"
+  "CMakeFiles/bench_fig6_optimized_locking.dir/bench_fig6_optimized_locking.cpp.o.d"
+  "bench_fig6_optimized_locking"
+  "bench_fig6_optimized_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_optimized_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

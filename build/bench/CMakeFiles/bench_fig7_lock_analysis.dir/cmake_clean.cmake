@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lock_analysis.dir/bench_fig7_lock_analysis.cpp.o"
+  "CMakeFiles/bench_fig7_lock_analysis.dir/bench_fig7_lock_analysis.cpp.o.d"
+  "bench_fig7_lock_analysis"
+  "bench_fig7_lock_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map_visibility.dir/bench_map_visibility.cpp.o"
+  "CMakeFiles/bench_map_visibility.dir/bench_map_visibility.cpp.o.d"
+  "bench_map_visibility"
+  "bench_map_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

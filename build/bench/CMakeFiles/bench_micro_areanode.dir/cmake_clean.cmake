@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_areanode.dir/bench_micro_areanode.cpp.o"
+  "CMakeFiles/bench_micro_areanode.dir/bench_micro_areanode.cpp.o.d"
+  "bench_micro_areanode"
+  "bench_micro_areanode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_areanode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_locking.dir/bench_micro_locking.cpp.o"
+  "CMakeFiles/bench_micro_locking.dir/bench_micro_locking.cpp.o.d"
+  "bench_micro_locking"
+  "bench_micro_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

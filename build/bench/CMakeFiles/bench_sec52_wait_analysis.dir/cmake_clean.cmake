@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_wait_analysis.dir/bench_sec52_wait_analysis.cpp.o"
+  "CMakeFiles/bench_sec52_wait_analysis.dir/bench_sec52_wait_analysis.cpp.o.d"
+  "bench_sec52_wait_analysis"
+  "bench_sec52_wait_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_wait_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_map_server.dir/custom_map_server.cpp.o"
+  "CMakeFiles/custom_map_server.dir/custom_map_server.cpp.o.d"
+  "custom_map_server"
+  "custom_map_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_map_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

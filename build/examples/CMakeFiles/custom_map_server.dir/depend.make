@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_map_server.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deathmatch_tournament.dir/deathmatch_tournament.cpp.o"
+  "CMakeFiles/deathmatch_tournament.dir/deathmatch_tournament.cpp.o.d"
+  "deathmatch_tournament"
+  "deathmatch_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deathmatch_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bots/bot.cpp" "src/CMakeFiles/qserv.dir/bots/bot.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/bots/bot.cpp.o.d"
+  "/root/repo/src/bots/client.cpp" "src/CMakeFiles/qserv.dir/bots/client.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/bots/client.cpp.o.d"
+  "/root/repo/src/bots/client_driver.cpp" "src/CMakeFiles/qserv.dir/bots/client_driver.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/bots/client_driver.cpp.o.d"
+  "/root/repo/src/core/frame_stats.cpp" "src/CMakeFiles/qserv.dir/core/frame_stats.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/core/frame_stats.cpp.o.d"
+  "/root/repo/src/core/lock_manager.cpp" "src/CMakeFiles/qserv.dir/core/lock_manager.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/core/lock_manager.cpp.o.d"
+  "/root/repo/src/core/parallel_server.cpp" "src/CMakeFiles/qserv.dir/core/parallel_server.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/core/parallel_server.cpp.o.d"
+  "/root/repo/src/core/sequential_server.cpp" "src/CMakeFiles/qserv.dir/core/sequential_server.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/core/sequential_server.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/qserv.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/core/server.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/qserv.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/qserv.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/CMakeFiles/qserv.dir/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/harness/sweep.cpp.o.d"
+  "/root/repo/src/net/bytestream.cpp" "src/CMakeFiles/qserv.dir/net/bytestream.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/net/bytestream.cpp.o.d"
+  "/root/repo/src/net/netchan.cpp" "src/CMakeFiles/qserv.dir/net/netchan.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/net/netchan.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/CMakeFiles/qserv.dir/net/protocol.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/net/protocol.cpp.o.d"
+  "/root/repo/src/net/virtual_udp.cpp" "src/CMakeFiles/qserv.dir/net/virtual_udp.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/net/virtual_udp.cpp.o.d"
+  "/root/repo/src/sim/combat.cpp" "src/CMakeFiles/qserv.dir/sim/combat.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/combat.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/qserv.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/entity.cpp" "src/CMakeFiles/qserv.dir/sim/entity.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/entity.cpp.o.d"
+  "/root/repo/src/sim/game_rules.cpp" "src/CMakeFiles/qserv.dir/sim/game_rules.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/game_rules.cpp.o.d"
+  "/root/repo/src/sim/items.cpp" "src/CMakeFiles/qserv.dir/sim/items.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/items.cpp.o.d"
+  "/root/repo/src/sim/move.cpp" "src/CMakeFiles/qserv.dir/sim/move.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/move.cpp.o.d"
+  "/root/repo/src/sim/snapshot.cpp" "src/CMakeFiles/qserv.dir/sim/snapshot.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/snapshot.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/qserv.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/sim/world.cpp.o.d"
+  "/root/repo/src/spatial/areanode_tree.cpp" "src/CMakeFiles/qserv.dir/spatial/areanode_tree.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/spatial/areanode_tree.cpp.o.d"
+  "/root/repo/src/spatial/collision.cpp" "src/CMakeFiles/qserv.dir/spatial/collision.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/spatial/collision.cpp.o.d"
+  "/root/repo/src/spatial/map.cpp" "src/CMakeFiles/qserv.dir/spatial/map.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/spatial/map.cpp.o.d"
+  "/root/repo/src/spatial/map_gen.cpp" "src/CMakeFiles/qserv.dir/spatial/map_gen.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/spatial/map_gen.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/qserv.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/qserv.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/util/table.cpp.o.d"
+  "/root/repo/src/vthread/fiber.cpp" "src/CMakeFiles/qserv.dir/vthread/fiber.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/vthread/fiber.cpp.o.d"
+  "/root/repo/src/vthread/real_platform.cpp" "src/CMakeFiles/qserv.dir/vthread/real_platform.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/vthread/real_platform.cpp.o.d"
+  "/root/repo/src/vthread/sim_platform.cpp" "src/CMakeFiles/qserv.dir/vthread/sim_platform.cpp.o" "gcc" "src/CMakeFiles/qserv.dir/vthread/sim_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bots_test.dir/bots_test.cpp.o"
+  "CMakeFiles/bots_test.dir/bots_test.cpp.o.d"
+  "bots_test"
+  "bots_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

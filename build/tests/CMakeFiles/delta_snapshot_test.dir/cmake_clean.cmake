@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_snapshot_test.dir/delta_snapshot_test.cpp.o"
+  "CMakeFiles/delta_snapshot_test.dir/delta_snapshot_test.cpp.o.d"
+  "delta_snapshot_test"
+  "delta_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

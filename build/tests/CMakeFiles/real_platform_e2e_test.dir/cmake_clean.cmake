@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_platform_e2e_test.dir/real_platform_e2e_test.cpp.o"
+  "CMakeFiles/real_platform_e2e_test.dir/real_platform_e2e_test.cpp.o.d"
+  "real_platform_e2e_test"
+  "real_platform_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_platform_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

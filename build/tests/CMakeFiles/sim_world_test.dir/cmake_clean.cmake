@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_world_test.dir/sim_world_test.cpp.o"
+  "CMakeFiles/sim_world_test.dir/sim_world_test.cpp.o.d"
+  "sim_world_test"
+  "sim_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vthread_stress_test.dir/vthread_stress_test.cpp.o"
+  "CMakeFiles/vthread_stress_test.dir/vthread_stress_test.cpp.o.d"
+  "vthread_stress_test"
+  "vthread_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vthread_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
