@@ -7,10 +7,13 @@ namespace qserv::bots {
 Client::Client(vt::Platform& platform, net::VirtualNetwork& net,
                const spatial::GameMap& map, Config cfg)
     : platform_(platform),
+      net_(net),
       cfg_(cfg),
+      join_port_(cfg.server_port),
       socket_(net.open(cfg.local_port)),
       selector_(std::make_unique<net::Selector>(platform)),
-      bot_(map, cfg.bot) {
+      bot_(map, cfg.bot),
+      lifecycle_rng_(cfg.lifecycle_seed) {
   selector_->add(*socket_);
   chan_ = std::make_unique<net::NetChannel>(*socket_, cfg.server_port);
 }
@@ -25,6 +28,27 @@ void Client::begin_measurement() {
   metrics_ = Metrics{};
 }
 
+void Client::reopen_socket(uint16_t port) {
+  selector_->remove(*socket_);
+  socket_.reset();  // frees the old port before binding the new one
+  socket_ = net_.open(port);
+  selector_->add(*socket_);
+  cfg_.local_port = port;
+}
+
+void Client::reset_session_state() {
+  connected_ = false;
+  evicted_ = false;
+  player_id_ = 0;
+  last_snapshot_ = net::Snapshot{};
+  reconstructed_.clear();
+  latest_reconstructed_frame_ = 0;
+  // A fresh channel to the original join port: the server allocates a
+  // new slot (we come from a new port), so both ends start at sequence 0.
+  cfg_.server_port = join_port_;
+  chan_ = std::make_unique<net::NetChannel>(*socket_, join_port_);
+}
+
 bool Client::do_connect() {
   while (!stop_.load(std::memory_order_relaxed)) {
     chan_->send(net::encode(net::ConnectMsg{cfg_.name}));
@@ -36,9 +60,19 @@ bool Client::do_connect() {
       net::ByteReader body(nullptr, 0);
       if (!chan_->accept(d, info, body)) continue;
       net::ServerMsgType type;
-      if (!net::decode_server_type(body, type) ||
-          type != net::ServerMsgType::kConnectAck)
-        continue;
+      if (!net::decode_server_type(body, type)) continue;
+      if (type == net::ServerMsgType::kReject) {
+        net::RejectMsg rej;
+        if (decode(body, rej) &&
+            rej.reason == net::RejectReason::kServerFull) {
+          // The server is full and said so: stop hammering the port.
+          if (recording_) ++metrics_.rejected_full;
+          rejected_ = true;
+          return false;
+        }
+        continue;  // a stale eviction notice from a previous session
+      }
+      if (type != net::ServerMsgType::kConnectAck) continue;
       net::ConnectAck ack;
       if (!decode(body, ack)) continue;
       player_id_ = ack.player_id;
@@ -49,6 +83,7 @@ bool Client::do_connect() {
         chan_->set_remote(ack.assigned_port);
       }
       connected_ = true;
+      last_server_packet_ = platform_.now();
       return true;
     }
   }
@@ -63,6 +98,7 @@ void Client::drain_replies() {
     if (!chan_->accept(d, info, body) || info.duplicate_or_old) continue;
     net::ServerMsgType type;
     if (!net::decode_server_type(body, type)) continue;
+    last_server_packet_ = platform_.now();
     net::Snapshot snap;
     if (type == net::ServerMsgType::kSnapshot) {
       if (!decode(body, snap)) continue;
@@ -80,6 +116,15 @@ void Client::drain_replies() {
         continue;
       }
       if (recording_) ++metrics_.delta_snapshots;
+    } else if (type == net::ServerMsgType::kReject) {
+      net::RejectMsg rej;
+      if (decode(body, rej) && rej.reason == net::RejectReason::kEvicted) {
+        // The server reaped us (we looked dead to it). Re-enter the
+        // connect loop instead of replaying moves into a void.
+        if (recording_) ++metrics_.evictions_observed;
+        evicted_ = true;
+      }
+      continue;
     } else {
       continue;
     }
@@ -111,10 +156,8 @@ void Client::drain_replies() {
   }
 }
 
-void Client::run() {
-  if (cfg_.initial_delay.ns > 0) platform_.sleep_for(cfg_.initial_delay);
-  if (!do_connect()) return;
-
+Client::SessionEnd Client::play_session(vt::TimePoint session_end,
+                                        bool crash_at_end) {
   vt::TimePoint next_tick = platform_.now();
   while (!stop_.load(std::memory_order_relaxed)) {
     // A 30 fps client only processes replies at its frame boundary, so
@@ -123,6 +166,15 @@ void Client::run() {
     platform_.sleep_until(next_tick);
     drain_replies();
     if (stop_.load(std::memory_order_relaxed)) break;
+    if (evicted_) return SessionEnd::kEvicted;
+    const vt::TimePoint now = platform_.now();
+    if (session_end.ns > 0 && now >= session_end) {
+      return crash_at_end ? SessionEnd::kCrash : SessionEnd::kQuit;
+    }
+    if (cfg_.server_silence_timeout.ns > 0 &&
+        now - last_server_packet_ >= cfg_.server_silence_timeout) {
+      return SessionEnd::kSilence;
+    }
     next_tick += cfg_.frame_interval;
 
     // One move command per client frame, like a 30 fps client.
@@ -134,7 +186,64 @@ void Client::run() {
     chan_->send(net::encode(cmd));
     if (recording_) ++metrics_.moves_sent;
   }
-  chan_->send(net::encode_disconnect());
+  return SessionEnd::kStop;
+}
+
+void Client::run() {
+  if (cfg_.initial_delay.ns > 0) platform_.sleep_for(cfg_.initial_delay);
+
+  bool first_session = true;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!first_session && recording_) ++metrics_.rejoins;
+    if (!do_connect()) break;  // stopped, or rejected as server-full
+    if (recording_) ++metrics_.sessions;
+    first_session = false;
+
+    // Draw this session's churn plan: how long to stay, and whether to
+    // leave by crashing or by saying goodbye.
+    vt::TimePoint session_end{};  // 0 = unbounded
+    bool crash_at_end = false;
+    if (cfg_.mean_session.ns > 0) {
+      session_end = platform_.now() +
+                    cfg_.mean_session * (0.5 + lifecycle_rng_.uniform());
+      crash_at_end = lifecycle_rng_.chance(cfg_.crash_fraction);
+    }
+
+    const SessionEnd end = play_session(session_end, crash_at_end);
+    bool churned = false;
+    switch (end) {
+      case SessionEnd::kStop:
+        // connected_ stays set: "was connected when the run ended", which
+        // is what harnesses read after the platform stops.
+        chan_->send(net::encode_disconnect());
+        return;
+      case SessionEnd::kCrash:
+        // Vanish: no disconnect, the server must time us out.
+        if (recording_) ++metrics_.crashes;
+        churned = true;
+        break;
+      case SessionEnd::kQuit:
+        chan_->send(net::encode_disconnect());
+        if (recording_) ++metrics_.graceful_quits;
+        churned = true;
+        break;
+      case SessionEnd::kEvicted:
+        break;  // counted in drain_replies; reconnect immediately
+      case SessionEnd::kSilence:
+        if (recording_) ++metrics_.silence_reconnects;
+        break;
+    }
+    connected_ = false;
+    // Eviction and silence always re-enter the connect loop (lifecycle
+    // hardening); scheduled churn honors the rejoin setting.
+    if (churned) {
+      if (!cfg_.rejoin) break;
+      if (cfg_.rejoin_delay.ns > 0) platform_.sleep_for(cfg_.rejoin_delay);
+      if (stop_.load(std::memory_order_relaxed)) break;
+    }
+    if (cfg_.fresh_port) reopen_socket(cfg_.fresh_port());
+    reset_session_state();
+  }
 }
 
 }  // namespace qserv::bots

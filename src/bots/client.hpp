@@ -2,9 +2,17 @@
 // per client frame (~30 ms, as a 30 fps client would), consumes snapshot
 // replies, and measures the paper's two client-side metrics — response
 // rate (replies/s) and response time (request send -> reply receipt).
+//
+// Lifecycle hardening: the client understands the server's explicit
+// reject messages (server-full stops the connect-retry loop; eviction
+// triggers a reconnect), can detect a silent server and reconnect on a
+// fresh port, and — for chaos workloads — can churn: crash (vanish
+// without a disconnect), quit gracefully, and rejoin on a schedule drawn
+// from a seeded RNG.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -14,6 +22,7 @@
 #include "src/net/protocol.hpp"
 #include "src/net/virtual_udp.hpp"
 #include "src/util/histogram.hpp"
+#include "src/util/rng.hpp"
 
 namespace qserv::bots {
 
@@ -27,6 +36,22 @@ class Client {
     vt::Duration connect_retry = vt::millis(250);
     vt::Duration initial_delay{};  // connect stagger
     Bot::Config bot;
+
+    // --- lifecycle / churn ---
+    // Reconnect (on a fresh port) when no server packet has arrived for
+    // this long while connected. 0 = wait forever, the seed behavior.
+    vt::Duration server_silence_timeout{};
+    // Mean session length; each session lasts 0.5x..1.5x of it, then the
+    // client crashes or quits. 0 = play forever (no churn).
+    vt::Duration mean_session{};
+    float crash_fraction = 0.5f;  // crash silently vs quit gracefully
+    vt::Duration rejoin_delay = vt::millis(250);
+    bool rejoin = true;  // come back after a crash/quit?
+    uint64_t lifecycle_seed = 1;
+    // Allocates a fresh local port for each rejoin/reconnect (a real
+    // client reconnects from a new ephemeral port, which also sidesteps
+    // stale netchan sequencing on both ends). Null = reuse the port.
+    std::function<uint16_t()> fresh_port;
   };
 
   struct Metrics {
@@ -37,6 +62,14 @@ class Client {
     uint64_t undecodable_deltas = 0;  // baseline lost; waited for a full
     uint64_t events_seen = 0;
     uint64_t drops_detected = 0;
+    // Lifecycle counters.
+    uint64_t sessions = 0;            // successful connects
+    uint64_t crashes = 0;             // vanished without a disconnect
+    uint64_t graceful_quits = 0;      // sent a disconnect
+    uint64_t rejoins = 0;             // re-entered the connect loop
+    uint64_t evictions_observed = 0;  // server said kEvicted
+    uint64_t rejected_full = 0;       // server said kServerFull
+    uint64_t silence_reconnects = 0;  // gave up on a silent server
     Histogram response_time{1e-4, 1.15, 120};  // seconds
     StatAccumulator snapshot_entities;  // visible entities per snapshot
     int16_t frags = 0;
@@ -46,7 +79,8 @@ class Client {
   Client(vt::Platform& platform, net::VirtualNetwork& net,
          const spatial::GameMap& map, Config cfg);
 
-  // Fiber body; returns when request_stop() has been called.
+  // Fiber body; returns when request_stop() has been called, the server
+  // rejected us as full, or a crash/quit with rejoin disabled.
   void run();
   void request_stop();
 
@@ -55,20 +89,39 @@ class Client {
   void begin_measurement();
 
   bool connected() const { return connected_; }
+  bool rejected() const { return rejected_; }
   uint32_t player_id() const { return player_id_; }
+  uint16_t local_port() const { return cfg_.local_port; }
   const Metrics& metrics() const { return metrics_; }
   const net::Snapshot& last_snapshot() const { return last_snapshot_; }
 
  private:
+  // Why a play session ended.
+  enum class SessionEnd : uint8_t {
+    kStop,     // request_stop()
+    kCrash,    // churn schedule: vanish without a word
+    kQuit,     // churn schedule: send a disconnect
+    kEvicted,  // server reaped us (kEvicted reject)
+    kSilence,  // server went silent past server_silence_timeout
+  };
+
   bool do_connect();
+  SessionEnd play_session(vt::TimePoint session_end, bool crash_at_end);
   void drain_replies();
+  // Rebinds to `port` (fresh socket + selector registration).
+  void reopen_socket(uint16_t port);
+  // Clears per-session state and opens a fresh channel to the join port.
+  void reset_session_state();
 
   vt::Platform& platform_;
+  net::VirtualNetwork& net_;
   Config cfg_;
+  const uint16_t join_port_;  // the server port connects always target
   std::unique_ptr<net::Socket> socket_;
   std::unique_ptr<net::Selector> selector_;
   std::unique_ptr<net::NetChannel> chan_;
   Bot bot_;
+  Rng lifecycle_rng_;
 
   // Snapshot reconstruction cache for delta decoding: entity lists of
   // recently reconstructed frames, keyed by server frame.
@@ -77,6 +130,9 @@ class Client {
 
   std::atomic<bool> stop_{false};
   bool connected_ = false;
+  bool rejected_ = false;  // server-full; stop trying
+  bool evicted_ = false;   // set by drain_replies on a kEvicted reject
+  vt::TimePoint last_server_packet_{};  // silence-timeout clock
   // Recording is on from the start; harnesses call begin_measurement()
   // at the warmup boundary to discard warmup samples.
   bool recording_ = true;

@@ -7,7 +7,11 @@ namespace qserv::bots {
 ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
                            const spatial::GameMap& map,
                            const core::Server& server, Config cfg)
-    : platform_(platform), cfg_(cfg) {
+    : platform_(platform),
+      cfg_(cfg),
+      next_port_(std::make_shared<std::atomic<uint32_t>>(
+          static_cast<uint32_t>(cfg.first_local_port) +
+          static_cast<uint32_t>(cfg.players))) {
   Rng rng(cfg.seed);
   for (int i = 0; i < cfg.players; ++i) {
     Client::Config cc;
@@ -19,6 +23,19 @@ ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
     cc.bot.seed = rng.next_u64();
     cc.bot.aggression = cfg.aggression;
     cc.bot.grenade_ratio = cfg.grenade_ratio;
+    cc.server_silence_timeout = cfg.server_silence_timeout;
+    cc.lifecycle_seed = rng.next_u64();
+    if (cfg.churn.enabled) {
+      cc.mean_session = cfg.churn.mean_session;
+      cc.crash_fraction = cfg.churn.crash_fraction;
+      cc.rejoin_delay = cfg.churn.rejoin_delay;
+      cc.rejoin = cfg.churn.rejoin;
+    }
+    // Rejoins and reconnects come from a fresh ephemeral port, allocated
+    // past the initial port block so it can never collide.
+    cc.fresh_port = [alloc = next_port_] {
+      return static_cast<uint16_t>(alloc->fetch_add(1));
+    };
     clients_.push_back(std::make_unique<Client>(platform, net, map, cc));
   }
 }
@@ -50,6 +67,13 @@ ClientDriver::Aggregate ClientDriver::aggregate(vt::Duration window) const {
     out.drops_detected += m.drops_detected;
     out.connected += c->connected() ? 1 : 0;
     out.total_frags += m.frags;
+    out.sessions += m.sessions;
+    out.crashes += m.crashes;
+    out.graceful_quits += m.graceful_quits;
+    out.rejoins += m.rejoins;
+    out.evictions_observed += m.evictions_observed;
+    out.rejected_full += m.rejected_full;
+    out.silence_reconnects += m.silence_reconnects;
     rt.merge(m.response_time);
   }
   if (window.ns > 0)

@@ -1,8 +1,13 @@
 // Drives a population of automatic clients against a server: spawns one
 // client fiber/thread per player on the client-farm domain, staggers
 // connections, and aggregates the client-side metrics the paper reports.
+//
+// For chaos workloads the driver can also run a churn schedule — clients
+// crash, quit, and rejoin on fresh ports — and aggregates the lifecycle
+// counters (churn, evictions, rejects) next to the paper's metrics.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -13,6 +18,17 @@ namespace qserv::bots {
 
 class ClientDriver {
  public:
+  // Scheduled client churn: each session lasts 0.5x..1.5x mean_session,
+  // then the client crashes (silently) or quits (disconnect), and rejoins
+  // on a fresh local port after rejoin_delay.
+  struct ChurnConfig {
+    bool enabled = false;
+    vt::Duration mean_session = vt::seconds(30);
+    float crash_fraction = 0.5f;
+    vt::Duration rejoin_delay = vt::millis(250);
+    bool rejoin = true;
+  };
+
   struct Config {
     int players = 64;
     uint16_t first_local_port = 40000;
@@ -21,6 +37,9 @@ class ClientDriver {
     uint64_t seed = 1;
     float aggression = 0.8f;
     float grenade_ratio = 0.3f;
+    // Reconnect when the server goes silent for this long (0 = never).
+    vt::Duration server_silence_timeout{};
+    ChurnConfig churn;
   };
 
   ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
@@ -44,6 +63,14 @@ class ClientDriver {
     int connected = 0;
     int total_frags = 0;
     double snapshot_entities_mean = 0.0;  // visibility proxy
+    // Lifecycle / churn columns.
+    uint64_t sessions = 0;
+    uint64_t crashes = 0;
+    uint64_t graceful_quits = 0;
+    uint64_t rejoins = 0;
+    uint64_t evictions_observed = 0;
+    uint64_t rejected_full = 0;
+    uint64_t silence_reconnects = 0;
   };
   // Aggregates metrics over a measurement window of `window` seconds.
   Aggregate aggregate(vt::Duration window) const;
@@ -55,6 +82,8 @@ class ClientDriver {
  private:
   vt::Platform& platform_;
   Config cfg_;
+  // Fresh-port allocator shared by all clients' rejoin paths.
+  std::shared_ptr<std::atomic<uint32_t>> next_port_;
   std::vector<std::unique_ptr<Client>> clients_;
 };
 

@@ -60,6 +60,19 @@ struct ServerConfig {
   // Per-client history of sent snapshots kept for baselining.
   int snapshot_history = 8;
 
+  // Client liveness (QuakeWorld's sv_timeout): a client heard from
+  // nothing for this long is reaped between frames — its entity leaves
+  // the world and areanode tree, its slot frees, and it is sent an
+  // explicit kEvicted reject. Zero disables reaping (the seed behavior:
+  // silent clients leak their slot forever).
+  vt::Duration client_timeout{};
+
+  // Debug hook: after each frame the master cross-checks client registry
+  // <-> world entities <-> areanode membership (core/invariant_checker).
+  // Off by default — it is O(world) per frame and charges no modelled
+  // compute, so it must not run during measured experiments.
+  bool check_invariants = false;
+
   int areanode_depth = 4;  // 31 nodes / 16 leaves by default
   uint16_t base_port = 27500;  // thread i receives on base_port + i
   int max_clients = 512;

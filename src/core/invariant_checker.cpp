@@ -1,0 +1,125 @@
+#include "src/core/invariant_checker.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/server.hpp"
+
+namespace qserv::core {
+
+void InvariantChecker::violation(std::string msg) {
+  ++total_violations_;
+  ++current_run_violations_;
+  if (messages_.size() < kMaxMessages) messages_.push_back(std::move(msg));
+}
+
+int InvariantChecker::run() {
+  ++runs_;
+  current_run_violations_ = 0;
+
+  const auto& clients = server_.clients_;
+  const auto& by_port = server_.client_slot_by_port_;
+  const sim::World& world = server_.world_;
+  const spatial::AreanodeTree& tree = world.tree();
+
+  // --- 1. client registry: slots <-> port map ---
+  int in_use = 0;
+  std::unordered_set<uint32_t> client_entities;
+  for (size_t s = 0; s < clients.size(); ++s) {
+    const auto& c = clients[s];
+    if (!c.in_use) continue;
+    ++in_use;
+    const auto it = by_port.find(c.remote_port);
+    if (it == by_port.end()) {
+      violation("slot " + std::to_string(s) + " (port " +
+                std::to_string(c.remote_port) + ") missing from port map");
+    } else if (it->second != static_cast<int>(s)) {
+      violation("port " + std::to_string(c.remote_port) + " maps to slot " +
+                std::to_string(it->second) + ", not " + std::to_string(s));
+    }
+    if (!client_entities.insert(c.entity_id).second) {
+      violation("entity " + std::to_string(c.entity_id) +
+                " owned by two client slots");
+    }
+    // --- 2. registry -> world: the slot's player entity is alive ---
+    const sim::Entity* e = world.get(c.entity_id);
+    if (e == nullptr) {
+      violation("slot " + std::to_string(s) + " references dead entity " +
+                std::to_string(c.entity_id));
+      continue;
+    }
+    if (!e->is_player()) {
+      violation("slot " + std::to_string(s) + " entity " +
+                std::to_string(c.entity_id) + " is not a player");
+    }
+  }
+  if (static_cast<int>(by_port.size()) != in_use) {
+    violation("port map has " + std::to_string(by_port.size()) +
+              " entries for " + std::to_string(in_use) + " in-use slots");
+  }
+  for (const auto& [port, slot] : by_port) {
+    if (slot < 0 || slot >= static_cast<int>(clients.size()) ||
+        !clients[static_cast<size_t>(slot)].in_use) {
+      violation("port " + std::to_string(port) + " maps to freed slot " +
+                std::to_string(slot));
+    } else if (clients[static_cast<size_t>(slot)].remote_port != port) {
+      violation("port map entry " + std::to_string(port) +
+                " disagrees with slot " + std::to_string(slot) + " port " +
+                std::to_string(clients[static_cast<size_t>(slot)].remote_port));
+    }
+  }
+
+  // --- 2b. world -> registry: no orphan player entities ---
+  int active_players = 0;
+  world.for_each_entity([&](const sim::Entity& e) {
+    if (!e.is_player()) return;
+    ++active_players;
+    if (!client_entities.contains(e.id)) {
+      violation("player entity " + std::to_string(e.id) + " (" + e.name +
+                ") has no client slot");
+    }
+  });
+  if (active_players != in_use) {
+    violation(std::to_string(active_players) + " player entities for " +
+              std::to_string(in_use) + " connected clients");
+  }
+
+  // --- 3. areanode membership: link fields <-> node object lists ---
+  std::unordered_map<uint32_t, int> linked_at;  // entity id -> node index
+  size_t linked_total = 0;
+  for (int n = 0; n < tree.node_count(); ++n) {
+    for (const uint32_t id : tree.node(n).objects) {
+      ++linked_total;
+      if (!linked_at.emplace(id, n).second) {
+        violation("entity " + std::to_string(id) +
+                  " linked to multiple areanodes");
+      }
+      const sim::Entity* e = world.get(id);
+      if (e == nullptr) {
+        violation("areanode " + std::to_string(n) +
+                  " lists inactive entity " + std::to_string(id));
+      } else if (e->areanode != n) {
+        violation("entity " + std::to_string(id) + " listed in node " +
+                  std::to_string(n) + " but claims node " +
+                  std::to_string(e->areanode));
+      }
+    }
+  }
+  size_t should_be_linked = 0;
+  world.for_each_entity([&](const sim::Entity& e) {
+    if (e.areanode < 0) return;
+    ++should_be_linked;
+    if (!linked_at.contains(e.id)) {
+      violation("entity " + std::to_string(e.id) + " claims node " +
+                std::to_string(e.areanode) + " but is linked nowhere");
+    }
+  });
+  if (linked_total != should_be_linked) {
+    violation("tree links " + std::to_string(linked_total) +
+              " entities, world expects " + std::to_string(should_be_linked));
+  }
+
+  return current_run_violations_;
+}
+
+}  // namespace qserv::core

@@ -37,7 +37,11 @@ void ParallelServer::worker_loop(int tid) {
     const bool ready = selectors_[static_cast<size_t>(tid)]->wait_until(
         platform_.now() + cfg_.select_timeout);
     st.breakdown.idle += platform_.now() - idle0;
-    if (!ready) continue;
+    // A select timeout normally just re-checks the stop flag — but when a
+    // client has been silent past client_timeout, fall through and run a
+    // maintenance frame so the master duties below reap it even on an
+    // otherwise idle server.
+    if (!ready && !reap_due()) continue;
     platform_.compute(cfg_.costs.select_syscall);
 
     bool is_master = false;
@@ -140,10 +144,15 @@ void ParallelServer::worker_loop(int tid) {
       sync_mu_->unlock();
 
       // Master duties: clear the global state buffer, harvest per-frame
-      // lock statistics, then signal the frame end to wake any threads
-      // that missed this frame.
+      // lock statistics, reap timed-out clients, audit invariants (when
+      // enabled), then signal the frame end to wake any threads that
+      // missed this frame. All participants are past their reply phase
+      // and non-participants are blocked on kIdle, so this window is
+      // single-threaded — safe for entity removal and the audit walk.
       global_events_.clear();
       lock_manager_->frame_harvest(frame_lock_stats_);
+      reap_timed_out_clients(st);
+      run_invariant_check();
 
       sync_mu_->lock();
       sync_.phase = FramePhase::kIdle;

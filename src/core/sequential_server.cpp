@@ -25,7 +25,16 @@ void SequentialServer::main_loop() {
     const bool ready =
         selectors_[0]->wait_until(platform_.now() + cfg_.select_timeout);
     st.breakdown.idle += platform_.now() - idle0;
-    if (!ready) continue;
+    if (!ready) {
+      // No traffic woke us, but silent clients still age: reap them even
+      // when no frames are running, or a lone stalled client would hold
+      // its slot forever.
+      if (reap_due()) {
+        reap_timed_out_clients(st);
+        run_invariant_check();
+      }
+      continue;
+    }
     platform_.compute(cfg_.costs.select_syscall);
 
     ++frames_;
@@ -42,8 +51,11 @@ void SequentialServer::main_loop() {
     // buffer global updates for everyone else.
     do_replies(0, st, /*include_unowned=*/true, /*participants_mask=*/1);
 
-    // Frame end: clear the global state buffer.
+    // Frame end: clear the global state buffer, reap timed-out clients,
+    // and (when enabled) audit cross-structure consistency.
     global_events_.clear();
+    reap_timed_out_clients(st);
+    run_invariant_check();
   }
 }
 

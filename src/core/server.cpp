@@ -1,7 +1,9 @@
 #include "src/core/server.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "src/core/invariant_checker.hpp"
 #include "src/sim/move.hpp"
 #include "src/sim/snapshot.hpp"
 #include "src/util/check.hpp"
@@ -37,11 +39,14 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
   QSERV_CHECK(cfg.threads >= 1 && cfg.threads <= 64);
   lock_manager_ =
       std::make_unique<LockManager>(platform, world_.tree(), cfg.costs);
-  // Entity storage must never reallocate once clients join (concurrent
-  // readers hold references during request processing).
+  // Entity storage must never reallocate or change size once clients
+  // join: concurrent readers hold references and call get() during
+  // request processing, so connect-time spawns may only pop free slots.
   world_.reserve_entities(world_.active_entities() +
                           static_cast<size_t>(cfg.max_clients) + 256);
   clients_.resize(static_cast<size_t>(cfg.max_clients));
+  if (cfg.check_invariants)
+    invariants_ = std::make_unique<InvariantChecker>(*this);
   const int n = cfg.threads;
   stats_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -146,6 +151,10 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
     const bool parsed = framed && net::decode_client_type(body, type);
     st.breakdown.receive += platform_.now() - t0;
     if (!parsed) continue;
+    // Any well-formed traffic proves liveness, even stale duplicates.
+    if (client != nullptr)
+      std::atomic_ref<int64_t>(client->last_heard_ns)
+          .store(platform_.now().ns, std::memory_order_relaxed);
     if (client != nullptr && info.duplicate_or_old &&
         type == net::ClientMsgType::kMove) {
       continue;  // stale or duplicated move
@@ -167,7 +176,7 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
         break;
       }
       case net::ClientMsgType::kDisconnect:
-        if (client != nullptr) handle_disconnect(*client);
+        if (client != nullptr) handle_disconnect(*client, st);
         break;
     }
   }
@@ -189,14 +198,25 @@ void Server::handle_connect(int tid, const net::Datagram& d,
           break;
         }
       }
-      if (slot < 0) return;  // server full; silently drop, like Quake
+      if (slot < 0) ++rejected_connects_;  // rejected explicitly below
+    }
+    if (slot >= 0 &&
+        !clients_[static_cast<size_t>(slot)].in_use) {
       client_slot_by_port_[d.src_port] = slot;
       Client& c = clients_[static_cast<size_t>(slot)];
       c.in_use = true;
       c.remote_port = d.src_port;
       c.name = msg.name;
       c.pending_reply = false;
+      c.notify_port = false;
       c.last_seq = 0;
+      c.last_move_time_ns = 0;
+      std::atomic_ref<int64_t>(c.last_heard_ns)
+          .store(platform_.now().ns, std::memory_order_relaxed);
+      // A reused slot must not inherit the previous occupant's delta
+      // baselines — the new client has reconstructed nothing.
+      c.history.clear();
+      c.client_baseline_frame = 0;
 
       LockManager::ListLockContext ctx(*lock_manager_, st);
       sim::Entity& player = world_.spawn_player(
@@ -215,6 +235,16 @@ void Server::handle_connect(int tid, const net::Datagram& d,
       c.buffer = std::make_unique<ReplyBuffer>(platform_);
       ++st.connects;
     }
+  }
+
+  if (slot < 0) {
+    // Server full: an explicit reject stops the client's connect-retry
+    // loop (the seed silently dropped the datagram, Quake-style, so a
+    // refused client hammered the port forever).
+    platform_.compute(cfg_.costs.send_syscall);
+    net::NetChannel reject(*sockets_[static_cast<size_t>(tid)], d.src_port);
+    reject.send(net::encode(net::RejectMsg{net::RejectReason::kServerFull}));
+    return;
   }
 
   Client& c = clients_[static_cast<size_t>(slot)];
@@ -265,15 +295,68 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
   ++st.requests_processed;
 }
 
-void Server::handle_disconnect(Client& client) {
+void Server::handle_disconnect(Client& client, ThreadStats& st) {
   vt::LockGuard g(*clients_mu_);
   if (!client.in_use) return;
-  if (world_.get(client.entity_id) != nullptr)
-    world_.remove_entity(client.entity_id);
+  if (world_.get(client.entity_id) != nullptr) {
+    // Unlink under the node-list locks: other workers may be mid-gather
+    // on the node this entity sits in.
+    LockManager::ListLockContext ctx(*lock_manager_, st);
+    world_.remove_entity(client.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
+  }
   client_slot_by_port_.erase(client.remote_port);
   client.in_use = false;
   client.chan.reset();
   client.buffer.reset();
+  client.history.clear();
+}
+
+bool Server::reap_due() const {
+  if (cfg_.client_timeout.ns <= 0) return false;
+  const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
+  vt::LockGuard g(*clients_mu_);
+  for (const auto& c : clients_) {
+    if (c.in_use && std::atomic_ref<const int64_t>(c.last_heard_ns)
+                            .load(std::memory_order_relaxed) <= cutoff)
+      return true;
+  }
+  return false;
+}
+
+int Server::reap_timed_out_clients(ThreadStats& st) {
+  if (cfg_.client_timeout.ns <= 0) return 0;
+  const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
+  int evicted = 0;
+  vt::LockGuard g(*clients_mu_);
+  for (auto& c : clients_) {
+    if (!c.in_use || std::atomic_ref<int64_t>(c.last_heard_ns)
+                             .load(std::memory_order_relaxed) > cutoff)
+      continue;
+    // Parting shot so a merely-stalled client learns its fate instead of
+    // replaying moves into a void (best effort; a crashed client never
+    // reads it, exactly like QuakeWorld's timeout drop message).
+    platform_.compute(cfg_.costs.send_syscall);
+    c.chan->send(net::encode(net::RejectMsg{net::RejectReason::kEvicted}));
+    LockManager::ListLockContext ctx(*lock_manager_, st);
+    if (world_.get(c.entity_id) != nullptr)
+      world_.remove_entity(c.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
+    client_slot_by_port_.erase(c.remote_port);
+    c.in_use = false;
+    c.chan.reset();
+    c.buffer.reset();
+    c.history.clear();
+    ++evicted;
+    ++evictions_;
+  }
+  return evicted;
+}
+
+void Server::run_invariant_check() {
+  if (invariants_ != nullptr) invariants_->run();
+}
+
+uint64_t Server::invariant_violations() const {
+  return invariants_ == nullptr ? 0 : invariants_->total_violations();
 }
 
 int Server::owner_for_region(const Vec3& origin) const {

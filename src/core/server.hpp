@@ -23,6 +23,8 @@
 
 namespace qserv::core {
 
+class InvariantChecker;
+
 class Server {
  public:
   Server(vt::Platform& platform, net::VirtualNetwork& net,
@@ -65,6 +67,18 @@ class Server {
   // Dynamic-assignment client migrations performed so far.
   uint64_t reassignments() const { return reassignments_; }
 
+  // Clients reaped so far for exceeding client_timeout.
+  uint64_t evictions() const { return evictions_; }
+  // Connects refused with kServerFull so far.
+  uint64_t rejected_connects() const { return rejected_connects_; }
+
+  // Null unless cfg.check_invariants (see core/invariant_checker.hpp).
+  const InvariantChecker* invariant_checker() const {
+    return invariants_.get();
+  }
+  // Total cross-structure violations detected (0 when checking is off).
+  uint64_t invariant_violations() const;
+
   const sim::World& world() const { return world_; }
   sim::World& world() { return world_; }
   const ServerConfig& config() const { return cfg_; }
@@ -81,6 +95,11 @@ class Server {
     bool notify_port = false;  // next snapshot carries assigned_port
     uint32_t last_seq = 0;          // latest move sequence processed
     int64_t last_move_time_ns = 0;  // echoed back in the reply
+    // When the server last heard anything from this client (liveness
+    // clock for client_timeout reaping). Written by the thread draining
+    // the client's datagrams while an idle thread may concurrently poll
+    // reap_due(), so all access goes through std::atomic_ref.
+    int64_t last_heard_ns = 0;
     bool pending_reply = false;     // sent a request this frame
     std::unique_ptr<net::NetChannel> chan;
     std::unique_ptr<ReplyBuffer> buffer;
@@ -116,7 +135,7 @@ class Server {
                       const net::ConnectMsg& msg, ThreadStats& st);
   void handle_move(int tid, Client& client, const net::MoveCmd& cmd,
                    ThreadStats& st, bool use_locks);
-  void handle_disconnect(Client& client);
+  void handle_disconnect(Client& client, ThreadStats& st);
 
   Client* client_by_port(uint16_t port);
 
@@ -126,6 +145,20 @@ class Server {
   // Re-partitions all clients by their current region (master-only, runs
   // between frames). Returns how many clients moved.
   int reassign_clients();
+
+  // True when client_timeout is enabled and some connected client has
+  // been silent past it — the cue for a maintenance frame when the
+  // server is otherwise idle.
+  bool reap_due() const;
+
+  // Reaps every timed-out client: sends kEvicted, removes the entity
+  // from the world and areanode tree (under list locks via `st`), frees
+  // the slot. Master-only, between frames. Returns clients evicted.
+  int reap_timed_out_clients(ThreadStats& st);
+
+  // Runs the cross-structure audit when cfg.check_invariants is set.
+  // Master-only, between frames.
+  void run_invariant_check();
 
   vt::Platform& platform_;
   net::VirtualNetwork& net_;
@@ -150,6 +183,11 @@ class Server {
   bool frame_trace_enabled_ = false;
   uint64_t reassignments_ = 0;
   vt::TimePoint next_reassign_{};
+  uint64_t evictions_ = 0;          // guarded by clients_mu_
+  uint64_t rejected_connects_ = 0;  // guarded by clients_mu_
+  std::unique_ptr<InvariantChecker> invariants_;  // null unless enabled
+
+  friend class InvariantChecker;
 };
 
 }  // namespace qserv::core

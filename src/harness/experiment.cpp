@@ -66,6 +66,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dcfg.seed = cfg.seed * 31 + 5;
   dcfg.aggression = cfg.bot_aggression;
   dcfg.grenade_ratio = cfg.bot_grenade_ratio;
+  dcfg.server_silence_timeout = cfg.client_silence_timeout;
+  dcfg.churn = cfg.churn;
   bots::ClientDriver driver(platform, network, *map, *server, dcfg);
 
   if (cfg.frame_trace) server->enable_frame_trace();
@@ -137,6 +139,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   out.overflow_drops =
       network.packets_overflowed() - overflow_at_measure_start;
   out.reassignments = server->reassignments();
+  out.evictions = server->evictions();
+  out.rejected_connects = server->rejected_connects();
+  out.invariant_violations = server->invariant_violations();
+  out.client_sessions = agg.sessions;
+  out.client_crashes = agg.crashes;
+  out.client_quits = agg.graceful_quits;
+  out.client_rejoins = agg.rejoins;
+  out.client_evictions_seen = agg.evictions_observed;
   out.sim_events = platform.events_processed();
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)

@@ -27,6 +27,10 @@ struct ExperimentConfig {
   float bot_aggression = 0.8f;
   float bot_grenade_ratio = 0.3f;
   uint64_t seed = 1;
+  // Client lifecycle knobs (chaos workloads): reconnect on server silence,
+  // and scheduled crash/quit/rejoin churn. Defaults leave both off.
+  vt::Duration client_silence_timeout{};
+  bots::ClientDriver::ChurnConfig churn;
   // Record the per-frame, per-thread request counts (§5.2 analysis).
   bool frame_trace = false;
   // Machine model: the paper's quad Xeon with 2-way hyper-threading.
@@ -71,6 +75,17 @@ struct ExperimentResult {
   uint64_t replies = 0;
   uint64_t overflow_drops = 0;
   uint64_t reassignments = 0;  // dynamic-assignment client migrations
+
+  // Lifecycle / robustness counters (server + client sides).
+  uint64_t evictions = 0;           // clients the server timed out
+  uint64_t rejected_connects = 0;   // connects refused server-full
+  uint64_t invariant_violations = 0;
+  uint64_t client_sessions = 0;
+  uint64_t client_crashes = 0;
+  uint64_t client_quits = 0;
+  uint64_t client_rejoins = 0;
+  uint64_t client_evictions_seen = 0;
+
   int total_frags = 0;
   uint64_t sim_events = 0;   // scheduler events processed (determinism aid)
   double host_seconds = 0.0; // wall time the simulation took to run

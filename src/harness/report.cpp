@@ -32,6 +32,23 @@ std::vector<std::string> rate_row(const std::string& label,
           std::to_string(r.connected)};
 }
 
+std::vector<std::string> lifecycle_header(const std::string& label) {
+  return {label,      "sessions", "crashes",  "quits", "rejoins",
+          "evictions", "rejected", "invariant"};
+}
+
+std::vector<std::string> lifecycle_row(const std::string& label,
+                                       const ExperimentResult& r) {
+  return {label,
+          std::to_string(r.client_sessions),
+          std::to_string(r.client_crashes),
+          std::to_string(r.client_quits),
+          std::to_string(r.client_rejoins),
+          std::to_string(r.evictions),
+          std::to_string(r.rejected_connects),
+          std::to_string(r.invariant_violations)};
+}
+
 void print_summary(const std::string& label, const ExperimentResult& r) {
   std::printf(
       "%-28s rate=%7.0f replies/s  rt=%6.1f ms  lock=%4.1f%%  wait=%4.1f%%  "

@@ -19,6 +19,11 @@ std::vector<std::string> breakdown_row(const std::string& label,
 std::vector<std::string> rate_row(const std::string& label,
                                   const ExperimentResult& r);
 
+// Client-lifecycle / churn columns (chaos workloads).
+std::vector<std::string> lifecycle_header(const std::string& label);
+std::vector<std::string> lifecycle_row(const std::string& label,
+                                       const ExperimentResult& r);
+
 // Prints a one-line summary useful for progress logs.
 void print_summary(const std::string& label, const ExperimentResult& r);
 

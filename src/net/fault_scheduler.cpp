@@ -1,0 +1,113 @@
+#include "src/net/fault_scheduler.hpp"
+
+#include "src/util/check.hpp"
+
+namespace qserv::net {
+
+const char* fault_kind_name(FaultEpisode::Kind k) {
+  switch (k) {
+    case FaultEpisode::Kind::kLossBurst: return "loss-burst";
+    case FaultEpisode::Kind::kLatencySpike: return "latency-spike";
+    case FaultEpisode::Kind::kPartition: return "partition";
+    case FaultEpisode::Kind::kBlackhole: return "blackhole";
+  }
+  return "?";
+}
+
+void FaultScheduler::add(FaultEpisode e) {
+  QSERV_CHECK(e.end.ns >= e.start.ns);
+  episodes_.push_back(e);
+}
+
+void FaultScheduler::add_loss_burst(vt::TimePoint start, vt::Duration dur,
+                                    float loss) {
+  QSERV_CHECK(loss >= 0.0f && loss <= 1.0f);
+  FaultEpisode e;
+  e.kind = FaultEpisode::Kind::kLossBurst;
+  e.start = start;
+  e.end = start + dur;
+  e.loss = loss;
+  add(e);
+}
+
+void FaultScheduler::add_latency_spike(vt::TimePoint start, vt::Duration dur,
+                                       vt::Duration extra) {
+  QSERV_CHECK(extra.ns >= 0);
+  FaultEpisode e;
+  e.kind = FaultEpisode::Kind::kLatencySpike;
+  e.start = start;
+  e.end = start + dur;
+  e.extra_latency = extra;
+  add(e);
+}
+
+void FaultScheduler::add_partition(vt::TimePoint start, vt::Duration dur,
+                                   uint16_t a_lo, uint16_t a_hi, uint16_t b_lo,
+                                   uint16_t b_hi) {
+  QSERV_CHECK(a_lo <= a_hi && b_lo <= b_hi);
+  FaultEpisode e;
+  e.kind = FaultEpisode::Kind::kPartition;
+  e.start = start;
+  e.end = start + dur;
+  e.a_lo = a_lo;
+  e.a_hi = a_hi;
+  e.b_lo = b_lo;
+  e.b_hi = b_hi;
+  add(e);
+}
+
+void FaultScheduler::add_blackhole(vt::TimePoint start, vt::Duration dur,
+                                   uint16_t port) {
+  FaultEpisode e;
+  e.kind = FaultEpisode::Kind::kBlackhole;
+  e.start = start;
+  e.end = start + dur;
+  e.a_lo = port;
+  e.a_hi = port;
+  add(e);
+}
+
+FaultScheduler::Verdict FaultScheduler::apply(vt::TimePoint now, uint16_t src,
+                                              uint16_t dst) {
+  Verdict v;
+  for (const auto& e : episodes_) {
+    if (now < e.start || now >= e.end) continue;
+    switch (e.kind) {
+      case FaultEpisode::Kind::kLossBurst:
+        if (rng_.chance(e.loss)) {
+          ++counters_.burst_drops;
+          v.drop = true;
+          return v;
+        }
+        break;
+      case FaultEpisode::Kind::kLatencySpike:
+        v.extra_latency += e.extra_latency;
+        break;
+      case FaultEpisode::Kind::kPartition:
+        if ((in_range(src, e.a_lo, e.a_hi) && in_range(dst, e.b_lo, e.b_hi)) ||
+            (in_range(src, e.b_lo, e.b_hi) && in_range(dst, e.a_lo, e.a_hi))) {
+          ++counters_.partition_drops;
+          v.drop = true;
+          return v;
+        }
+        break;
+      case FaultEpisode::Kind::kBlackhole:
+        if (in_range(src, e.a_lo, e.a_hi) || in_range(dst, e.a_lo, e.a_hi)) {
+          ++counters_.blackhole_drops;
+          v.drop = true;
+          return v;
+        }
+        break;
+    }
+  }
+  if (v.extra_latency.ns > 0) ++counters_.delayed_packets;
+  return v;
+}
+
+int FaultScheduler::active_at(vt::TimePoint now) const {
+  int n = 0;
+  for (const auto& e : episodes_) n += (now >= e.start && now < e.end) ? 1 : 0;
+  return n;
+}
+
+}  // namespace qserv::net

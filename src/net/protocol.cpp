@@ -39,6 +39,21 @@ std::vector<uint8_t> encode_disconnect() {
   return w.take();
 }
 
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kServerFull: return "server-full";
+    case RejectReason::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> encode(const RejectMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(ServerMsgType::kReject));
+  w.u8(static_cast<uint8_t>(m.reason));
+  return w.take();
+}
+
 std::vector<uint8_t> encode(const ConnectAck& m) {
   ByteWriter w;
   w.u8(static_cast<uint8_t>(ServerMsgType::kConnectAck));
@@ -261,10 +276,22 @@ bool decode_server_type(ByteReader& r, ServerMsgType& type) {
   if (!r.ok()) return false;
   if (t != static_cast<uint8_t>(ServerMsgType::kConnectAck) &&
       t != static_cast<uint8_t>(ServerMsgType::kSnapshot) &&
-      t != static_cast<uint8_t>(ServerMsgType::kDeltaSnapshot)) {
+      t != static_cast<uint8_t>(ServerMsgType::kDeltaSnapshot) &&
+      t != static_cast<uint8_t>(ServerMsgType::kReject)) {
     return false;
   }
   type = static_cast<ServerMsgType>(t);
+  return true;
+}
+
+bool decode(ByteReader& r, RejectMsg& m) {
+  const uint8_t reason = r.u8();
+  if (!r.ok()) return false;
+  if (reason != static_cast<uint8_t>(RejectReason::kServerFull) &&
+      reason != static_cast<uint8_t>(RejectReason::kEvicted)) {
+    return false;
+  }
+  m.reason = static_cast<RejectReason>(reason);
   return true;
 }
 

@@ -23,7 +23,16 @@ enum class ServerMsgType : uint8_t {
   kConnectAck = 64,
   kSnapshot = 65,       // full entity state
   kDeltaSnapshot = 66,  // changes against an acked baseline snapshot
+  kReject = 67,         // connection refused / terminated, with a reason
 };
+
+// Why the server refused or terminated a client (RejectMsg::reason).
+enum class RejectReason : uint8_t {
+  kServerFull = 1,  // no free client slot; stop retrying the connect
+  kEvicted = 2,     // reaped after client_timeout of silence; re-connect
+};
+
+const char* reject_reason_name(RejectReason r);
 
 // Field-change bits in a delta-encoded entity update.
 inline constexpr uint8_t kDeltaOrigin = 1;
@@ -59,6 +68,13 @@ struct MoveCmd {
   float side = 0.0f;
   float up = 0.0f;
   uint8_t buttons = 0;
+};
+
+// Tells a client its fate explicitly instead of silently dropping it:
+// sent in response to a connect when the server is full, and as a
+// parting shot when a timed-out client is reaped.
+struct RejectMsg {
+  RejectReason reason = RejectReason::kServerFull;
 };
 
 struct ConnectAck {
@@ -113,6 +129,7 @@ struct Snapshot {
 std::vector<uint8_t> encode(const ConnectMsg& m);
 std::vector<uint8_t> encode(const MoveCmd& m);
 std::vector<uint8_t> encode_disconnect();
+std::vector<uint8_t> encode(const RejectMsg& m);
 std::vector<uint8_t> encode(const ConnectAck& m);
 void encode(const Snapshot& m, ByteWriter& w);
 std::vector<uint8_t> encode(const Snapshot& m);
@@ -144,6 +161,7 @@ bool decode_client_type(ByteReader& r, ClientMsgType& type);
 bool decode(ByteReader& r, ConnectMsg& m);
 bool decode(ByteReader& r, MoveCmd& m);
 bool decode_server_type(ByteReader& r, ServerMsgType& type);
+bool decode(ByteReader& r, RejectMsg& m);
 bool decode(ByteReader& r, ConnectAck& m);
 bool decode(ByteReader& r, Snapshot& m);
 

@@ -27,6 +27,14 @@ std::unique_ptr<Socket> VirtualNetwork::open(uint16_t port) {
   return sock;
 }
 
+FaultScheduler& VirtualNetwork::faults() {
+  vt::LockGuard g(*mu_);
+  if (faults_ == nullptr) {
+    faults_ = std::make_unique<FaultScheduler>(cfg_.seed * 6364136223846793005ull + 3);
+  }
+  return *faults_;
+}
+
 void VirtualNetwork::unregister(uint16_t port) {
   vt::LockGuard g(*mu_);
   ports_.erase(port);
@@ -44,6 +52,14 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
       ++packets_dropped_;
       return false;
     }
+    FaultScheduler::Verdict fault;
+    if (faults_ != nullptr) {
+      fault = faults_->apply(platform_.now(), src, dst);
+      if (fault.drop) {
+        ++packets_dropped_;
+        return false;
+      }
+    }
     const auto it = ports_.find(dst);
     if (it == ports_.end()) {
       ++packets_dead_;
@@ -56,6 +72,7 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
                                            static_cast<float>(cfg_.jitter.ns));
       delay.ns = std::max<int64_t>(0, static_cast<int64_t>(sampled));
     }
+    delay += fault.extra_latency;
     d.src_port = src;
     d.dst_port = dst;
     d.payload = std::move(payload);
@@ -138,6 +155,18 @@ void Selector::add(Socket& s) {
   QSERV_CHECK_MSG(s.selector_ == nullptr, "socket already has a selector");
   s.selector_ = this;
   sockets_.push_back(&s);
+}
+
+void Selector::remove(Socket& s) {
+  // Selector lock first, then socket lock — the same order the wait path
+  // uses (wait_until holds mu_ while querying each socket).
+  {
+    vt::LockGuard g(*mu_);
+    std::erase(sockets_, &s);
+  }
+  vt::LockGuard g(*s.mu_);
+  QSERV_CHECK_MSG(s.selector_ == this, "removing socket from wrong selector");
+  s.selector_ = nullptr;
 }
 
 bool Selector::wait_until(vt::TimePoint deadline) {

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "src/net/fault_scheduler.hpp"
 #include "src/util/rng.hpp"
 #include "src/vthread/platform.hpp"
 
@@ -63,6 +64,13 @@ class VirtualNetwork {
 
   vt::Platform& platform() { return platform_; }
 
+  // The fault-injection timeline (created on first use). route() consults
+  // it for every packet, so scheduled episodes mutate the delivery model
+  // over simulated time. Schedule episodes before the run starts or from
+  // platform callbacks; see fault_scheduler.hpp for the taxonomy.
+  FaultScheduler& faults();
+  bool has_faults() const { return faults_ != nullptr; }
+
   // Global counters (racy reads are fine for reporting).
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -81,6 +89,7 @@ class VirtualNetwork {
   Config cfg_;
   std::unique_ptr<vt::Mutex> mu_;  // guards ports_ map, rng_, counters
   std::map<uint16_t, Socket*> ports_;
+  std::unique_ptr<FaultScheduler> faults_;  // null until faults() is called
   Rng rng_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
@@ -149,6 +158,10 @@ class Selector {
 
   // Registers a socket; must happen before any wait.
   void add(Socket& s);
+
+  // Unregisters a socket so it can be destroyed before the selector —
+  // used when a churning client reopens its socket on a fresh port.
+  void remove(Socket& s);
 
   // Blocks until any registered socket has a ready datagram or the
   // deadline passes. Returns true if a datagram is ready. Also returns

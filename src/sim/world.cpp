@@ -47,12 +47,25 @@ World::World(const spatial::GameMap& map, Config cfg, vt::Platform* platform,
   }
 }
 
+void World::reserve_entities(size_t n) {
+  if (n <= entities_.size()) return;
+  const uint32_t first = static_cast<uint32_t>(entities_.size());
+  entities_.resize(n);
+  // Fresh ids go on the free stack in descending order so they are
+  // handed out lowest-first, matching the old grow-on-demand order.
+  free_ids_.reserve(free_ids_.size() + (n - first));
+  for (uint32_t id = static_cast<uint32_t>(n); id-- > first;)
+    free_ids_.push_back(id);
+}
+
 Entity& World::spawn_entity(EntityType type) {
   uint32_t id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
     free_ids_.pop_back();
   } else {
+    // Pool exhausted (or a standalone World that never pre-sized):
+    // grow. Only safe while no other thread is reading the vector.
     id = static_cast<uint32_t>(entities_.size());
     entities_.emplace_back();
   }

@@ -71,10 +71,11 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  // Pre-sizes entity storage so spawns never reallocate the entity
-  // vector (required before running with concurrent readers on the real
-  // platform).
-  void reserve_entities(size_t n) { entities_.reserve(n); }
+  // Pre-sizes entity storage so spawns never touch the entity vector
+  // itself — neither its data pointer nor its size — once concurrent
+  // readers exist. New slots go on the free list; a vector whose size
+  // still changed under a connect raced with get() on other threads.
+  void reserve_entities(size_t n);
 
   // --- entity management (single-threaded phases only) ---
   Entity& spawn_entity(EntityType type);

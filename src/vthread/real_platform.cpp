@@ -100,9 +100,12 @@ void RealPlatform::timer_loop() {
     }
     auto fn = std::move(timers_.begin()->second);
     timers_.erase(timers_.begin());
+    ++timer_callbacks_running_;
     g.unlock();
     fn();
     g.lock();
+    --timer_callbacks_running_;
+    timer_cv_.notify_all();
   }
 }
 
@@ -113,6 +116,11 @@ void RealPlatform::join_all() {
     taken.swap(threads_);
   }
   for (auto& t : taken) t.join();
+  // A timer callback (typically the stop signal) can still be mid-flight
+  // on the timer thread; returning before it finishes would let the
+  // caller destroy the objects the callback is touching.
+  std::unique_lock<std::mutex> g(timer_mu_);
+  timer_cv_.wait(g, [this] { return timer_callbacks_running_ == 0; });
 }
 
 std::string RealPlatform::machine_description() const {

@@ -93,6 +93,7 @@ class RealPlatform final : public Platform {
   std::condition_variable timer_cv_;
   std::multimap<TimePoint, std::function<void()>> timers_;
   bool timer_stop_ = false;
+  int timer_callbacks_running_ = 0;  // join_all waits for these to drain
   std::thread timer_thread_;
 };
 

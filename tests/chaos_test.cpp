@@ -1,0 +1,338 @@
+// Chaos suite: client-lifecycle hardening under scheduled network faults
+// and client churn. Covers the FaultScheduler timeline, server-side
+// liveness reaping (client_timeout), explicit reject messages, partition
+// heal/reconnect, the reassignment-vs-churn race, and a long churn soak
+// with the cross-structure InvariantChecker enabled throughout. Every
+// test runs on the simulated platform with fixed seeds and must pass
+// deterministically.
+#include <gtest/gtest.h>
+
+#include "src/bots/client_driver.hpp"
+#include "src/core/parallel_server.hpp"
+#include "src/core/sequential_server.hpp"
+#include "src/net/fault_scheduler.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv {
+namespace {
+
+constexpr vt::TimePoint t0 = vt::TimePoint::zero();
+
+// --- FaultScheduler unit tests (no network attached) ---
+
+TEST(FaultScheduler, BlackholeDropsBothDirectionsWhileActive) {
+  net::FaultScheduler fs(1);
+  fs.add_blackhole(t0 + vt::seconds(1), vt::seconds(2), 40000);
+
+  EXPECT_FALSE(fs.apply(t0 + vt::millis(500), 40000, 27500).drop);
+  EXPECT_TRUE(fs.apply(t0 + vt::millis(1500), 40000, 27500).drop);
+  EXPECT_TRUE(fs.apply(t0 + vt::millis(1500), 27500, 40000).drop);
+  EXPECT_FALSE(fs.apply(t0 + vt::millis(1500), 40001, 27500).drop);
+  EXPECT_FALSE(fs.apply(t0 + vt::seconds(3), 40000, 27500).drop);
+  EXPECT_EQ(fs.counters().blackhole_drops, 2u);
+}
+
+TEST(FaultScheduler, PartitionSeversOnlyCrossTraffic) {
+  net::FaultScheduler fs(1);
+  fs.add_partition(t0, vt::seconds(10), 40000, 49999, 27500, 27599);
+
+  const vt::TimePoint mid = t0 + vt::seconds(5);
+  EXPECT_TRUE(fs.apply(mid, 40005, 27500).drop);   // A -> B
+  EXPECT_TRUE(fs.apply(mid, 27501, 41000).drop);   // B -> A
+  EXPECT_FALSE(fs.apply(mid, 40001, 40002).drop);  // within A
+  EXPECT_FALSE(fs.apply(mid, 27500, 27501).drop);  // within B
+  EXPECT_FALSE(fs.apply(mid, 50001, 27500).drop);  // outside A
+  EXPECT_EQ(fs.counters().partition_drops, 2u);
+  EXPECT_EQ(fs.active_at(mid), 1);
+  EXPECT_EQ(fs.active_at(t0 + vt::seconds(11)), 0);
+}
+
+TEST(FaultScheduler, LatencySpikesAccumulateAndExpire) {
+  net::FaultScheduler fs(1);
+  fs.add_latency_spike(t0, vt::seconds(2), vt::millis(100));
+  fs.add_latency_spike(t0 + vt::seconds(1), vt::seconds(2), vt::millis(50));
+
+  EXPECT_EQ(fs.apply(t0 + vt::millis(500), 1, 2).extra_latency.ns,
+            vt::millis(100).ns);
+  EXPECT_EQ(fs.apply(t0 + vt::millis(1500), 1, 2).extra_latency.ns,
+            vt::millis(150).ns);  // both spikes active: they stack
+  EXPECT_EQ(fs.apply(t0 + vt::millis(2500), 1, 2).extra_latency.ns,
+            vt::millis(50).ns);
+  EXPECT_EQ(fs.apply(t0 + vt::seconds(4), 1, 2).extra_latency.ns, 0);
+  EXPECT_EQ(fs.counters().delayed_packets, 3u);
+}
+
+TEST(FaultScheduler, TotalLossBurstDropsEverything) {
+  net::FaultScheduler fs(1);
+  fs.add_loss_burst(t0, vt::seconds(1), 1.0f);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(fs.apply(t0 + vt::millis(i * 10), 1, 2).drop);
+  EXPECT_EQ(fs.counters().burst_drops, 100u);
+  EXPECT_FALSE(fs.apply(t0 + vt::seconds(2), 1, 2).drop);
+}
+
+// --- full-system chaos tests ---
+
+// A client that connects, plays briefly, then goes silent while still
+// listening must be reaped: slot freed, entity removed, and told so with
+// an explicit kEvicted reject.
+TEST(Chaos, SilentClientIsReapedAndToldSo) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(1024);
+  core::ServerConfig scfg;
+  scfg.client_timeout = vt::millis(500);
+  scfg.check_invariants = true;
+  core::SequentialServer server(p, net, map, scfg);
+  server.start();
+  const size_t baseline_entities = server.world().active_entities();
+
+  auto sock = net.open(40000);
+  bool got_evicted = false;
+  p.spawn("client", vt::Domain::kClientFarm, [&] {
+    net::NetChannel chan(*sock, scfg.base_port);
+    chan.send(net::encode(net::ConnectMsg{"sleepy"}));
+    p.sleep_for(vt::millis(100));
+    EXPECT_EQ(server.connected_clients(), 1);
+    // Go silent for well past client_timeout, but keep the port bound.
+    p.sleep_for(vt::seconds(2));
+    net::Datagram d;
+    while (sock->try_recv(d)) {
+      net::NetChannel::Incoming info;
+      net::ByteReader body(nullptr, 0);
+      if (!chan.accept(d, info, body)) continue;
+      net::ServerMsgType t;
+      if (!net::decode_server_type(body, t)) continue;
+      if (t != net::ServerMsgType::kReject) continue;
+      net::RejectMsg rej;
+      if (decode(body, rej) && rej.reason == net::RejectReason::kEvicted)
+        got_evicted = true;
+    }
+    server.request_stop();
+  });
+  p.run();
+
+  EXPECT_TRUE(got_evicted);
+  EXPECT_EQ(server.evictions(), 1u);
+  EXPECT_EQ(server.connected_clients(), 0);
+  EXPECT_EQ(server.world().active_entities(), baseline_entities);
+  EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
+// A blackholed client (crashed host: nothing in, nothing out) must be
+// reaped even though the server sees no traffic at all afterwards — the
+// idle loop has to run maintenance frames.
+TEST(Chaos, BlackholedClientIsReapedByAnOtherwiseIdleServer) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(1024);
+  core::ServerConfig scfg;
+  scfg.client_timeout = vt::millis(500);
+  scfg.check_invariants = true;
+  core::SequentialServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 1;
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+
+  net.faults().add_blackhole(t0 + vt::seconds(1), vt::seconds(60), 40000);
+
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(4), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  EXPECT_EQ(server.evictions(), 1u);
+  EXPECT_EQ(server.connected_clients(), 0);
+  EXPECT_GT(net.faults().counters().blackhole_drops, 0u);
+  EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
+// Satellite regression: a full server answers surplus connects with an
+// explicit kServerFull reject, and rejected clients stop retrying instead
+// of hammering the port forever (the seed silently dropped the connect,
+// leaving clients in a retry loop).
+TEST(Chaos, ServerFullRejectStopsConnectRetries) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(1024);
+  core::ServerConfig scfg;
+  scfg.max_clients = 4;
+  core::SequentialServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 8;  // twice the capacity
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(3), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  EXPECT_EQ(server.connected_clients(), 4);
+  EXPECT_GE(server.rejected_connects(), 4u);
+  int connected = 0, rejected = 0;
+  for (const auto& c : driver.clients()) {
+    if (c->connected()) {
+      ++connected;
+      EXPECT_FALSE(c->rejected());
+    } else {
+      EXPECT_TRUE(c->rejected());
+      EXPECT_GE(c->metrics().rejected_full, 1u);
+      // Rejected clients never joined and never sent game traffic.
+      EXPECT_EQ(c->metrics().sessions, 0u);
+      EXPECT_EQ(c->metrics().moves_sent, 0u);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(connected, 4);
+  EXPECT_EQ(rejected, 4);
+}
+
+// A network partition between all clients and the server: clients go
+// silent (reaped server-side), give up on the silent server, and once the
+// partition heals everyone reconnects on fresh ports.
+TEST(Chaos, HealedPartitionLetsEveryClientReconnect) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_large_deathmatch(7);
+  core::ServerConfig scfg;
+  scfg.threads = 2;
+  scfg.client_timeout = vt::seconds(1);
+  scfg.check_invariants = true;
+  core::ParallelServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 8;
+  dcfg.server_silence_timeout = vt::seconds(1);
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+
+  // Sever every client port (initial block and all fresh reconnect ports)
+  // from the server's ports between t=3s and t=8s.
+  net.faults().add_partition(t0 + vt::seconds(3), vt::seconds(5), 40000,
+                             65535, scfg.base_port,
+                             static_cast<uint16_t>(scfg.base_port + 7));
+
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(16), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  // During the partition every client went silent past client_timeout...
+  EXPECT_EQ(server.evictions(), 8u);
+  EXPECT_GT(net.faults().counters().partition_drops, 0u);
+  // ...and after it healed, every client reconnected.
+  int connected = 0;
+  uint64_t silence_reconnects = 0;
+  for (const auto& c : driver.clients()) {
+    connected += c->connected() ? 1 : 0;
+    silence_reconnects += c->metrics().silence_reconnects;
+  }
+  EXPECT_EQ(connected, 8);
+  EXPECT_EQ(server.connected_clients(), 8);
+  EXPECT_GE(silence_reconnects, 8u);
+  EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
+// Satellite: dynamic reassignment racing with disconnects and evictions.
+// Clients churn (crash + quit) while the master re-partitions ownership
+// every 500 ms; the registry, world, and areanode tree must stay
+// consistent through every combination.
+TEST(Chaos, ReassignmentRacesChurnWithoutCorruption) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_large_deathmatch(7);
+  core::ServerConfig scfg;
+  scfg.threads = 4;
+  scfg.assign_policy = core::AssignPolicy::kRegion;
+  scfg.reassign_interval = vt::millis(500);
+  scfg.client_timeout = vt::seconds(1);
+  scfg.check_invariants = true;
+  core::ParallelServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 24;
+  dcfg.server_silence_timeout = vt::seconds(2);
+  dcfg.churn.enabled = true;
+  dcfg.churn.mean_session = vt::seconds(5);
+  dcfg.churn.crash_fraction = 0.5f;
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(30), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  const auto agg = driver.aggregate(vt::seconds(30));
+  EXPECT_GT(server.reassignments(), 0u);
+  EXPECT_GT(server.evictions(), 0u);  // crashed clients were reaped
+  EXPECT_GT(agg.crashes, 0u);
+  EXPECT_GT(agg.graceful_quits, 0u);
+  EXPECT_GT(agg.rejoins, 0u);
+  EXPECT_EQ(server.invariant_violations(), 0u)
+      << "registry/world/areanode audit failed during reassignment churn";
+  // No slot leak: live slots never exceed the player population plus
+  // crashed slots still inside the timeout window.
+  EXPECT_LE(server.connected_clients(), 24 + 4);
+}
+
+// The tentpole soak: ~30% of sessions end in a crash, the rest quit
+// cleanly, for 10 simulated minutes, with the cross-structure invariant
+// audit running after every frame. No slot may leak: the server stays
+// joinable for the whole population to the end.
+TEST(Chaos, TenMinuteChurnSoakLeaksNoSlots) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(2048);
+  core::ServerConfig scfg;
+  scfg.threads = 2;
+  scfg.client_timeout = vt::seconds(2);
+  scfg.check_invariants = true;
+  scfg.max_clients = 64;  // headroom a slot leak would exhaust
+  core::ParallelServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 12;
+  dcfg.server_silence_timeout = vt::seconds(3);
+  dcfg.churn.enabled = true;
+  dcfg.churn.mean_session = vt::seconds(20);
+  dcfg.churn.crash_fraction = 0.3f;
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(600), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  const auto agg = driver.aggregate(vt::seconds(600));
+  // The churn actually happened, in both flavors.
+  EXPECT_GT(agg.sessions, 100u);
+  EXPECT_GT(agg.crashes, 10u);
+  EXPECT_GT(agg.graceful_quits, 10u);
+  EXPECT_GT(agg.rejoins, 50u);
+
+  // Every crash was eventually reaped (the last few may still be inside
+  // the timeout window at shutdown).
+  EXPECT_GE(server.evictions() + 2, agg.crashes);
+  // Zero slot leak: the server never filled up, so nobody was rejected,
+  // and the live slot count stays bounded by the population plus the
+  // handful of crashed slots awaiting the reaper.
+  EXPECT_EQ(agg.rejected_full, 0u);
+  EXPECT_EQ(server.rejected_connects(), 0u);
+  EXPECT_LE(server.connected_clients(), 12 + 4);
+  // The whole run passed the registry/world/areanode audit every frame.
+  EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace qserv
