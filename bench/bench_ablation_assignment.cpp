@@ -10,7 +10,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("ablation_assignment", argc, argv);
   bench::print_header("Ablation — player-to-thread assignment policy",
                       "§5.1 future-work proposal");
 
@@ -40,6 +41,7 @@ int main() {
         const std::string label = std::to_string(threads) + "t/" +
                                   std::to_string(players) + "p/" + v.name;
         print_summary(label, r);
+        out.add("assignment", label, cfg, r);
         t.row({std::to_string(threads) + "t/" + std::to_string(players) + "p",
                v.name, Table::num(r.response_rate, 0),
                Table::pct(r.pct.lock()),
@@ -51,5 +53,11 @@ int main() {
   }
   std::printf("\n");
   t.print();
-  return 0;
+
+  auto trace_cfg = paper_config(ServerMode::kParallel, 4, 160,
+                                core::LockPolicy::kConservative);
+  trace_cfg.server.assign_policy = core::AssignPolicy::kRegion;
+  trace_cfg.server.reassign_interval = vt::seconds(1);
+  out.capture_trace(trace_cfg);
+  return out.finish();
 }

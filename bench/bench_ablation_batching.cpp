@@ -8,7 +8,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("ablation_batching", argc, argv);
   bench::print_header(
       "Ablation — request batching (master delays frame start)",
       "§5.2 future-work proposal");
@@ -23,9 +24,10 @@ int main() {
       cfg.server.batch_window = vt::millis(window_ms);
       bench::apply_windows(cfg);
       const auto r = run_experiment(cfg);
-      print_summary(std::to_string(players) + "p/batch-" +
-                        std::to_string(window_ms) + "ms",
-                    r);
+      const std::string label = std::to_string(players) + "p/batch-" +
+                                std::to_string(window_ms) + "ms";
+      print_summary(label, r);
+      out.add("batching", label, cfg, r);
       t.row({std::to_string(players), std::to_string(window_ms),
              Table::num(r.response_rate, 0),
              Table::num(r.response_ms_mean, 1),
@@ -36,5 +38,10 @@ int main() {
   }
   std::printf("\n");
   t.print();
-  return 0;
+
+  auto trace_cfg = paper_config(ServerMode::kParallel, 4, 160,
+                                core::LockPolicy::kConservative);
+  trace_cfg.server.batch_window = vt::millis(4);
+  out.capture_trace(trace_cfg);
+  return out.finish();
 }

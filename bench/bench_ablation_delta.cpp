@@ -51,7 +51,8 @@ Run run_one(int players, bool delta, double seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("ablation_delta", argc, argv);
   bench::print_header("Ablation — delta-compressed snapshots",
                       "bandwidth technique referenced via [1]");
   const double seconds = bench::env_seconds("QSERV_MEASURE_SECONDS", 8.0);
@@ -75,6 +76,27 @@ int main() {
              Table::num(static_cast<double>(r.bytes) / 1e6, 1),
              Table::num(per_reply, 0), Table::num(r.response_ms, 1),
              delta ? Table::pct(share) : "--"});
+      {
+        // Bespoke measurement (not an ExperimentResult): raw point.
+        std::string point;
+        obs::JsonWriter w(point);
+        w.begin_object();
+        w.kv("label", std::to_string(players) + "p/" +
+                          (delta ? "delta" : "full"));
+        w.key("config");
+        w.begin_object();
+        w.kv("players", players);
+        w.kv("delta_snapshots", delta);
+        w.kv("measure_s", seconds);
+        w.end_object();
+        w.kv("bytes_on_wire", r.bytes);
+        w.kv("replies", r.replies);
+        w.kv("bytes_per_reply", per_reply);
+        w.kv("response_ms_mean", r.response_ms);
+        w.kv("delta_share", share);
+        w.end_object();
+        out.add_raw("delta_snapshots", std::move(point));
+      }
       std::printf("%dp %s: %.1f MB, %.0f B/reply\n", players,
                   delta ? "delta" : "full",
                   static_cast<double>(r.bytes) / 1e6, per_reply);
@@ -83,5 +105,10 @@ int main() {
   }
   std::printf("\n");
   t.print();
-  return 0;
+
+  auto trace_cfg = harness::paper_config(harness::ServerMode::kParallel, 4,
+                                         128, core::LockPolicy::kOptimized);
+  trace_cfg.server.delta_snapshots = true;
+  out.capture_trace(trace_cfg);
+  return out.finish();
 }

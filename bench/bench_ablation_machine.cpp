@@ -7,7 +7,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("ablation_machine", argc, argv);
   bench::print_header("Ablation — machine model under the 8-thread server (256 players)",
                       "extends §4.2's hyper-threading discussion");
 
@@ -36,6 +37,7 @@ int main() {
     bench::apply_windows(cfg);
     const auto r = run_experiment(cfg);
     print_summary(m.name, r);
+    out.add("machine", m.name, cfg, r);
     t.row({m.name, Table::num(r.response_rate, 0),
            Table::num(r.response_ms_mean, 1), Table::pct(r.pct.lock()),
            Table::pct(r.pct.intra_wait + r.pct.inter_wait()),
@@ -43,5 +45,12 @@ int main() {
   }
   std::printf("\n");
   t.print();
-  return 0;
+
+  auto trace_cfg = paper_config(ServerMode::kParallel, 8, 256,
+                                core::LockPolicy::kConservative);
+  trace_cfg.machine.cores = 8;
+  trace_cfg.machine.ht_per_core = 1;
+  trace_cfg.machine.ht_throughput = 1.0;
+  out.capture_trace(trace_cfg);
+  return out.finish();
 }

@@ -12,7 +12,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("fig4_overhead", argc, argv);
   bench::print_header("Figure 4 — overhead of the parallel server",
                       "Fig. 4(a,b,c), §4.1");
 
@@ -34,6 +35,7 @@ int main() {
     points.push_back(std::move(par));
   }
   run_sweep(points);
+  out.add_points("overhead", points);
 
   Table breakdowns("Fig 4(a): execution time breakdown (% of total)");
   breakdowns.header(breakdown_header("server/players"));
@@ -84,5 +86,8 @@ int main() {
   const double reply_phase = static_cast<double>(s64.breakdown.reply.ns);
   std::printf("\nreply/request phase ratio at 64 players (sequential): %.2fx\n",
               req_phase > 0 ? reply_phase / req_phase : 0.0);
-  return 0;
+
+  out.capture_trace(paper_config(ServerMode::kParallel, 1, 96,
+                                 core::LockPolicy::kConservative));
+  return out.finish();
 }

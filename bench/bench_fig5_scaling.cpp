@@ -13,7 +13,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("fig5_scaling", argc, argv);
   bench::print_header("Figure 5 — parallel server performance",
                       "Fig. 5(a,b,c), §4.2");
 
@@ -38,6 +39,9 @@ int main() {
   auto grid = paper_grid(threads, players, core::LockPolicy::kConservative);
   for (auto& p : grid) bench::apply_windows(p.config);
   run_sweep(grid);
+
+  out.add_points("sequential", seq);
+  out.add_points("conservative", grid);
 
   Table breakdowns("Fig 5(a): execution time breakdowns (% of total)");
   breakdowns.header(breakdown_header("threads/players"));
@@ -99,5 +103,9 @@ int main() {
   }
   std::printf("\n");
   sat.print();
-  return 0;
+
+  // Representative timeline: the 4-thread server at 128 players.
+  out.capture_trace(paper_config(ServerMode::kParallel, 4, 128,
+                                 core::LockPolicy::kConservative));
+  return out.finish();
 }

@@ -9,7 +9,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("fig6_optimized_locking", argc, argv);
   bench::print_header("Figure 6 — performance with optimized locking",
                       "Fig. 6(a,b,c), §4.3");
 
@@ -40,6 +41,10 @@ int main() {
     seq.push_back(std::move(p));
   }
   run_sweep(seq);
+
+  out.add_points("optimized", optimized);
+  out.add_points("conservative", conservative);
+  out.add_points("sequential", seq);
 
   Table breakdowns("Fig 6(a): breakdowns with optimized locking (% of total)");
   breakdowns.header(breakdown_header("threads/players"));
@@ -109,5 +114,8 @@ int main() {
   }
   std::printf("\n");
   sat.print();
-  return 0;
+
+  out.capture_trace(paper_config(ServerMode::kParallel, 4, 160,
+                                 core::LockPolicy::kOptimized));
+  return out.finish();
 }

@@ -15,7 +15,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("fig7_lock_analysis", argc, argv);
   bench::print_header("Figure 7 — locking overhead and contention",
                       "Fig. 7(a,b,c), §5.1");
 
@@ -25,6 +26,7 @@ int main() {
   auto grid = paper_grid(threads, players, core::LockPolicy::kConservative);
   for (auto& p : grid) bench::apply_windows(p.config);
   run_sweep(grid);
+  out.add_points("conservative", grid);
 
   Table fa("Fig 7(a): share of lock time from leaf vs parent locking");
   fa.header({"threads/players", "leaf", "parent", "leaf share of lock time"});
@@ -71,6 +73,7 @@ int main() {
             Table::pct(r.distinct_leaves_per_request_pct),
             Table::pct(relocked)});
     print_summary("tree-" + std::to_string(nodes), r);
+    out.add("tree_sweep", "tree-" + std::to_string(nodes), cfg, r);
   }
   std::printf("\n");
   fb.print();
@@ -101,5 +104,8 @@ int main() {
   }
   std::printf("\n");
   sec51.print();
-  return 0;
+
+  out.capture_trace(paper_config(ServerMode::kParallel, 8, 160,
+                                 core::LockPolicy::kConservative));
+  return out.finish();
 }

@@ -12,7 +12,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("map_visibility", argc, argv);
   bench::print_header("Map visibility vs reply processing time",
                       "§4.1 text (multi-map study)");
 
@@ -53,6 +54,7 @@ int main() {
     bench::apply_windows(cfg);
     const auto r = run_experiment(cfg);
     print_summary(spec.name, r);
+    out.add("maps", spec.name, cfg, r);
     const double request =
         r.pct.exec + r.pct.receive + r.pct.lock();
     t.row({spec.name, Table::pct(r.pct.reply), Table::pct(request),
@@ -68,5 +70,8 @@ int main() {
       " shows primarily as capacity: more visible entities per snapshot ->\n"
       " costlier replies -> earlier saturation / lower delivered rate,\n"
       " while the request-phase share stays flat.)\n");
-  return 0;
+
+  out.capture_trace(paper_config(ServerMode::kSequential, 1, 160,
+                                 core::LockPolicy::kNone));
+  return out.finish();
 }

@@ -14,7 +14,8 @@
 using namespace qserv;
 using namespace qserv::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("sec52_wait_analysis", argc, argv);
   bench::print_header("§5.2 — wait time analysis", "§5.2 text");
 
   Table rpf("Requests per thread per frame at 128 players");
@@ -28,6 +29,7 @@ int main() {
     bench::apply_windows(cfg);
     const auto r = run_experiment(cfg);
     print_summary(std::to_string(t) + "t/128p", r);
+    out.add("wait_analysis", std::to_string(t) + "t/128p", cfg, r);
     rpf.row({std::to_string(t),
              Table::num(r.requests_per_thread_frame_mean, 2),
              Table::num(r.requests_per_thread_frame_stddev, 2),
@@ -83,5 +85,8 @@ int main() {
   }
   std::printf("\n");
   waits.print();
-  return 0;
+
+  out.capture_trace(paper_config(ServerMode::kParallel, 2, 128,
+                                 core::LockPolicy::kConservative));
+  return out.finish();
 }

@@ -8,7 +8,8 @@
 
 using namespace qserv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOutput out("table1_config", argc, argv);
   bench::print_header("Table 1 — configuration of the game server system",
                       "Table 1, §4");
 
@@ -39,5 +40,11 @@ int main() {
   h.row({"logical CPUs", std::to_string(std::thread::hardware_concurrency())});
   h.row({"execution", "single-threaded deterministic event simulation"});
   h.print();
-  return 0;
+
+  // This bench runs no experiment of its own; --trace still captures the
+  // canonical testbed so the pipeline can be eyeballed from here too.
+  out.capture_trace(harness::paper_config(harness::ServerMode::kParallel, 8,
+                                          128,
+                                          core::LockPolicy::kConservative));
+  return out.finish();
 }

@@ -67,6 +67,12 @@ struct ServerConfig {
   // silent clients leak their slot forever).
   vt::Duration client_timeout{};
 
+  // Maximum (frame id, moves) entries each thread's §5.2 frame trace may
+  // hold once enable_frame_trace() is on. Entries past the cap are counted
+  // in ThreadStats::frame_trace_dropped instead of growing the vector —
+  // a long soak with tracing left on must not consume memory unboundedly.
+  int frame_trace_limit = 65536;
+
   // Debug hook: after each frame the master cross-checks client registry
   // <-> world entities <-> areanode membership (core/invariant_checker).
   // Off by default — it is O(world) per frame and charges no modelled

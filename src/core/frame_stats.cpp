@@ -29,8 +29,12 @@ LockStats& LockStats::operator+=(const LockStats& o) {
 
 void ThreadStats::reset() {
   const auto keep = std::move(frame_trace);
+  obs::Tracer* const keep_tracer = tracer;
+  const int keep_track = trace_track;
   *this = ThreadStats{};
   (void)keep;  // trace from warmup is discarded
+  tracer = keep_tracer;  // observability attachments survive the boundary
+  trace_track = keep_track;
 }
 
 void FrameLockStats::reset() { *this = FrameLockStats{}; }

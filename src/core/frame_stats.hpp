@@ -10,6 +10,10 @@
 #include "src/util/histogram.hpp"
 #include "src/vthread/time.hpp"
 
+namespace qserv::obs {
+class Tracer;
+}
+
 namespace qserv::core {
 
 // The components of total execution time, matching §4's definitions.
@@ -62,8 +66,16 @@ struct ThreadStats {
   StatAccumulator requests_per_frame;
   // Per-frame trace (frame id, moves processed); only filled while the
   // server's frame trace is enabled. Used for the paper's §5.2 dynamic
-  // thread-imbalance measurement.
+  // thread-imbalance measurement. Capped at ServerConfig::frame_trace_limit
+  // entries; overflow increments frame_trace_dropped instead of growing.
   std::vector<std::pair<uint64_t, int>> frame_trace;
+  uint64_t frame_trace_dropped = 0;
+
+  // Event-tracer attachment (obs/trace.hpp): when non-null, the owning
+  // thread emits phase spans onto `trace_track`. Preserved across reset()
+  // so the warmup boundary does not detach tracing.
+  obs::Tracer* tracer = nullptr;
+  int trace_track = -1;
 
   void reset();
 };

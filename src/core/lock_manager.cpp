@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/combat.hpp"
 #include "src/sim/move.hpp"
 #include "src/util/check.hpp"
@@ -20,6 +22,19 @@ LockManager::LockManager(vt::Platform& platform,
     list_mu_.push_back(platform.make_mutex("list-node-" + std::to_string(i)));
   frame_thread_mask_.assign(static_cast<size_t>(tree.leaf_count()), 0);
   frame_lock_ops_.assign(static_cast<size_t>(tree.leaf_count()), 0);
+  total_lock_ops_.assign(static_cast<size_t>(tree.leaf_count()), 0);
+}
+
+void LockManager::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    leaf_wait_us_ = nullptr;
+    list_wait_us_ = nullptr;
+    return;
+  }
+  // Microsecond-scale buckets: waits range from sub-microsecond lock ops
+  // to multi-millisecond pile-ups near saturation.
+  leaf_wait_us_ = &registry->histogram("lock.leaf_wait_us", 1e-2);
+  list_wait_us_ = &registry->histogram("lock.list_wait_us", 1e-2);
 }
 
 LockManager::Region::~Region() {
@@ -93,6 +108,7 @@ void LockManager::acquire(const std::vector<std::vector<int>>& sets,
   // Everything from here — the region-determination/bookkeeping overhead
   // (§4.1: what the 1-thread parallel server pays over the sequential
   // one) plus actual waiting — is the paper's "lock" component.
+  obs::TraceScope span(stats.tracer, stats.trace_track, "lock-leaf");
   const vt::TimePoint t0 = platform_.now();
   platform_.compute(costs_.lock_op * static_cast<int64_t>(requests));
   for (const int node : leaves) {
@@ -104,7 +120,9 @@ void LockManager::acquire(const std::vector<std::vector<int>>& sets,
     frame_lock_ops_[static_cast<size_t>(ord)] += static_cast<uint32_t>(
         std::count(requested.begin(), requested.end(), node));
   }
-  stats.breakdown.lock_leaf += platform_.now() - t0;
+  const vt::Duration waited = platform_.now() - t0;
+  stats.breakdown.lock_leaf += waited;
+  if (leaf_wait_us_ != nullptr) leaf_wait_us_->observe(waited.micros());
   out.mgr_ = this;
 }
 
@@ -123,6 +141,7 @@ void LockManager::ListLockContext::lock_list(int node_index) {
   mgr.platform_.compute(mgr.costs_.list_lock_op);
   mgr.list_mu_[static_cast<size_t>(node_index)]->lock();
   const vt::Duration waited = mgr.platform_.now() - t0;
+  if (mgr.list_wait_us_ != nullptr) mgr.list_wait_us_->observe(waited.micros());
   ++stats_->locks.parent_list_locks;
   if (mgr.tree_.is_leaf(node_index)) {
     stats_->breakdown.lock_leaf += waited;
@@ -148,12 +167,40 @@ void LockManager::frame_harvest(FrameLockStats& out) {
     if (mask != 0) ++locked;
     if ((mask & (mask - 1)) != 0) ++shared;  // >= 2 bits set
     ops += frame_lock_ops_[i];
+    total_lock_ops_[i] += frame_lock_ops_[i];
   }
   const double n = static_cast<double>(tree_.leaf_count());
   out.leaves_locked_pct.add(static_cast<double>(locked) / n);
   out.leaves_shared_pct.add(static_cast<double>(shared) / n);
   out.lock_ops_per_leaf.add(static_cast<double>(ops) / n);
   ++out.frames;
+}
+
+std::vector<LockManager::LeafContention> LockManager::contention_hotlist(
+    int k) const {
+  std::vector<LeafContention> all;
+  for (size_t i = 0; i < region_mu_.size(); ++i) {
+    const vt::Mutex& mu = *region_mu_[i];
+    LeafContention c;
+    c.leaf_ordinal = static_cast<int>(i);
+    c.lock_ops = total_lock_ops_[i];
+    c.acquisitions = mu.acquisitions();
+    c.contended = mu.contended_acquisitions();
+    c.wait = mu.total_wait();
+    if (c.lock_ops == 0 && c.acquisitions == 0) continue;
+    all.push_back(c);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LeafContention& a, const LeafContention& b) {
+              if (a.wait.ns != b.wait.ns) return a.wait.ns > b.wait.ns;
+              return a.lock_ops > b.lock_ops;
+            });
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+uint64_t LockManager::leaf_lock_ops(int leaf_ordinal) const {
+  return total_lock_ops_[static_cast<size_t>(leaf_ordinal)];
 }
 
 vt::Duration LockManager::total_region_wait() const {

@@ -27,6 +27,11 @@
 #include "src/sim/world.hpp"
 #include "src/spatial/areanode_tree.hpp"
 
+namespace qserv::obs {
+class HistogramMetric;
+class MetricsRegistry;
+}
+
 namespace qserv::core {
 
 class LockManager {
@@ -84,6 +89,28 @@ class LockManager {
   void frame_reset();
   void frame_harvest(FrameLockStats& out);
 
+  // --- observability (obs/metrics.hpp) ---
+  // Attaches wait-time histograms ("lock.leaf_wait_us", per-acquire region
+  // wait; "lock.list_wait_us", per list-lock wait). Null detaches; the hot
+  // path then pays one branch.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  // Cumulative per-leaf contention, for the hot-list export: lock
+  // operations (incl. re-locks), mutex acquisitions, contended
+  // acquisitions, and total wait on the leaf's region mutex.
+  struct LeafContention {
+    int leaf_ordinal = 0;
+    uint64_t lock_ops = 0;
+    uint64_t acquisitions = 0;
+    uint64_t contended = 0;
+    vt::Duration wait{};
+  };
+  // Top `k` leaves by total region-mutex wait (ties broken by lock ops),
+  // leaves with zero activity omitted.
+  std::vector<LeafContention> contention_hotlist(int k) const;
+  // Cumulative lock operations on one leaf (by ordinal).
+  uint64_t leaf_lock_ops(int leaf_ordinal) const;
+
   int leaf_count() const { return tree_.leaf_count(); }
   const spatial::AreanodeTree& tree() const { return tree_; }
 
@@ -106,6 +133,13 @@ class LockManager {
   // held, and reset/harvested by the master between frames.
   std::vector<uint64_t> frame_thread_mask_;
   std::vector<uint32_t> frame_lock_ops_;
+  // Cumulative per-leaf lock operations, accumulated from frame_lock_ops_
+  // at harvest time (so it costs nothing on the acquire path).
+  std::vector<uint64_t> total_lock_ops_;
+
+  // Observability attachments; null = off (one branch on the hot path).
+  obs::HistogramMetric* leaf_wait_us_ = nullptr;
+  obs::HistogramMetric* list_wait_us_ = nullptr;
 };
 
 }  // namespace qserv::core

@@ -1,5 +1,7 @@
 #include "src/core/parallel_server.hpp"
 
+#include "src/obs/trace.hpp"
+
 namespace qserv::core {
 
 ParallelServer::ParallelServer(vt::Platform& platform,
@@ -36,7 +38,11 @@ void ParallelServer::worker_loop(int tid) {
     const vt::TimePoint idle0 = platform_.now();
     const bool ready = selectors_[static_cast<size_t>(tid)]->wait_until(
         platform_.now() + cfg_.select_timeout);
-    st.breakdown.idle += platform_.now() - idle0;
+    const vt::TimePoint idle1 = platform_.now();
+    st.breakdown.idle += idle1 - idle0;
+    if (st.tracer != nullptr && st.tracer->enabled() && idle1.ns > idle0.ns)
+      st.tracer->record(st.trace_track, "idle", idle0.ns,
+                        (idle1 - idle0).ns);
     // A select timeout normally just re-checks the stop flag — but when a
     // client has been silent past client_timeout, fall through and run a
     // maintenance frame so the master duties below reap it even on an
@@ -56,6 +62,8 @@ void ParallelServer::worker_loop(int tid) {
       sync_.participants_mask = 1ull << tid;
       sync_.done_processing = 0;
       sync_.done_reply = 0;
+      sync_.frame_moves = 0;
+      sync_.frame_start = platform_.now();
       sync_mu_->unlock();
 
       // Extension: batch requests by delaying the frame start, so that
@@ -92,6 +100,9 @@ void ParallelServer::worker_loop(int tid) {
       // Join the frame being formed; wait for the world update to end.
       ++sync_.participants;
       sync_.participants_mask |= 1ull << tid;
+      const int64_t fid = static_cast<int64_t>(sync_.frame_id);
+      obs::TraceScope span(st.tracer, st.trace_track, "inter-wait-world",
+                           fid);
       const vt::TimePoint w0 = platform_.now();
       while (sync_.phase == FramePhase::kWorld) sync_cv_->wait(*sync_mu_);
       st.breakdown.inter_wait_world += platform_.now() - w0;
@@ -100,6 +111,8 @@ void ParallelServer::worker_loop(int tid) {
       // Too late for this frame: wait for it to end; we are guaranteed
       // to take part in the next one (our queue is non-empty).
       const uint64_t fid = sync_.frame_id;
+      obs::TraceScope span(st.tracer, st.trace_track, "inter-wait-frame",
+                           static_cast<int64_t>(fid));
       const vt::TimePoint w0 = platform_.now();
       while (sync_.phase != FramePhase::kIdle && sync_.frame_id == fid)
         sync_cv_->wait(*sync_mu_);
@@ -115,14 +128,17 @@ void ParallelServer::worker_loop(int tid) {
 
     // Global synchronization before the reply phase.
     sync_mu_->lock();
-    if (frame_trace_enabled_ && st.frame_trace.size() < 100000)
-      st.frame_trace.emplace_back(sync_.frame_id, moves);
+    if (frame_trace_enabled_)
+      record_frame_trace(st, sync_.frame_id, moves);
+    sync_.frame_moves += moves;
     ++sync_.done_processing;
     if (sync_.done_processing == sync_.participants) {
       sync_.phase = FramePhase::kReply;
       platform_.compute(cfg_.costs.signal_syscall);
       sync_cv_->broadcast();
     } else {
+      obs::TraceScope span(st.tracer, st.trace_track, "intra-wait",
+                           static_cast<int64_t>(sync_.frame_id));
       const vt::TimePoint w0 = platform_.now();
       while (sync_.phase != FramePhase::kReply) sync_cv_->wait(*sync_mu_);
       st.breakdown.intra_wait += platform_.now() - w0;
@@ -138,9 +154,16 @@ void ParallelServer::worker_loop(int tid) {
     sync_mu_->lock();
     ++sync_.done_reply;
     if (is_master) {
-      const vt::TimePoint w0 = platform_.now();
-      while (sync_.done_reply < sync_.participants) sync_cv_->wait(*sync_mu_);
-      st.breakdown.intra_wait += platform_.now() - w0;
+      {
+        obs::TraceScope span(st.tracer, st.trace_track, "intra-wait",
+                             static_cast<int64_t>(sync_.frame_id));
+        const vt::TimePoint w0 = platform_.now();
+        while (sync_.done_reply < sync_.participants)
+          sync_cv_->wait(*sync_mu_);
+        st.breakdown.intra_wait += platform_.now() - w0;
+      }
+      const int frame_moves = sync_.frame_moves;
+      const vt::TimePoint frame_start = sync_.frame_start;
       sync_mu_->unlock();
 
       // Master duties: clear the global state buffer, harvest per-frame
@@ -153,6 +176,14 @@ void ParallelServer::worker_loop(int tid) {
       lock_manager_->frame_harvest(frame_lock_stats_);
       reap_timed_out_clients(st);
       run_invariant_check();
+      record_frame_metrics(frame_start, frame_moves);
+      // Whole-frame span on the master's track (election to frame end);
+      // phase spans nest inside it by time containment. frames_ is stable
+      // here: no new master can be elected while the phase is not kIdle.
+      if (st.tracer != nullptr && st.tracer->enabled())
+        st.tracer->record(st.trace_track, "frame", frame_start.ns,
+                          platform_.now().ns - frame_start.ns,
+                          static_cast<int64_t>(frames_));
 
       sync_mu_->lock();
       sync_.phase = FramePhase::kIdle;

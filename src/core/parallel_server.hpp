@@ -43,6 +43,8 @@ class ParallelServer final : public Server {
     uint64_t participants_mask = 0;
     int done_processing = 0;
     int done_reply = 0;
+    int frame_moves = 0;        // moves executed by all participants
+    vt::TimePoint frame_start{};  // master election time (frame metrics)
   };
 
   std::unique_ptr<vt::Mutex> sync_mu_;

@@ -1,5 +1,7 @@
 #include "src/core/sequential_server.hpp"
 
+#include "src/obs/trace.hpp"
+
 namespace qserv::core {
 
 SequentialServer::SequentialServer(vt::Platform& platform,
@@ -24,7 +26,10 @@ void SequentialServer::main_loop() {
     const vt::TimePoint idle0 = platform_.now();
     const bool ready =
         selectors_[0]->wait_until(platform_.now() + cfg_.select_timeout);
-    st.breakdown.idle += platform_.now() - idle0;
+    const vt::TimePoint idle1 = platform_.now();
+    st.breakdown.idle += idle1 - idle0;
+    if (st.tracer != nullptr && st.tracer->enabled() && idle1.ns > idle0.ns)
+      st.tracer->record(st.trace_track, "idle", idle0.ns, (idle1 - idle0).ns);
     if (!ready) {
       // No traffic woke us, but silent clients still age: reap them even
       // when no frames are running, or a lone stalled client would hold
@@ -39,6 +44,7 @@ void SequentialServer::main_loop() {
 
     ++frames_;
     ++st.frames_participated;
+    const vt::TimePoint frame_start = platform_.now();
 
     // P: world physics.
     do_world_phase(st);
@@ -46,6 +52,7 @@ void SequentialServer::main_loop() {
     // Rx/E: receive and process requests until the queue is empty.
     const int moves = drain_requests(0, st, /*use_locks=*/false);
     st.requests_per_frame.add(moves);
+    if (frame_trace_enabled_) record_frame_trace(st, frames_, moves);
 
     // T/Tx: form and send replies to everyone who sent a request, and
     // buffer global updates for everyone else.
@@ -56,6 +63,11 @@ void SequentialServer::main_loop() {
     global_events_.clear();
     reap_timed_out_clients(st);
     run_invariant_check();
+    record_frame_metrics(frame_start, moves);
+    if (st.tracer != nullptr && st.tracer->enabled())
+      st.tracer->record(st.trace_track, "frame", frame_start.ns,
+                        platform_.now().ns - frame_start.ns,
+                        static_cast<int64_t>(frames_));
   }
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "src/core/invariant_checker.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/move.hpp"
 #include "src/sim/snapshot.hpp"
 #include "src/util/check.hpp"
@@ -100,6 +102,65 @@ void Server::reset_stats() {
   frame_lock_stats_.reset();
 }
 
+uint64_t Server::frame_trace_dropped() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.frame_trace_dropped;
+  return n;
+}
+
+Server::NetchanTotals Server::netchan_totals() const {
+  NetchanTotals t;
+  for (const auto& c : clients_) {
+    if (!c.in_use || c.chan == nullptr) continue;
+    t.packets_sent += c.chan->packets_sent();
+    t.packets_accepted += c.chan->packets_accepted();
+    t.drops_detected += c.chan->drops_detected();
+    t.duplicates_rejected += c.chan->duplicates_rejected();
+  }
+  return t;
+}
+
+void Server::attach_observability(obs::Tracer* tracer,
+                                  obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  // Rebind unconditionally: span timestamps must come from *this* server's
+  // platform clock, and a tracer reused across runs would otherwise keep a
+  // pointer to a destroyed platform.
+  if (tracer != nullptr) tracer->bind(platform_);
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    stats_[i].tracer = tracer;
+    stats_[i].trace_track =
+        tracer != nullptr
+            ? tracer->make_track("server-thread-" + std::to_string(i))
+            : -1;
+  }
+  lock_manager_->set_metrics(metrics);
+  if (metrics != nullptr) {
+    frame_duration_ms_ = &metrics->histogram("server.frame_duration_ms", 1e-3);
+    moves_per_frame_ = &metrics->histogram("server.moves_per_frame", 0.5);
+  } else {
+    frame_duration_ms_ = nullptr;
+    moves_per_frame_ = nullptr;
+  }
+}
+
+void Server::record_frame_metrics(vt::TimePoint start, int moves) {
+  if (frame_duration_ms_ == nullptr) return;
+  frame_duration_ms_->observe((platform_.now() - start).millis());
+  moves_per_frame_->observe(static_cast<double>(moves));
+}
+
+void Server::record_frame_trace(ThreadStats& st, uint64_t frame_id,
+                                int moves) {
+  if (st.frame_trace.size() <
+      static_cast<size_t>(std::max(0, cfg_.frame_trace_limit))) {
+    st.frame_trace.emplace_back(frame_id, moves);
+  } else {
+    ++st.frame_trace_dropped;
+  }
+}
+
 int Server::connected_clients() const {
   int n = 0;
   for (const auto& c : clients_) n += c.in_use ? 1 : 0;
@@ -115,6 +176,8 @@ Server::Client* Server::client_by_port(uint16_t port) {
 }
 
 void Server::do_world_phase(ThreadStats& st) {
+  obs::TraceScope span(st.tracer, st.trace_track, "world",
+                       static_cast<int64_t>(frames_));
   const vt::TimePoint t0 = platform_.now();
   vt::Duration dt = t0 - last_world_;
   // Clamp: the first frame (and long idle gaps) must not produce a huge
@@ -149,7 +212,10 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
     }
     net::ClientMsgType type{};
     const bool parsed = framed && net::decode_client_type(body, type);
-    st.breakdown.receive += platform_.now() - t0;
+    const vt::TimePoint t1 = platform_.now();
+    st.breakdown.receive += t1 - t0;
+    if (st.tracer != nullptr && st.tracer->enabled())
+      st.tracer->record(st.trace_track, "receive", t0.ns, (t1 - t0).ns);
     if (!parsed) continue;
     // Any well-formed traffic proves liveness, even stale duplicates.
     if (client != nullptr)
@@ -277,6 +343,7 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
   LockManager::ListLockContext ctx(*lock_manager_, st);
   const vt::Duration lock_before =
       st.breakdown.lock_leaf + st.breakdown.lock_parent;
+  obs::TraceScope span(st.tracer, st.trace_track, "exec");
   const vt::TimePoint t0 = platform_.now();
   sim::execute_move(world_, *player, cmd, t0, lock ? &ctx : nullptr,
                     &global_events_);
@@ -390,6 +457,7 @@ int Server::reassign_clients() {
 
 void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
                         uint64_t participants_mask) {
+  obs::TraceScope span(st.tracer, st.trace_track, "reply");
   const vt::TimePoint t0 = platform_.now();
   const std::vector<net::GameEvent> frame_events = global_events_.snapshot();
 

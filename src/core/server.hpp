@@ -21,6 +21,12 @@
 #include "src/net/virtual_udp.hpp"
 #include "src/sim/world.hpp"
 
+namespace qserv::obs {
+class HistogramMetric;
+class MetricsRegistry;
+class Tracer;
+}
+
 namespace qserv::core {
 
 class InvariantChecker;
@@ -60,9 +66,33 @@ class Server {
   void reset_stats();
 
   // Records (frame, moves) per thread for §5.2's dynamic-imbalance
-  // analysis. Bounded to ~100k entries per thread.
+  // analysis. Bounded to cfg.frame_trace_limit entries per thread; the
+  // overflow shows up in frame_trace_dropped().
   void enable_frame_trace() { frame_trace_enabled_ = true; }
   bool frame_trace_enabled() const { return frame_trace_enabled_; }
+  // Entries discarded across threads once the per-thread cap was hit.
+  uint64_t frame_trace_dropped() const;
+
+  // Netchan reliability counters summed over currently connected clients
+  // (post-run inspection / metrics harvest).
+  struct NetchanTotals {
+    uint64_t packets_sent = 0;
+    uint64_t packets_accepted = 0;
+    uint64_t drops_detected = 0;
+    uint64_t duplicates_rejected = 0;
+  };
+  NetchanTotals netchan_totals() const;
+
+  // Attaches the observability layer (obs/): a per-thread event tracer
+  // (phase spans onto one track per worker) and/or a metrics registry
+  // (frame-duration and requests-per-frame histograms here; lock-wait
+  // histograms inside the lock manager). Either may be null. Call before
+  // start(); pointers must outlive the server. When detached (the
+  // default) the hot path pays one branch per would-be span.
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics);
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   // Dynamic-assignment client migrations performed so far.
   uint64_t reassignments() const { return reassignments_; }
@@ -83,6 +113,7 @@ class Server {
   sim::World& world() { return world_; }
   const ServerConfig& config() const { return cfg_; }
   LockManager& lock_manager() { return *lock_manager_; }
+  const LockManager& lock_manager() const { return *lock_manager_; }
   int connected_clients() const;
 
  protected:
@@ -179,8 +210,20 @@ class Server {
   uint64_t frames_ = 0;
   vt::TimePoint last_world_{};  // previous world-phase time (for dt)
 
+  // Records one finished frame into the metrics instruments (frame
+  // duration from `start`, total `moves` executed). No-op when metrics
+  // are detached.
+  void record_frame_metrics(vt::TimePoint start, int moves);
+
+  // Appends to `st.frame_trace` under the configured cap (§5.2 trace).
+  void record_frame_trace(ThreadStats& st, uint64_t frame_id, int moves);
+
   std::atomic<bool> stop_{false};
   bool frame_trace_enabled_ = false;
+  obs::Tracer* tracer_ = nullptr;            // non-owning, may be null
+  obs::MetricsRegistry* metrics_ = nullptr;  // non-owning, may be null
+  obs::HistogramMetric* frame_duration_ms_ = nullptr;
+  obs::HistogramMetric* moves_per_frame_ = nullptr;
   uint64_t reassignments_ = 0;
   vt::TimePoint next_reassign_{};
   uint64_t evictions_ = 0;          // guarded by clients_mu_

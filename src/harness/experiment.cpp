@@ -1,11 +1,15 @@
 #include "src/harness/experiment.hpp"
 
 #include <chrono>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"
+#include "src/obs/collect.hpp"
+#include "src/obs/trace.hpp"
 #include "src/spatial/map_gen.hpp"
 #include "src/util/check.hpp"
 
@@ -71,8 +75,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   bots::ClientDriver driver(platform, network, *map, *server, dcfg);
 
   if (cfg.frame_trace) server->enable_frame_trace();
+  if (cfg.tracer != nullptr || cfg.metrics != nullptr)
+    server->attach_observability(cfg.tracer, cfg.metrics);
   server->start();
   driver.start();
+
+  // Periodic metrics snapshots: a self-rescheduling platform callback
+  // that stops once the run is over.
+  std::vector<obs::TimedSnapshot> metrics_series;
+  if (cfg.metrics != nullptr && cfg.metrics_period.ns > 0) {
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, tick] {
+      if (server->stop_requested()) return;
+      obs::TimedSnapshot snap;
+      snap.t_seconds = platform.now().seconds();
+      snap.samples = cfg.metrics->snapshot();
+      metrics_series.push_back(std::move(snap));
+      platform.call_after(cfg.metrics_period, *tick);
+    };
+    platform.call_after(cfg.metrics_period, *tick);
+  }
 
   uint64_t overflow_at_measure_start = 0;
   platform.call_after(cfg.warmup, [&] {
@@ -133,6 +155,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (const auto& ts : server->thread_stats())
       out.frame_traces.push_back(ts.frame_trace);
   }
+  if (cfg.metrics != nullptr) {
+    obs::collect_network(network, *cfg.metrics);
+    obs::collect_server(*server, *cfg.metrics);
+  }
+  out.frame_trace_dropped = server->frame_trace_dropped();
+  out.metrics_series = std::move(metrics_series);
   out.frames = server->frames();
   out.requests = server->total_requests();
   out.replies = server->total_replies();

@@ -10,8 +10,13 @@
 #include "src/bots/client_driver.hpp"
 #include "src/core/config.hpp"
 #include "src/core/frame_stats.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/spatial/map.hpp"
 #include "src/vthread/sim_platform.hpp"
+
+namespace qserv::obs {
+class Tracer;
+}
 
 namespace qserv::harness {
 
@@ -33,6 +38,16 @@ struct ExperimentConfig {
   bots::ClientDriver::ChurnConfig churn;
   // Record the per-frame, per-thread request counts (§5.2 analysis).
   bool frame_trace = false;
+  // Observability attachments (obs/), non-owning; both must outlive the
+  // run. `tracer` records per-thread phase spans on the server (export
+  // Chrome trace JSON afterwards); `metrics` receives live instruments
+  // (frame durations, lock waits) plus an end-of-run harvest of network,
+  // fault and contention counters. With `metrics_period` > 0 the registry
+  // is additionally snapshotted on that period into
+  // ExperimentResult::metrics_series.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  vt::Duration metrics_period{};
   // Machine model: the paper's quad Xeon with 2-way hyper-threading.
   vt::SimPlatform::MachineConfig machine{};
   // Map shared across experiments of a sweep (generated once).
@@ -75,6 +90,10 @@ struct ExperimentResult {
   uint64_t replies = 0;
   uint64_t overflow_drops = 0;
   uint64_t reassignments = 0;  // dynamic-assignment client migrations
+  // §5.2 frame-trace entries discarded at the per-thread cap.
+  uint64_t frame_trace_dropped = 0;
+  // Periodic registry snapshots (metrics + metrics_period configured).
+  std::vector<obs::TimedSnapshot> metrics_series;
 
   // Lifecycle / robustness counters (server + client sides).
   uint64_t evictions = 0;           // clients the server timed out

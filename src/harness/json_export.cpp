@@ -1,0 +1,198 @@
+#include "src/harness/json_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace qserv::harness {
+
+namespace {
+
+void write_breakdown_pct(obs::JsonWriter& w, const core::BreakdownPct& p) {
+  w.begin_object();
+  w.kv("exec", p.exec);
+  w.kv("lock_leaf", p.lock_leaf);
+  w.kv("lock_parent", p.lock_parent);
+  w.kv("receive", p.receive);
+  w.kv("reply", p.reply);
+  w.kv("world", p.world);
+  w.kv("intra_wait", p.intra_wait);
+  w.kv("inter_wait_world", p.inter_wait_world);
+  w.kv("inter_wait_frame", p.inter_wait_frame);
+  w.kv("idle", p.idle);
+  w.end_object();
+}
+
+void write_breakdown_ms(obs::JsonWriter& w, const core::Breakdown& b) {
+  w.begin_object();
+  w.kv("exec", b.exec.millis());
+  w.kv("lock_leaf", b.lock_leaf.millis());
+  w.kv("lock_parent", b.lock_parent.millis());
+  w.kv("receive", b.receive.millis());
+  w.kv("reply", b.reply.millis());
+  w.kv("world", b.world.millis());
+  w.kv("intra_wait", b.intra_wait.millis());
+  w.kv("inter_wait_world", b.inter_wait_world.millis());
+  w.kv("inter_wait_frame", b.inter_wait_frame.millis());
+  w.kv("idle", b.idle.millis());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_result_json(obs::JsonWriter& w, const std::string& label,
+                       const ExperimentConfig& cfg,
+                       const ExperimentResult& r) {
+  w.begin_object();
+  w.kv("label", label);
+
+  w.key("config");
+  w.begin_object();
+  w.kv("mode",
+       cfg.mode == ServerMode::kSequential ? "sequential" : "parallel");
+  w.kv("threads", cfg.server.threads);
+  w.kv("players", cfg.players);
+  w.kv("lock_policy", core::lock_policy_name(cfg.server.lock_policy));
+  w.kv("assign_policy", core::assign_policy_name(cfg.server.assign_policy));
+  w.kv("seed", cfg.seed);
+  w.kv("warmup_s", cfg.warmup.seconds());
+  w.kv("measure_s", cfg.measure.seconds());
+  w.key("machine");
+  w.begin_object();
+  w.kv("cores", cfg.machine.cores);
+  w.kv("ht_per_core", cfg.machine.ht_per_core);
+  w.kv("ht_throughput", cfg.machine.ht_throughput);
+  w.end_object();
+  w.end_object();
+
+  w.key("response");
+  w.begin_object();
+  w.kv("rate_per_s", r.response_rate);
+  w.kv("ms_mean", r.response_ms_mean);
+  w.kv("ms_p50", r.response_ms_p50);
+  w.kv("ms_p95", r.response_ms_p95);
+  w.kv("connected", r.connected);
+  w.kv("snapshot_entities_mean", r.snapshot_entities_mean);
+  w.end_object();
+
+  w.key("breakdown_pct");
+  write_breakdown_pct(w, r.pct);
+  w.key("breakdown_ms");
+  write_breakdown_ms(w, r.breakdown);
+
+  w.key("locks");
+  w.begin_object();
+  w.kv("requests_locked", r.locks.requests_locked);
+  w.kv("lock_requests", r.locks.lock_requests);
+  w.kv("distinct_leaves", r.locks.distinct_leaves);
+  w.kv("relocks", r.locks.relocks);
+  w.kv("parent_list_locks", r.locks.parent_list_locks);
+  w.end_object();
+
+  w.key("lock_analysis");
+  w.begin_object();
+  w.kv("distinct_leaves_per_request_pct", r.distinct_leaves_per_request_pct);
+  w.kv("relock_pct", r.relock_pct);
+  w.kv("leaves_locked_per_frame_pct", r.leaves_locked_per_frame_pct);
+  w.kv("leaves_shared_per_frame_pct", r.leaves_shared_per_frame_pct);
+  w.kv("lock_ops_per_leaf_per_frame", r.lock_ops_per_leaf_per_frame);
+  w.end_object();
+
+  w.key("wait");
+  w.begin_object();
+  w.kv("requests_per_thread_frame_mean", r.requests_per_thread_frame_mean);
+  w.kv("requests_per_thread_frame_stddev",
+       r.requests_per_thread_frame_stddev);
+  w.kv("inter_wait_world_fraction", r.inter_wait_world_fraction);
+  w.end_object();
+
+  w.key("counters");
+  w.begin_object();
+  w.kv("frames", r.frames);
+  w.kv("requests", r.requests);
+  w.kv("replies", r.replies);
+  w.kv("overflow_drops", r.overflow_drops);
+  w.kv("reassignments", r.reassignments);
+  w.kv("frame_trace_dropped", r.frame_trace_dropped);
+  w.kv("evictions", r.evictions);
+  w.kv("rejected_connects", r.rejected_connects);
+  w.kv("invariant_violations", r.invariant_violations);
+  w.kv("client_sessions", r.client_sessions);
+  w.kv("client_crashes", r.client_crashes);
+  w.kv("client_quits", r.client_quits);
+  w.kv("client_rejoins", r.client_rejoins);
+  w.kv("total_frags", r.total_frags);
+  w.kv("sim_events", r.sim_events);
+  w.end_object();
+
+  w.kv("host_seconds", r.host_seconds);
+  w.end_object();
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_(std::move(bench_name)) {}
+
+void BenchJsonWriter::add(const std::string& group, const std::string& label,
+                          const ExperimentConfig& cfg,
+                          const ExperimentResult& r) {
+  std::string out;
+  obs::JsonWriter w(out);
+  write_result_json(w, label, cfg, r);
+  add_raw(group, std::move(out));
+}
+
+void BenchJsonWriter::add_raw(const std::string& group,
+                              std::string point_json) {
+  for (auto& g : groups_) {
+    if (g.first == group) {
+      g.second.push_back(std::move(point_json));
+      return;
+    }
+  }
+  groups_.emplace_back(group,
+                       std::vector<std::string>{std::move(point_json)});
+}
+
+void BenchJsonWriter::add_points(const std::string& group,
+                                 const std::vector<SweepPoint>& points) {
+  for (const auto& p : points) add(group, p.label, p.config, p.result);
+}
+
+std::string BenchJsonWriter::to_json() const {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "qserv-bench-v1");
+  w.kv("bench", bench_);
+  w.key("groups");
+  w.begin_array();
+  for (const auto& g : groups_) {
+    w.begin_object();
+    w.kv("name", g.first);
+    w.key("points");
+    w.begin_array();
+    for (const auto& point : g.second) w.raw(point);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out.push_back('\n');
+  return out;
+}
+
+bool BenchJsonWriter::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << to_json();
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "bench: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qserv::harness

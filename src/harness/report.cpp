@@ -51,9 +51,11 @@ std::vector<std::string> lifecycle_row(const std::string& label,
 
 void print_summary(const std::string& label, const ExperimentResult& r) {
   std::printf(
-      "%-28s rate=%7.0f replies/s  rt=%6.1f ms  lock=%4.1f%%  wait=%4.1f%%  "
+      "%-28s rate=%7.0f replies/s  rt=%6.1f ms  "
+      "lock=%4.1f%% [leaf %.1f%% par %.1f%%]  wait=%4.1f%%  "
       "idle=%4.1f%%  frames=%llu  (host %.1fs)\n",
       label.c_str(), r.response_rate, r.response_ms_mean, r.pct.lock() * 100,
+      r.pct.lock_leaf * 100, r.pct.lock_parent * 100,
       (r.pct.intra_wait + r.pct.inter_wait()) * 100, r.pct.idle * 100,
       static_cast<unsigned long long>(r.frames), r.host_seconds);
   std::fflush(stdout);

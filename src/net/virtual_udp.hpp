@@ -70,6 +70,8 @@ class VirtualNetwork {
   // platform callbacks; see fault_scheduler.hpp for the taxonomy.
   FaultScheduler& faults();
   bool has_faults() const { return faults_ != nullptr; }
+  // Read-only view for reporting/metrics; null until faults() is called.
+  const FaultScheduler* faults_or_null() const { return faults_.get(); }
 
   // Global counters (racy reads are fine for reporting).
   uint64_t packets_sent() const { return packets_sent_; }

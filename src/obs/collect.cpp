@@ -1,0 +1,58 @@
+#include "src/obs/collect.hpp"
+
+#include <string>
+
+#include "src/core/lock_manager.hpp"
+#include "src/core/server.hpp"
+#include "src/net/fault_scheduler.hpp"
+#include "src/net/virtual_udp.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace qserv::obs {
+
+void collect_network(const net::VirtualNetwork& net, MetricsRegistry& reg) {
+  reg.counter("net.packets_sent").set(net.packets_sent());
+  reg.counter("net.packets_dropped").set(net.packets_dropped());
+  reg.counter("net.packets_overflowed").set(net.packets_overflowed());
+  reg.counter("net.packets_to_closed_ports")
+      .set(net.packets_to_closed_ports());
+  reg.counter("net.bytes_sent").set(net.bytes_sent());
+  if (const net::FaultScheduler* faults = net.faults_or_null()) {
+    const auto& f = faults->counters();
+    reg.counter("fault.burst_drops").set(f.burst_drops);
+    reg.counter("fault.partition_drops").set(f.partition_drops);
+    reg.counter("fault.blackhole_drops").set(f.blackhole_drops);
+    reg.counter("fault.delayed_packets").set(f.delayed_packets);
+  }
+}
+
+void collect_server(const core::Server& server, MetricsRegistry& reg,
+                    int hotlist_k) {
+  reg.counter("server.frames").set(server.frames());
+  reg.counter("server.requests").set(server.total_requests());
+  reg.counter("server.replies").set(server.total_replies());
+  reg.counter("server.evictions").set(server.evictions());
+  reg.counter("server.rejected_connects").set(server.rejected_connects());
+  reg.counter("server.invariant_violations")
+      .set(server.invariant_violations());
+  reg.counter("server.frame_trace_dropped").set(server.frame_trace_dropped());
+  reg.gauge("server.connected_clients")
+      .set(static_cast<double>(server.connected_clients()));
+
+  const auto chan = server.netchan_totals();
+  reg.counter("netchan.packets_sent").set(chan.packets_sent);
+  reg.counter("netchan.packets_accepted").set(chan.packets_accepted);
+  reg.counter("netchan.drops_detected").set(chan.drops_detected);
+  reg.counter("netchan.duplicates_rejected").set(chan.duplicates_rejected);
+
+  const auto hot = server.lock_manager().contention_hotlist(hotlist_k);
+  for (const auto& leaf : hot) {
+    const std::string base =
+        "lock.leaf." + std::to_string(leaf.leaf_ordinal) + ".";
+    reg.counter(base + "ops").set(leaf.lock_ops);
+    reg.counter(base + "contended").set(leaf.contended);
+    reg.gauge(base + "wait_us").set(leaf.wait.micros());
+  }
+}
+
+}  // namespace qserv::obs

@@ -1,0 +1,34 @@
+// Collectors: one-shot harvest of subsystem counters into a
+// MetricsRegistry. The network stack, fault scheduler and lock manager
+// already keep cheap always-on counters; these functions copy them into
+// named registry instruments so one snapshot/export shows the whole
+// system (Envoy-style stats sinks, minus the sink thread).
+//
+// Call at the end of a run, or periodically — counters are cumulative, so
+// repeated collection just refreshes the values.
+#pragma once
+
+namespace qserv::core {
+class Server;
+}
+namespace qserv::net {
+class VirtualNetwork;
+}
+
+namespace qserv::obs {
+
+class MetricsRegistry;
+
+// net.* counters (packets, bytes, drops) and, when fault injection is
+// active, fault.* counters (burst/partition/blackhole drops, delays).
+void collect_network(const net::VirtualNetwork& net, MetricsRegistry& reg);
+
+// server.* counters (frames, requests, replies, connects, evictions,
+// rejected connects, invariant violations, frame-trace drops) and the
+// lock.* contention hot-list: per-leaf lock ops / contended acquisitions /
+// wait for the `hotlist_k` busiest leaves, as
+// "lock.leaf.<ordinal>.{ops,contended,wait_us}".
+void collect_server(const core::Server& server, MetricsRegistry& reg,
+                    int hotlist_k = 8);
+
+}  // namespace qserv::obs

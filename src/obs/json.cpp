@@ -1,0 +1,115 @@
+#include "src/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qserv::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {  // JSON has no inf/nan
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", d);
+    out_ += buf;
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::value(int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+  need_comma_ = true;
+}
+
+void JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  need_comma_ = true;
+}
+
+}  // namespace qserv::obs

@@ -1,0 +1,63 @@
+// Minimal JSON emission: string escaping plus a streaming writer with
+// automatic comma management. The observability layer (trace export,
+// metrics snapshots, bench --json) emits everything through this, so the
+// escaping rules live in exactly one place.
+//
+// The writer is append-only and does not validate nesting beyond a debug
+// check; callers are expected to produce well-formed documents (the obs
+// tests run a full syntax check over every exporter's output).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qserv::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (without the
+// surrounding quotes): ", \, and control characters below 0x20 become
+// their escape sequences (\uXXXX for the ones without a shorthand).
+std::string json_escape(std::string_view s);
+
+// Streaming JSON writer over a caller-owned string.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. key() must precede any value inside an object.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+
+  // Scalars.
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(int64_t v);
+  void value(uint64_t v);
+  void value(int v) { value(static_cast<int64_t>(v)); }
+  void value(bool b);
+  void null();
+  // Emits `json` verbatim in value position (must itself be well-formed).
+  void raw(std::string_view json);
+
+  // Shorthand for key(k); value(v).
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma();  // emits "," between siblings
+
+  std::string& out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace qserv::obs

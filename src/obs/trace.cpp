@@ -1,0 +1,137 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::obs {
+
+Tracer::Tracer() : Tracer(Config()) {}
+
+Tracer::Tracer(Config cfg) : cfg_(cfg), enabled_(cfg.enabled) {
+  QSERV_CHECK(cfg_.capacity_per_track > 0);
+}
+
+Tracer::Tracer(vt::Platform& platform) : Tracer(Config()) {
+  platform_ = &platform;
+}
+
+Tracer::Tracer(vt::Platform& platform, Config cfg) : Tracer(cfg) {
+  platform_ = &platform;
+}
+
+int Tracer::make_track(std::string name) {
+  auto t = std::make_unique<Track>();
+  t->name = std::move(name);
+  t->ring.resize(cfg_.capacity_per_track);
+  tracks_.push_back(std::move(t));
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void Tracer::record(int track, const char* name, int64_t start_ns,
+                    int64_t dur_ns, int64_t frame) {
+  Track& t = *tracks_[static_cast<size_t>(track)];
+  TraceEvent& slot = t.ring[t.written % t.ring.size()];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.frame = frame;
+  ++t.written;
+}
+
+std::vector<TraceEvent> Tracer::events(int track) const {
+  const Track& t = *tracks_[static_cast<size_t>(track)];
+  const size_t cap = t.ring.size();
+  const size_t n = std::min<uint64_t>(t.written, cap);
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Oldest surviving span first: the ring index where the next write
+  // would land is also where the oldest entry lives once wrapped.
+  const size_t start = t.written > cap ? t.written % cap : 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(t.ring[(start + i) % cap]);
+  return out;
+}
+
+uint64_t Tracer::dropped(int track) const {
+  const Track& t = *tracks_[static_cast<size_t>(track)];
+  return t.written > t.ring.size() ? t.written - t.ring.size() : 0;
+}
+
+uint64_t Tracer::total_recorded() const {
+  uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->written;
+  return n;
+}
+
+const std::string& Tracer::track_name(int track) const {
+  return tracks_[static_cast<size_t>(track)]->name;
+}
+
+std::string Tracer::export_chrome_trace() const {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata: one process ("qserv") and one named thread row per track.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", int64_t{1});
+  w.kv("tid", int64_t{0});
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "qserv");
+  w.end_object();
+  w.end_object();
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", int64_t{1});
+    w.kv("tid", static_cast<int64_t>(i));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", tracks_[i]->name);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Complete ("X") events; timestamps are microseconds in this format.
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    for (const TraceEvent& e : events(static_cast<int>(i))) {
+      w.begin_object();
+      w.kv("name", e.name != nullptr ? e.name : "?");
+      w.kv("cat", "frame");
+      w.kv("ph", "X");
+      w.kv("ts", static_cast<double>(e.start_ns) * 1e-3);
+      w.kv("dur", static_cast<double>(e.dur_ns) * 1e-3);
+      w.kv("pid", int64_t{1});
+      w.kv("tid", static_cast<int64_t>(i));
+      if (e.frame >= 0) {
+        w.key("args");
+        w.begin_object();
+        w.kv("frame", e.frame);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = export_chrome_trace();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace qserv::obs

@@ -1,0 +1,150 @@
+// Low-overhead per-thread event tracer (the paper's §4 measurement
+// methodology, upgraded from aggregate totals to an event-level timeline).
+//
+// Each server thread owns a *track*: a fixed-capacity ring buffer of
+// completed spans (name, start, duration). Emission is wait-free — a
+// track has exactly one writer, so recording is two loads, a bump of a
+// plain index, and a struct store; there is no locking anywhere on the
+// hot path. The only shared state is the `enabled_` flag (one relaxed
+// atomic load per span — the single branch the hot path pays when tracing
+// is off). When the ring wraps, the oldest spans are overwritten and a
+// per-track dropped counter keeps the loss visible.
+//
+// Export produces Chrome trace-event JSON ("traceEvents" with complete
+// "X" events), loadable in chrome://tracing or https://ui.perfetto.dev —
+// one row per server thread, spans nested by time containment, so a whole
+// frame pipeline (world, receive, exec, lock waits, barriers, reply) is
+// visible per thread on a timeline.
+//
+// Time source: vt::Platform::now(), i.e. virtual time under SimPlatform
+// (deterministic, unperturbed by tracing — recording charges no modelled
+// compute) and wall time under RealPlatform.
+//
+// Compile-time kill switch: building with -DQSERV_OBS_NO_TRACING turns
+// TraceScope into an empty struct, removing even the branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vthread/platform.hpp"
+
+namespace qserv::obs {
+
+// One completed span. `name` must be a string literal (or otherwise
+// outlive the tracer); storing the pointer keeps recording allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int64_t frame = -1;  // optional frame id, -1 = none (emitted as args)
+};
+
+class Tracer {
+ public:
+  struct Config {
+    size_t capacity_per_track = 1 << 16;  // spans kept per track (ring)
+    bool enabled = true;
+  };
+
+  // A tracer may be constructed unbound (no platform): the harness binds
+  // it to the server's platform when observability is attached, so bench
+  // mains can own a tracer without ever seeing the SimPlatform inside
+  // run_experiment(). now_ns() reports 0 until bound.
+  Tracer();
+  explicit Tracer(Config cfg);
+  explicit Tracer(vt::Platform& platform);
+  Tracer(vt::Platform& platform, Config cfg);
+
+  void bind(vt::Platform& platform) { platform_ = &platform; }
+  bool bound() const { return platform_ != nullptr; }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Registers a timeline row. Call before the owning thread starts
+  // emitting; the returned track id is written by exactly one thread.
+  int make_track(std::string name);
+  int track_count() const { return static_cast<int>(tracks_.size()); }
+
+  // Runtime switch, checked once per span by TraceScope.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  int64_t now_ns() const {
+    return platform_ != nullptr ? platform_->now().ns : 0;
+  }
+
+  // Records one completed span on `track`. Single-writer per track.
+  void record(int track, const char* name, int64_t start_ns, int64_t dur_ns,
+              int64_t frame = -1);
+
+  // --- post-run inspection / export (call after writers have stopped) ---
+  // Spans recorded on `track`, oldest first (at most capacity_per_track).
+  std::vector<TraceEvent> events(int track) const;
+  // Spans overwritten by ring wrap on `track`.
+  uint64_t dropped(int track) const;
+  uint64_t total_recorded() const;  // across tracks, including overwritten
+  const std::string& track_name(int track) const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string export_chrome_trace() const;
+  // Writes export_chrome_trace() to `path`; returns false on I/O error.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Track {
+    std::string name;
+    std::vector<TraceEvent> ring;  // sized capacity once, never resized
+    uint64_t written = 0;          // total spans ever recorded
+  };
+
+  vt::Platform* platform_ = nullptr;
+  Config cfg_;
+  std::atomic<bool> enabled_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+#ifndef QSERV_OBS_NO_TRACING
+
+// RAII span: opens at construction, records at destruction. Cost when
+// `tracer` is null or disabled: one branch, nothing recorded.
+class TraceScope {
+ public:
+  TraceScope(Tracer* tracer, int track, const char* name, int64_t frame = -1)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        track_(track),
+        name_(name),
+        frame_(frame) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->now_ns();
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr)
+      tracer_->record(track_, name_, start_ns_,
+                      tracer_->now_ns() - start_ns_, frame_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int track_;
+  const char* name_;
+  int64_t frame_;
+  int64_t start_ns_ = 0;
+};
+
+#else  // QSERV_OBS_NO_TRACING: spans compile away entirely
+
+class TraceScope {
+ public:
+  TraceScope(Tracer*, int, const char*, int64_t = -1) {}
+};
+
+#endif
+
+}  // namespace qserv::obs

@@ -1,0 +1,424 @@
+// Observability layer tests: tracer ring semantics, JSON emission and
+// escaping, Chrome trace export validity, metrics registry and histogram
+// percentiles, multi-threaded span emission (TSan-clean by construction:
+// one writer per track), and end-to-end harness integration.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/json_export.hpp"
+#include "src/obs/collect.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/histogram.hpp"
+#include "src/vthread/real_platform.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv {
+namespace {
+
+// ---- minimal JSON syntax checker (validation only, no DOM) ------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0)
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string_view l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---- JSON emission ----------------------------------------------------
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, WriterEmitsWellFormedDocument) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("name", "qserv \"bench\"");
+  w.kv("count", 42);
+  w.kv("ratio", 0.5);
+  w.kv("on", true);
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.kv("nested", "yes");
+  w.end_object();
+  w.end_array();
+  w.key("nothing");
+  w.null();
+  w.end_object();
+
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_NE(out.find("\"count\":42"), std::string::npos);
+  EXPECT_NE(out.find("[1,2,{\"nested\":\"yes\"}]"), std::string::npos);
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(out, "[null,null]");
+}
+
+// ---- tracer ring semantics -------------------------------------------
+
+TEST(TracerTest, RingKeepsNewestAndCountsDropped) {
+  vt::SimPlatform platform;
+  obs::Tracer::Config cfg;
+  cfg.capacity_per_track = 8;
+  obs::Tracer tracer(platform, cfg);
+  const int t = tracer.make_track("t0");
+
+  for (int i = 0; i < 20; ++i)
+    tracer.record(t, "span", /*start_ns=*/i * 100, /*dur_ns=*/50, i);
+
+  const auto events = tracer.events(t);
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped(t), 12u);
+  EXPECT_EQ(tracer.total_recorded(), 20u);
+  // Oldest surviving span first: frames 12..19.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].frame, static_cast<int64_t>(12 + i));
+    EXPECT_EQ(events[i].start_ns, static_cast<int64_t>((12 + i) * 100));
+  }
+}
+
+TEST(TracerTest, DisabledAndNullTracersRecordNothing) {
+  vt::SimPlatform platform;
+  obs::Tracer tracer(platform);
+  const int t = tracer.make_track("t0");
+
+  tracer.set_enabled(false);
+  { obs::TraceScope s(&tracer, t, "off"); }
+  { obs::TraceScope s(nullptr, 0, "null"); }  // must not crash
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+
+  tracer.set_enabled(true);
+  { obs::TraceScope s(&tracer, t, "on"); }
+#ifndef QSERV_OBS_NO_TRACING
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+#endif
+}
+
+TEST(TracerTest, ChromeExportIsValidAndNamesTracks) {
+  vt::SimPlatform platform;
+  obs::Tracer tracer(platform);
+  const int a = tracer.make_track("alpha");
+  const int b = tracer.make_track("beta \"quoted\"");
+  tracer.record(a, "world", 1000, 500, 3);
+  tracer.record(b, "exec", 1500, 200);
+
+  const std::string json = tracer.export_chrome_trace();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("alpha"), std::string::npos);
+  EXPECT_NE(json.find("beta \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"world\""), std::string::npos);
+  EXPECT_NE(json.find("\"frame\":3"), std::string::npos);
+}
+
+TEST(TracerTest, UnboundTracerBindsLater) {
+  obs::Tracer tracer;
+  EXPECT_FALSE(tracer.bound());
+  EXPECT_EQ(tracer.now_ns(), 0);
+  vt::SimPlatform platform;
+  tracer.bind(platform);
+  EXPECT_TRUE(tracer.bound());
+}
+
+// One writer per track from concurrent OS threads: must be TSan-clean
+// and lose nothing.
+TEST(TracerTest, ConcurrentSingleWriterTracks) {
+  vt::RealPlatform platform;
+  obs::Tracer::Config cfg;
+  cfg.capacity_per_track = 1 << 12;
+  obs::Tracer tracer(platform, cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 10000;
+  std::vector<int> tracks;
+  for (int i = 0; i < kThreads; ++i)
+    tracks.push_back(tracer.make_track("w" + std::to_string(i)));
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int s = 0; s < kSpans; ++s) {
+        obs::TraceScope scope(&tracer, tracks[static_cast<size_t>(i)],
+                              "span");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+#ifndef QSERV_OBS_NO_TRACING
+  EXPECT_EQ(tracer.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kSpans);
+  for (const int t : tracks) {
+    EXPECT_EQ(tracer.events(t).size(), cfg.capacity_per_track);
+    EXPECT_EQ(tracer.dropped(t), static_cast<uint64_t>(kSpans) -
+                                     cfg.capacity_per_track);
+  }
+#endif
+}
+
+// ---- metrics ----------------------------------------------------------
+
+TEST(MetricsTest, RegistryFindsOrCreatesAndSnapshots) {
+  obs::MetricsRegistry reg;
+  reg.counter("net.packets").inc(5);
+  reg.counter("net.packets").inc(2);  // same instrument
+  reg.gauge("server.clients").set(17.0);
+  auto& h = reg.histogram("frame_ms");
+  h.observe(10.0);
+  h.observe(20.0);
+  EXPECT_EQ(reg.size(), 3u);
+
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  // Sorted by name: frame_ms, net.packets, server.clients.
+  EXPECT_EQ(samples[0].name, "frame_ms");
+  EXPECT_EQ(samples[0].count, 2u);
+  EXPECT_NEAR(samples[0].value, 15.0, 2.0);  // mean, log-bucket tolerance
+  EXPECT_EQ(samples[1].name, "net.packets");
+  EXPECT_EQ(samples[1].value, 7.0);
+  EXPECT_EQ(samples[2].name, "server.clients");
+  EXPECT_EQ(samples[2].value, 17.0);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("qserv-metrics-v1"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramPercentilesAreAccurate) {
+  Histogram h(/*smallest=*/0.5, /*base=*/1.25);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // Log buckets with base 1.25 bound each percentile within one bucket
+  // (25% wide) before interpolation; 15% relative tolerance is safe.
+  EXPECT_NEAR(h.percentile(50), 500.0, 75.0);
+  EXPECT_NEAR(h.percentile(95), 950.0, 145.0);
+  EXPECT_NEAR(h.percentile(99), 990.0, 150.0);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+// ---- end-to-end through the harness ----------------------------------
+
+harness::ExperimentConfig small_config() {
+  auto cfg = harness::paper_config(harness::ServerMode::kParallel, 2, 16,
+                                   core::LockPolicy::kConservative);
+  cfg.warmup = vt::millis(500);
+  cfg.measure = vt::seconds(1);
+  return cfg;
+}
+
+TEST(ObsIntegrationTest, ExperimentEmitsSpansAndMetrics) {
+  auto cfg = small_config();
+  obs::Tracer tracer;  // unbound: the server binds it on attach
+  obs::MetricsRegistry metrics;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  cfg.metrics_period = vt::millis(250);
+
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_GT(r.frames, 0u);
+
+#ifndef QSERV_OBS_NO_TRACING
+  EXPECT_GT(tracer.total_recorded(), 0u);
+  const std::string json = tracer.export_chrome_trace();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  for (const char* phase : {"world", "exec", "reply", "frame"})
+    EXPECT_NE(json.find("\"" + std::string(phase) + "\""),
+              std::string::npos)
+        << "missing phase span: " << phase;
+#endif
+
+  // Live instruments plus the end-of-run harvest.
+  const auto samples = metrics.snapshot();
+  auto find = [&](const std::string& name) -> const obs::MetricSample* {
+    for (const auto& s : samples)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  const auto* frames = find("server.frames");
+  ASSERT_NE(frames, nullptr);
+  EXPECT_EQ(frames->value, static_cast<double>(r.frames));
+  ASSERT_NE(find("server.frame_duration_ms"), nullptr);
+  EXPECT_GT(find("server.frame_duration_ms")->count, 0u);
+  ASSERT_NE(find("net.packets_sent"), nullptr);
+  EXPECT_GT(find("net.packets_sent")->value, 0.0);
+  ASSERT_NE(find("netchan.packets_sent"), nullptr);
+  EXPECT_GT(find("netchan.packets_sent")->value, 0.0);
+  ASSERT_NE(find("lock.leaf_wait_us"), nullptr);
+
+  // Periodic snapshots were captured on the virtual-time period.
+  EXPECT_GE(r.metrics_series.size(), 4u);
+  EXPECT_GT(r.metrics_series.back().t_seconds,
+            r.metrics_series.front().t_seconds);
+}
+
+TEST(ObsIntegrationTest, TracingDoesNotPerturbVirtualTime) {
+  auto base = small_config();
+  const auto r0 = harness::run_experiment(base);
+
+  auto traced = small_config();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  traced.tracer = &tracer;
+  traced.metrics = &metrics;
+  const auto r1 = harness::run_experiment(traced);
+
+  EXPECT_EQ(r0.frames, r1.frames);
+  EXPECT_EQ(r0.replies, r1.replies);
+  EXPECT_EQ(r0.sim_events, r1.sim_events);
+  EXPECT_EQ(r0.response_rate, r1.response_rate);
+}
+
+TEST(ObsIntegrationTest, FrameTraceRespectsCapAndCountsDrops) {
+  auto cfg = small_config();
+  cfg.frame_trace = true;
+  cfg.server.frame_trace_limit = 4;
+  const auto r = harness::run_experiment(cfg);
+
+  ASSERT_FALSE(r.frame_traces.empty());
+  for (const auto& trace : r.frame_traces)
+    EXPECT_LE(trace.size(), 4u);
+  EXPECT_GT(r.frame_trace_dropped, 0u);
+}
+
+TEST(ObsIntegrationTest, BenchJsonExportIsValid) {
+  auto cfg = small_config();
+  const auto r = harness::run_experiment(cfg);
+
+  harness::BenchJsonWriter json("obs_test");
+  json.add("g1", "2t/16p", cfg, r);
+  json.add_raw("g2", "{\"label\":\"custom\"}");
+  const std::string doc = json.to_json();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("qserv-bench-v1"), std::string::npos);
+  EXPECT_NE(doc.find("\"mode\":\"parallel\""), std::string::npos);
+  EXPECT_NE(doc.find("\"frame_trace_dropped\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qserv
