@@ -50,9 +50,23 @@ void Client::reset_session_state() {
 }
 
 bool Client::do_connect() {
+  // Retry with jitter: the actual wait is 0.5x..1.5x of the base so
+  // simultaneous rejoiners (a churn wave, a server restart) fan out
+  // instead of retrying in lockstep. The base grows exponentially (up to
+  // connect_retry_max) only on explicit kServerBusy rejections — the
+  // server is up but refusing load, so hammering it is counterproductive.
+  // Silent timeouts (loss, partition) keep the fixed cadence: under heavy
+  // loss each attempt is an independent trial and backing off would just
+  // stretch the time to connect.
+  vt::Duration base = cfg_.connect_retry;
+  bool first_attempt = true;
   while (!stop_.load(std::memory_order_relaxed)) {
+    if (!first_attempt && recording_) ++metrics_.connect_retries;
+    first_attempt = false;
     chan_->send(net::encode(net::ConnectMsg{cfg_.name}));
-    const vt::TimePoint deadline = platform_.now() + cfg_.connect_retry;
+    const vt::Duration wait = base * (0.5 + lifecycle_rng_.uniform());
+    const vt::TimePoint deadline = platform_.now() + wait;
+    bool backoff = false;
     while (selector_->wait_until(deadline)) {
       net::Datagram d;
       if (!socket_->try_recv(d)) continue;
@@ -63,12 +77,21 @@ bool Client::do_connect() {
       if (!net::decode_server_type(body, type)) continue;
       if (type == net::ServerMsgType::kReject) {
         net::RejectMsg rej;
-        if (decode(body, rej) &&
-            rej.reason == net::RejectReason::kServerFull) {
-          // The server is full and said so: stop hammering the port.
-          if (recording_) ++metrics_.rejected_full;
-          rejected_ = true;
-          return false;
+        if (decode(body, rej)) {
+          if (rej.reason == net::RejectReason::kServerFull) {
+            // The server is full and said so: stop hammering the port.
+            if (recording_) ++metrics_.rejected_full;
+            rejected_ = true;
+            return false;
+          }
+          if (rej.reason == net::RejectReason::kServerBusy) {
+            // Admission control turned us away: wait out the backoff
+            // window before the next attempt instead of resending
+            // immediately.
+            if (recording_) ++metrics_.rejected_busy;
+            backoff = true;
+            break;
+          }
         }
         continue;  // a stale eviction notice from a previous session
       }
@@ -85,6 +108,14 @@ bool Client::do_connect() {
       connected_ = true;
       last_server_packet_ = platform_.now();
       return true;
+    }
+    if (backoff) {
+      platform_.sleep_until(deadline);
+      base = base * cfg_.connect_backoff;
+      if (cfg_.connect_retry_max.ns > 0 && base > cfg_.connect_retry_max)
+        base = cfg_.connect_retry_max;
+    } else {
+      base = cfg_.connect_retry;
     }
   }
   return false;
@@ -118,11 +149,19 @@ void Client::drain_replies() {
       if (recording_) ++metrics_.delta_snapshots;
     } else if (type == net::ServerMsgType::kReject) {
       net::RejectMsg rej;
-      if (decode(body, rej) && rej.reason == net::RejectReason::kEvicted) {
-        // The server reaped us (we looked dead to it). Re-enter the
-        // connect loop instead of replaying moves into a void.
-        if (recording_) ++metrics_.evictions_observed;
-        evicted_ = true;
+      if (decode(body, rej)) {
+        if (rej.reason == net::RejectReason::kEvicted) {
+          // The server reaped us (we looked dead to it). Re-enter the
+          // connect loop instead of replaying moves into a void.
+          if (recording_) ++metrics_.evictions_observed;
+          evicted_ = true;
+        } else if (rej.reason == net::RejectReason::kServerBusy) {
+          // Shed by the governor's last-resort rung: our slot is gone.
+          // End the session and re-enter the connect loop, where the
+          // backoff (and the server's admission control) pace our return.
+          if (recording_) ++metrics_.rejected_busy;
+          evicted_ = true;
+        }
       }
       continue;
     } else {

@@ -33,7 +33,16 @@ class Client {
     uint16_t server_port = 0;
     std::string name;
     vt::Duration frame_interval = vt::millis(33);
+    // Connect retries run at connect_retry with +/-50% jitter drawn from
+    // the lifecycle RNG, so a churn soak's reconnect waves decorrelate
+    // instead of synchronizing into connect storms. On an explicit
+    // kServerBusy rejection the interval additionally backs off
+    // exponentially (doubling by connect_backoff up to connect_retry_max);
+    // silent timeouts keep the fixed cadence so packet loss doesn't
+    // stretch time-to-connect.
     vt::Duration connect_retry = vt::millis(250);
+    vt::Duration connect_retry_max = vt::seconds(2);
+    double connect_backoff = 2.0;
     vt::Duration initial_delay{};  // connect stagger
     Bot::Config bot;
 
@@ -69,6 +78,8 @@ class Client {
     uint64_t rejoins = 0;             // re-entered the connect loop
     uint64_t evictions_observed = 0;  // server said kEvicted
     uint64_t rejected_full = 0;       // server said kServerFull
+    uint64_t rejected_busy = 0;       // server said kServerBusy (backoff)
+    uint64_t connect_retries = 0;     // connect datagrams re-sent
     uint64_t silence_reconnects = 0;  // gave up on a silent server
     Histogram response_time{1e-4, 1.15, 120};  // seconds
     StatAccumulator snapshot_entities;  // visible entities per snapshot

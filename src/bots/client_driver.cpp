@@ -73,6 +73,8 @@ ClientDriver::Aggregate ClientDriver::aggregate(vt::Duration window) const {
     out.rejoins += m.rejoins;
     out.evictions_observed += m.evictions_observed;
     out.rejected_full += m.rejected_full;
+    out.rejected_busy += m.rejected_busy;
+    out.connect_retries += m.connect_retries;
     out.silence_reconnects += m.silence_reconnects;
     rt.merge(m.response_time);
   }

@@ -70,6 +70,8 @@ class ClientDriver {
     uint64_t rejoins = 0;
     uint64_t evictions_observed = 0;
     uint64_t rejected_full = 0;
+    uint64_t rejected_busy = 0;
+    uint64_t connect_retries = 0;
     uint64_t silence_reconnects = 0;
   };
   // Aggregates metrics over a measurement window of `window` seconds.

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/resilience/config.hpp"
 #include "src/sim/cost_model.hpp"
 #include "src/vthread/time.hpp"
 
@@ -86,6 +87,11 @@ struct ServerConfig {
 
   // How long select() blocks when idle before re-checking the stop flag.
   vt::Duration select_timeout = vt::millis(50);
+
+  // Overload protection & self-healing (src/resilience/): receive-phase
+  // backpressure, connect-time admission control, the degradation
+  // governor, and the worker watchdog. All off by default.
+  resilience::Config resilience{};
 
   sim::CostModel costs{};
 };

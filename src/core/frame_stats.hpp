@@ -62,6 +62,13 @@ struct ThreadStats {
   uint64_t requests_processed = 0;
   uint64_t replies_sent = 0;
   uint64_t connects = 0;
+  // Overload-protection counters (src/resilience/): moves dropped by the
+  // per-client token bucket, datagrams dropped by the oversize clamp, and
+  // moves folded into an earlier same-frame move by the governor's
+  // coalescing rung.
+  uint64_t moves_rate_limited = 0;
+  uint64_t packets_oversized = 0;
+  uint64_t moves_coalesced = 0;
   // Requests handled per frame participated in (§5.2 imbalance analysis).
   StatAccumulator requests_per_frame;
   // Per-frame trace (frame id, moves processed); only filled while the

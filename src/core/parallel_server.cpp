@@ -9,13 +9,34 @@ ParallelServer::ParallelServer(vt::Platform& platform,
                                const spatial::GameMap& map, ServerConfig cfg)
     : Server(platform, net, map, cfg),
       sync_mu_(platform.make_mutex("frame-sync")),
-      sync_cv_(platform.make_condvar()) {}
+      sync_cv_(platform.make_condvar()) {
+  if (cfg_.resilience.watchdog_timeout.ns > 0) {
+    watchdog_ = std::make_unique<resilience::WorkerWatchdog>(cfg_.resilience,
+                                                             cfg_.threads);
+  }
+}
 
 void ParallelServer::start() {
   for (int t = 0; t < cfg_.threads; ++t) {
     platform_.spawn("server-worker-" + std::to_string(t), vt::Domain::kServer,
                     [this, t] { worker_loop(t); });
   }
+  // On the simulated platform fibers cannot wedge between scheduling
+  // points, and the select-timeout maintenance path already covers
+  // detection deterministically; the wall-clock timer is only armed where
+  // threads can really stall under the scheduler.
+  if (watchdog_ != nullptr && !platform_.is_simulated())
+    schedule_watchdog_timer();
+}
+
+void ParallelServer::schedule_watchdog_timer() {
+  platform_.call_after(cfg_.resilience.watchdog_timeout / 2, [this] {
+    if (stop_requested()) return;
+    if (watchdog_->check_due(platform_.now(), /*self=*/-1)) {
+      for (auto& sel : selectors_) sel->poke();
+    }
+    schedule_watchdog_timer();
+  });
 }
 
 vt::Duration ParallelServer::total_inter_wait_world() const {
@@ -34,6 +55,26 @@ void ParallelServer::worker_loop(int tid) {
   ThreadStats& st = stats_[static_cast<size_t>(tid)];
 
   while (!stop_requested()) {
+    if (watchdog_ != nullptr) watchdog_->heartbeat(tid, platform_.now());
+
+    // Chaos: serve any scheduled thread-stall fault here, at the top of
+    // the loop — the worker holds no locks and is not a frame participant,
+    // so a wedged worker never hangs a barrier; it simply goes silent and
+    // its heartbeat ages until the watchdog adjudicates. (A worker wedged
+    // *inside* a frame would hang the barrier — that failure mode is out
+    // of scope; see DESIGN.md §8.)
+    if (const net::FaultScheduler* f = net_.faults_or_null()) {
+      const vt::Duration stall = f->stall_remaining(platform_.now(), tid);
+      if (stall.ns > 0) {
+        stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+        if (st.tracer != nullptr && st.tracer->enabled())
+          st.tracer->record(st.trace_track, "stalled", platform_.now().ns,
+                            stall.ns);
+        platform_.sleep_for(stall);
+        continue;
+      }
+    }
+
     // S: wait for requests on this thread's private port.
     const vt::TimePoint idle0 = platform_.now();
     const bool ready = selectors_[static_cast<size_t>(tid)]->wait_until(
@@ -44,10 +85,11 @@ void ParallelServer::worker_loop(int tid) {
       st.tracer->record(st.trace_track, "idle", idle0.ns,
                         (idle1 - idle0).ns);
     // A select timeout normally just re-checks the stop flag — but when a
-    // client has been silent past client_timeout, fall through and run a
-    // maintenance frame so the master duties below reap it even on an
-    // otherwise idle server.
-    if (!ready && !reap_due()) continue;
+    // client has been silent past client_timeout, or a peer worker's
+    // heartbeat is stale, fall through and run a maintenance frame so the
+    // master duties below can reap / adjudicate even on an otherwise idle
+    // server.
+    if (!ready && !reap_due() && !watchdog_due(tid)) continue;
     platform_.compute(cfg_.costs.select_syscall);
 
     bool is_master = false;
@@ -128,7 +170,8 @@ void ParallelServer::worker_loop(int tid) {
 
     // Global synchronization before the reply phase.
     sync_mu_->lock();
-    if (frame_trace_enabled_)
+    if (frame_trace_enabled_ &&
+        !governor_->at_least(resilience::kShedDebugWork))
       record_frame_trace(st, sync_.frame_id, moves);
     sync_.frame_moves += moves;
     ++sync_.done_processing;
@@ -175,7 +218,29 @@ void ParallelServer::worker_loop(int tid) {
       global_events_.clear();
       lock_manager_->frame_harvest(frame_lock_stats_);
       reap_timed_out_clients(st);
-      run_invariant_check();
+      // Watchdog adjudication: stale heartbeats become stalls, and a
+      // stalled worker's clients migrate to live threads right here —
+      // master election next frame simply proceeds without it.
+      if (watchdog_ != nullptr) {
+        const auto verdict = watchdog_->master_check(platform_.now(), tid);
+        for (const int stalled : verdict.newly_stalled) {
+          const int migrated = reassign_clients_from(stalled, st);
+          if (st.tracer != nullptr && st.tracer->enabled())
+            st.tracer->record(st.trace_track, "worker-stalled",
+                              platform_.now().ns, 0,
+                              stalled * 1000 + migrated);
+        }
+        for (const int back : verdict.recovered) {
+          if (st.tracer != nullptr && st.tracer->enabled())
+            st.tracer->record(st.trace_track, "worker-recovered",
+                              platform_.now().ns, 0, back);
+        }
+      }
+      // Governor: feed the finished frame, possibly stepping the ladder
+      // (and serving its eviction rung). The audit is part of what rung 3
+      // sheds.
+      const int level = governor_frame_end(frame_start, st);
+      if (level < resilience::kShedDebugWork) run_invariant_check();
       record_frame_metrics(frame_start, frame_moves);
       // Whole-frame span on the master's track (election to frame end);
       // phase spans nest inside it by time containment. frames_ is stable

@@ -34,6 +34,13 @@ class ParallelServer final : public Server {
 
   void worker_loop(int tid);
 
+  // RealPlatform safety net: a self-rescheduling timer that pokes every
+  // selector when a heartbeat is stale, so an otherwise idle live worker
+  // wakes and runs the maintenance frame that adjudicates the stall. The
+  // timer only *detects* — all watchdog state changes happen in the
+  // master window.
+  void schedule_watchdog_timer();
+
   // Frame synchronization state, guarded by sync_mu_.
   struct FrameSync {
     FramePhase phase = FramePhase::kIdle;

@@ -52,17 +52,21 @@ void SequentialServer::main_loop() {
     // Rx/E: receive and process requests until the queue is empty.
     const int moves = drain_requests(0, st, /*use_locks=*/false);
     st.requests_per_frame.add(moves);
-    if (frame_trace_enabled_) record_frame_trace(st, frames_, moves);
+    if (frame_trace_enabled_ &&
+        !governor_->at_least(resilience::kShedDebugWork))
+      record_frame_trace(st, frames_, moves);
 
     // T/Tx: form and send replies to everyone who sent a request, and
     // buffer global updates for everyone else.
     do_replies(0, st, /*include_unowned=*/true, /*participants_mask=*/1);
 
     // Frame end: clear the global state buffer, reap timed-out clients,
-    // and (when enabled) audit cross-structure consistency.
+    // feed the degradation governor, and (when enabled and not shed)
+    // audit cross-structure consistency.
     global_events_.clear();
     reap_timed_out_clients(st);
-    run_invariant_check();
+    const int level = governor_frame_end(frame_start, st);
+    if (level < resilience::kShedDebugWork) run_invariant_check();
     record_frame_metrics(frame_start, moves);
     if (st.tracer != nullptr && st.tracer->enabled())
       st.tracer->record(st.trace_track, "frame", frame_start.ns,

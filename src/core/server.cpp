@@ -41,6 +41,9 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
   QSERV_CHECK(cfg.threads >= 1 && cfg.threads <= 64);
   lock_manager_ =
       std::make_unique<LockManager>(platform, world_.tree(), cfg.costs);
+  // Always built: even with the ladder off it maintains the rolling p95
+  // that connect-time admission control reads.
+  governor_ = std::make_unique<resilience::FrameGovernor>(cfg.resilience);
   // Entity storage must never reallocate or change size once clients
   // join: concurrent readers hold references and call get() during
   // request processing, so connect-time spawns may only pop free slots.
@@ -94,6 +97,24 @@ uint64_t Server::total_replies() const {
 uint64_t Server::total_requests() const {
   uint64_t n = 0;
   for (const auto& s : stats_) n += s.requests_processed;
+  return n;
+}
+
+uint64_t Server::total_moves_rate_limited() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.moves_rate_limited;
+  return n;
+}
+
+uint64_t Server::total_packets_oversized() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.packets_oversized;
+  return n;
+}
+
+uint64_t Server::total_moves_coalesced() const {
+  uint64_t n = 0;
+  for (const auto& s : stats_) n += s.moves_coalesced;
   return n;
 }
 
@@ -192,10 +213,30 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
   net::Datagram d;
   int moves = 0;
   while (sockets_[static_cast<size_t>(tid)]->try_recv(d)) {
+    // Flood/oversize clamp: no legitimate client message approaches this
+    // size, so drop before spending any parse work on it.
+    if (cfg_.resilience.max_packet_bytes > 0 &&
+        d.payload.size() > cfg_.resilience.max_packet_bytes) {
+      ++st.packets_oversized;
+      continue;
+    }
     // --- receive + parse ---
     const vt::TimePoint t0 = platform_.now();
     platform_.compute(cfg_.costs.recv_parse);
     Client* client = client_by_port(d.src_port);
+
+    if (client != nullptr && client->owner_thread != tid) {
+      // Stale-port traffic: the client was migrated (region reassignment
+      // or stall recovery) but has not learned its new port yet. Only the
+      // owner thread may touch the netchan — accept() here would race
+      // with the owner draining the live port — so refresh liveness (the
+      // client must not be reaped mid-migration) and drop; the forced
+      // snapshot in do_replies carries the new port.
+      std::atomic_ref<int64_t>(client->last_heard_ns)
+          .store(platform_.now().ns, std::memory_order_relaxed);
+      st.breakdown.receive += platform_.now() - t0;
+      continue;
+    }
 
     net::NetChannel::Incoming info;
     net::ByteReader body(nullptr, 0);
@@ -234,10 +275,29 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
       }
       case net::ClientMsgType::kMove: {
         if (client == nullptr) break;
+        // Backpressure: over-budget movers lose the excess moves here,
+        // before any execution cost. Safe under the netchan resend model
+        // — full state is retransmitted every snapshot.
+        if (!client->bucket.try_take(platform_.now().ns)) {
+          ++st.moves_rate_limited;
+          break;
+        }
         net::MoveCmd cmd;
         if (decode(body, cmd)) {
-          handle_move(tid, *client, cmd, st, use_locks);
-          ++moves;
+          if (governor_->at_least(resilience::kCoalesceMoves) &&
+              client->pending_reply) {
+            // Governor rung 2: a client that already executed a move this
+            // frame gets the rest of its backlog folded into the ack —
+            // sequence and echo advance, execution cost is not paid.
+            client->last_seq = std::max(client->last_seq, cmd.sequence);
+            client->last_move_time_ns = cmd.client_time_ns;
+            client->client_baseline_frame =
+                std::max(client->client_baseline_frame, cmd.baseline_frame);
+            ++st.moves_coalesced;
+          } else {
+            handle_move(tid, *client, cmd, st, use_locks);
+            ++moves;
+          }
         }
         break;
       }
@@ -252,11 +312,20 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
 void Server::handle_connect(int tid, const net::Datagram& d,
                             const net::ConnectMsg& msg, ThreadStats& st) {
   int slot = -1;
+  bool busy = false;
   {
     vt::LockGuard g(*clients_mu_);
     const auto it = client_slot_by_port_.find(d.src_port);
     if (it != client_slot_by_port_.end()) {
       slot = it->second;  // duplicate connect: re-ack below
+    } else if (cfg_.resilience.admission_control &&
+               governor_->admission_overloaded()) {
+      // Admission control: the frame loop is already past its budget, so
+      // serving the admitted population well beats admitting one more
+      // player it cannot simulate. kServerBusy tells the client to back
+      // off and retry, unlike the terminal kServerFull.
+      busy = true;
+      ++rejected_busy_;
     } else {
       for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
         if (!clients_[static_cast<size_t>(i)].in_use) {
@@ -283,6 +352,9 @@ void Server::handle_connect(int tid, const net::Datagram& d,
       // baselines — the new client has reconstructed nothing.
       c.history.clear();
       c.client_baseline_frame = 0;
+      c.bucket.configure(cfg_.resilience.move_rate_limit,
+                         cfg_.resilience.move_burst);
+      c.moves_since_scan = 0;
 
       LockManager::ListLockContext ctx(*lock_manager_, st);
       sim::Entity& player = world_.spawn_player(
@@ -303,13 +375,16 @@ void Server::handle_connect(int tid, const net::Datagram& d,
     }
   }
 
-  if (slot < 0) {
-    // Server full: an explicit reject stops the client's connect-retry
-    // loop (the seed silently dropped the datagram, Quake-style, so a
-    // refused client hammered the port forever).
+  if (busy || slot < 0) {
+    // Explicit reject: kServerFull stops the client's connect-retry loop
+    // outright (the seed silently dropped the datagram, Quake-style, so
+    // a refused client hammered the port forever); kServerBusy invites a
+    // backed-off retry once load recedes.
     platform_.compute(cfg_.costs.send_syscall);
     net::NetChannel reject(*sockets_[static_cast<size_t>(tid)], d.src_port);
-    reject.send(net::encode(net::RejectMsg{net::RejectReason::kServerFull}));
+    reject.send(net::encode(net::RejectMsg{
+        busy ? net::RejectReason::kServerBusy
+             : net::RejectReason::kServerFull}));
     return;
   }
 
@@ -359,6 +434,7 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
   client.last_move_time_ns = cmd.client_time_ns;
   client.client_baseline_frame =
       std::max(client.client_baseline_frame, cmd.baseline_frame);
+  ++client.moves_since_scan;
   ++st.requests_processed;
 }
 
@@ -390,6 +466,28 @@ bool Server::reap_due() const {
   return false;
 }
 
+void Server::evict_client_locked(Client& c, net::RejectReason reason,
+                                 ThreadStats& st) {
+  // Reject-first, teardown-second: the reason must leave on the client's
+  // still-live channel before any state is dropped, so even an eviction
+  // the peer never asked for arrives as an explicit verdict rather than
+  // sudden silence (best effort; a crashed client never reads it, exactly
+  // like QuakeWorld's timeout drop message).
+  platform_.compute(cfg_.costs.send_syscall);
+  c.chan->send(net::encode(net::RejectMsg{reason}));
+  LockManager::ListLockContext ctx(*lock_manager_, st);
+  if (world_.get(c.entity_id) != nullptr)
+    world_.remove_entity(c.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
+  client_slot_by_port_.erase(c.remote_port);
+  c.in_use = false;
+  c.chan.reset();
+  c.buffer.reset();
+  c.history.clear();
+  c.client_baseline_frame = 0;
+  c.pending_reply = false;
+  c.notify_port = false;
+}
+
 int Server::reap_timed_out_clients(ThreadStats& st) {
   if (cfg_.client_timeout.ns <= 0) return 0;
   const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
@@ -399,23 +497,78 @@ int Server::reap_timed_out_clients(ThreadStats& st) {
     if (!c.in_use || std::atomic_ref<int64_t>(c.last_heard_ns)
                              .load(std::memory_order_relaxed) > cutoff)
       continue;
-    // Parting shot so a merely-stalled client learns its fate instead of
-    // replaying moves into a void (best effort; a crashed client never
-    // reads it, exactly like QuakeWorld's timeout drop message).
-    platform_.compute(cfg_.costs.send_syscall);
-    c.chan->send(net::encode(net::RejectMsg{net::RejectReason::kEvicted}));
-    LockManager::ListLockContext ctx(*lock_manager_, st);
-    if (world_.get(c.entity_id) != nullptr)
-      world_.remove_entity(c.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
-    client_slot_by_port_.erase(c.remote_port);
-    c.in_use = false;
-    c.chan.reset();
-    c.buffer.reset();
-    c.history.clear();
+    evict_client_locked(c, net::RejectReason::kEvicted, st);
     ++evicted;
     ++evictions_;
   }
   return evicted;
+}
+
+int Server::evict_most_expensive(ThreadStats& st) {
+  vt::LockGuard g(*clients_mu_);
+  Client* worst = nullptr;
+  for (auto& c : clients_) {
+    if (!c.in_use) continue;
+    if (worst == nullptr || c.moves_since_scan > worst->moves_since_scan)
+      worst = &c;
+  }
+  int evicted = 0;
+  // moves_since_scan == 0 means nobody cost anything since the last scan;
+  // evicting an idle client would free no frame time.
+  if (worst != nullptr && worst->moves_since_scan > 0) {
+    evict_client_locked(*worst, net::RejectReason::kServerBusy, st);
+    ++governor_evictions_;
+    evicted = 1;
+  }
+  for (auto& c : clients_) c.moves_since_scan = 0;
+  return evicted;
+}
+
+int Server::reassign_clients_from(int stalled_tid, ThreadStats& st) {
+  (void)st;
+  std::vector<int> live;
+  for (int t = 0; t < cfg_.threads; ++t) {
+    if (t == stalled_tid) continue;
+    if (watchdog_ != nullptr && watchdog_->is_stalled(t)) continue;
+    live.push_back(t);
+  }
+  if (live.empty()) return 0;
+  int moved = 0;
+  vt::LockGuard g(*clients_mu_);
+  for (auto& c : clients_) {
+    if (!c.in_use || c.owner_thread != stalled_tid) continue;
+    const int owner = live[static_cast<size_t>(moved) % live.size()];
+    c.owner_thread = owner;
+    // Keep the netchan's sequencing state: the peer must see one
+    // continuous stream across the migration.
+    c.chan->rebind(*sockets_[static_cast<size_t>(owner)]);
+    // Force a snapshot carrying assigned_port even though the client has
+    // no request pending on the new owner (its moves are still going to
+    // the stalled thread's dead port) — see do_replies.
+    c.notify_port = true;
+    ++moved;
+    ++stall_reassignments_;
+  }
+  return moved;
+}
+
+bool Server::watchdog_due(int self_tid) const {
+  return watchdog_ != nullptr &&
+         watchdog_->check_due(platform_.now(), self_tid);
+}
+
+int Server::governor_frame_end(vt::TimePoint frame_start, ThreadStats& st) {
+  const int before = governor_->level();
+  const int level = governor_->on_frame(platform_.now() - frame_start);
+  if (level != before && st.tracer != nullptr && st.tracer->enabled())
+    st.tracer->record(st.trace_track, "degrade-step", platform_.now().ns, 0,
+                      level);
+  if (level >= resilience::kEvictExpensive &&
+      platform_.now() >= next_expensive_evict_) {
+    evict_most_expensive(st);
+    next_expensive_evict_ = platform_.now() + cfg_.resilience.evict_interval;
+  }
+  return level;
 }
 
 void Server::run_invariant_check() {
@@ -460,6 +613,7 @@ void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
   obs::TraceScope span(st.tracer, st.trace_track, "reply");
   const vt::TimePoint t0 = platform_.now();
   const std::vector<net::GameEvent> frame_events = global_events_.snapshot();
+  const bool thin_far = governor_->at_least(resilience::kThinFarEntities);
 
   for (auto& c : clients_) {
     if (!c.in_use) continue;
@@ -469,7 +623,11 @@ void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
         ((participants_mask >> c.owner_thread) & 1ull) == 0;
     if (!owned && !orphaned) continue;
 
-    if (owned && c.pending_reply) {
+    // notify_port without pending_reply forces a snapshot anyway: a
+    // client migrated off a stalled worker is still sending moves to the
+    // dead port, so waiting for a request it can deliver would deadlock —
+    // it must be *told* the new port to have one.
+    if (owned && (c.pending_reply || c.notify_port)) {
       const sim::Entity* player = world_.get(c.entity_id);
       if (player == nullptr) continue;
       net::Snapshot snap;
@@ -479,7 +637,8 @@ void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
       c.buffer->drain_into(events);
       events.insert(events.end(), frame_events.begin(), frame_events.end());
       sim::build_snapshot(world_, *player, static_cast<uint32_t>(frames_),
-                          c.last_seq, c.last_move_time_ns, events, snap);
+                          c.last_seq, c.last_move_time_ns, events, snap,
+                          thin_far);
       if (c.notify_port) {
         snap.assigned_port =
             static_cast<uint16_t>(cfg_.base_port + c.owner_thread);

@@ -19,6 +19,9 @@
 #include "src/core/lock_manager.hpp"
 #include "src/net/netchan.hpp"
 #include "src/net/virtual_udp.hpp"
+#include "src/resilience/governor.hpp"
+#include "src/resilience/token_bucket.hpp"
+#include "src/resilience/watchdog.hpp"
 #include "src/sim/world.hpp"
 
 namespace qserv::obs {
@@ -102,6 +105,31 @@ class Server {
   // Connects refused with kServerFull so far.
   uint64_t rejected_connects() const { return rejected_connects_; }
 
+  // --- resilience subsystem (src/resilience/) ---
+  // Frame-budget governor; always constructed (it also feeds the rolling
+  // p95 that admission control reads) but only steps the ladder when
+  // cfg.resilience.governor is on.
+  const resilience::FrameGovernor& governor() const { return *governor_; }
+  // Worker watchdog; null on the sequential server, inert (enabled() ==
+  // false) when cfg.resilience.watchdog_timeout is zero.
+  const resilience::WorkerWatchdog* watchdog() const {
+    return watchdog_.get();
+  }
+  // Connects refused with kServerBusy (admission control).
+  uint64_t rejected_busy() const { return rejected_busy_; }
+  // Clients migrated off stalled workers by the watchdog.
+  uint64_t stall_reassignments() const { return stall_reassignments_; }
+  // Clients evicted by the governor's last-resort rung.
+  uint64_t governor_evictions() const { return governor_evictions_; }
+  // Thread-stall faults actually served by worker threads (chaos runs).
+  uint64_t stalls_injected() const {
+    return stalls_injected_.load(std::memory_order_relaxed);
+  }
+  // Backpressure totals summed over threads.
+  uint64_t total_moves_rate_limited() const;
+  uint64_t total_packets_oversized() const;
+  uint64_t total_moves_coalesced() const;
+
   // Null unless cfg.check_invariants (see core/invariant_checker.hpp).
   const InvariantChecker* invariant_checker() const {
     return invariants_.get();
@@ -143,6 +171,14 @@ class Server {
     };
     std::deque<SentSnapshot> history;
     uint32_t client_baseline_frame = 0;
+    // Per-client move-rate limiter (configured at connect from
+    // cfg.resilience). Atomic inside: during a stall migration two
+    // threads can briefly drain the same client.
+    resilience::TokenBucket bucket;
+    // Moves executed since the governor's last expensive-client scan
+    // (owner thread writes, master window reads/clears — ordered by the
+    // frame-sync mutex).
+    uint32_t moves_since_scan = 0;
   };
 
   // --- pieces shared by both main loops ---
@@ -187,6 +223,34 @@ class Server {
   // the slot. Master-only, between frames. Returns clients evicted.
   int reap_timed_out_clients(ThreadStats& st);
 
+  // Teardown of one client slot, reject-first: the reason goes out on the
+  // still-live channel *before* any state is dropped, so the peer always
+  // learns its fate. Caller holds clients_mu_; master-only for the world
+  // mutation. Shared by timeout reaping and governor eviction.
+  void evict_client_locked(Client& c, net::RejectReason reason,
+                           ThreadStats& st);
+
+  // Governor rung 4: evicts the client that executed the most moves since
+  // the previous scan (paced by cfg.resilience.evict_interval). Resets
+  // every client's scan counter. Master-only, between frames.
+  int evict_most_expensive(ThreadStats& st);
+
+  // Moves every client owned by `stalled_tid` to live (non-stalled,
+  // started) workers round-robin, rebinding netchans and flagging
+  // notify_port so the next snapshot carries the new port. Master-only,
+  // between frames. Returns clients migrated.
+  int reassign_clients_from(int stalled_tid, ThreadStats& st);
+
+  // True when the watchdog exists and sees a stale heartbeat — the cue
+  // for a maintenance frame on an otherwise idle server (mirrors
+  // reap_due()).
+  bool watchdog_due(int self_tid) const;
+
+  // Master-window helper: feeds the governor one finished frame and
+  // applies any rung that acts from the master window (expensive-client
+  // eviction). Returns the post-step level.
+  int governor_frame_end(vt::TimePoint frame_start, ThreadStats& st);
+
   // Runs the cross-structure audit when cfg.check_invariants is set.
   // Master-only, between frames.
   void run_invariant_check();
@@ -228,6 +292,13 @@ class Server {
   vt::TimePoint next_reassign_{};
   uint64_t evictions_ = 0;          // guarded by clients_mu_
   uint64_t rejected_connects_ = 0;  // guarded by clients_mu_
+  uint64_t rejected_busy_ = 0;      // guarded by clients_mu_
+  uint64_t stall_reassignments_ = 0;   // master window only
+  uint64_t governor_evictions_ = 0;    // master window only
+  std::atomic<uint64_t> stalls_injected_{0};
+  vt::TimePoint next_expensive_evict_{};  // master window only
+  std::unique_ptr<resilience::FrameGovernor> governor_;
+  std::unique_ptr<resilience::WorkerWatchdog> watchdog_;  // parallel only
   std::unique_ptr<InvariantChecker> invariants_;  // null unless enabled
 
   friend class InvariantChecker;

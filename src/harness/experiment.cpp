@@ -49,6 +49,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   net::VirtualNetwork::Config net_cfg;
   net_cfg.seed = cfg.seed * 7919 + 1;
   net::VirtualNetwork network(platform, net_cfg);
+  if (cfg.configure_network) cfg.configure_network(network);
 
   std::shared_ptr<const spatial::GameMap> map =
       cfg.map != nullptr ? cfg.map : default_map();
@@ -175,6 +176,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   out.client_quits = agg.graceful_quits;
   out.client_rejoins = agg.rejoins;
   out.client_evictions_seen = agg.evictions_observed;
+  out.rejected_busy = server->rejected_busy();
+  out.moves_rate_limited = server->total_moves_rate_limited();
+  out.packets_oversized = server->total_packets_oversized();
+  out.moves_coalesced = server->total_moves_coalesced();
+  out.governor_evictions = server->governor_evictions();
+  out.governor_steps_down = server->governor().counters().steps_down;
+  out.governor_steps_up = server->governor().counters().steps_up;
+  out.frames_degraded = server->governor().counters().frames_degraded;
+  out.max_degrade_level = server->governor().max_level_reached();
+  out.stalls_injected = server->stalls_injected();
+  if (const auto* wd = server->watchdog()) {
+    out.stalls_detected = wd->counters().stalls_detected;
+    out.stalls_recovered = wd->counters().stalls_recovered;
+    out.stall_reassignments = server->stall_reassignments();
+  }
+  out.client_rejected_busy = agg.rejected_busy;
+  out.client_connect_retries = agg.connect_retries;
+  out.client_moves_sent = agg.moves_sent;
+  out.client_replies = agg.replies;
   out.sim_events = platform.events_processed();
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)

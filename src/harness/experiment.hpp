@@ -3,6 +3,7 @@
 // in virtual time, and collects every metric the paper's figures need.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,10 @@ struct ExperimentConfig {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   vt::Duration metrics_period{};
+  // Called once after the network is built and before the server starts;
+  // benches and tests use it to schedule fault episodes (packet bursts,
+  // partitions, thread stalls) against the run.
+  std::function<void(net::VirtualNetwork&)> configure_network;
   // Machine model: the paper's quad Xeon with 2-way hyper-threading.
   vt::SimPlatform::MachineConfig machine{};
   // Map shared across experiments of a sweep (generated once).
@@ -104,6 +109,29 @@ struct ExperimentResult {
   uint64_t client_quits = 0;
   uint64_t client_rejoins = 0;
   uint64_t client_evictions_seen = 0;
+
+  // Resilience: backpressure / admission / governor / watchdog counters.
+  uint64_t rejected_busy = 0;        // connects refused by admission control
+  uint64_t moves_rate_limited = 0;   // moves dropped by the token bucket
+  uint64_t packets_oversized = 0;    // datagrams over max_packet_bytes
+  uint64_t moves_coalesced = 0;      // queued moves folded under degradation
+  uint64_t governor_evictions = 0;   // clients shed at the last rung
+  uint64_t governor_steps_down = 0;
+  uint64_t governor_steps_up = 0;
+  uint64_t frames_degraded = 0;      // frames spent above kNormal
+  int max_degrade_level = 0;
+  uint64_t stalls_injected = 0;      // kThreadStall episodes workers honored
+  uint64_t stalls_detected = 0;      // watchdog declared a worker wedged
+  uint64_t stalls_recovered = 0;     // wedged workers that came back
+  uint64_t stall_reassignments = 0;  // clients migrated off wedged workers
+  uint64_t client_rejected_busy = 0; // kServerBusy rejects clients observed
+  uint64_t client_connect_retries = 0;
+  // Client-side offered/served volume: replies received per move sent is
+  // the overload benches' response-fraction metric (server-side `replies`
+  // counts sends, which can outnumber what overflowing client sockets
+  // actually deliver).
+  uint64_t client_moves_sent = 0;
+  uint64_t client_replies = 0;
 
   int total_frags = 0;
   uint64_t sim_events = 0;   // scheduler events processed (determinism aid)

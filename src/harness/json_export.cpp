@@ -124,6 +124,27 @@ void write_result_json(obs::JsonWriter& w, const std::string& label,
   w.kv("sim_events", r.sim_events);
   w.end_object();
 
+  w.key("resilience");
+  w.begin_object();
+  w.kv("rejected_busy", r.rejected_busy);
+  w.kv("moves_rate_limited", r.moves_rate_limited);
+  w.kv("packets_oversized", r.packets_oversized);
+  w.kv("moves_coalesced", r.moves_coalesced);
+  w.kv("governor_evictions", r.governor_evictions);
+  w.kv("governor_steps_down", r.governor_steps_down);
+  w.kv("governor_steps_up", r.governor_steps_up);
+  w.kv("frames_degraded", r.frames_degraded);
+  w.kv("max_degrade_level", r.max_degrade_level);
+  w.kv("stalls_injected", r.stalls_injected);
+  w.kv("stalls_detected", r.stalls_detected);
+  w.kv("stalls_recovered", r.stalls_recovered);
+  w.kv("stall_reassignments", r.stall_reassignments);
+  w.kv("client_rejected_busy", r.client_rejected_busy);
+  w.kv("client_connect_retries", r.client_connect_retries);
+  w.kv("client_moves_sent", r.client_moves_sent);
+  w.kv("client_replies", r.client_replies);
+  w.end_object();
+
   w.kv("host_seconds", r.host_seconds);
   w.end_object();
 }

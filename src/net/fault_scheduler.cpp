@@ -10,6 +10,7 @@ const char* fault_kind_name(FaultEpisode::Kind k) {
     case FaultEpisode::Kind::kLatencySpike: return "latency-spike";
     case FaultEpisode::Kind::kPartition: return "partition";
     case FaultEpisode::Kind::kBlackhole: return "blackhole";
+    case FaultEpisode::Kind::kThreadStall: return "thread-stall";
   }
   return "?";
 }
@@ -67,6 +68,30 @@ void FaultScheduler::add_blackhole(vt::TimePoint start, vt::Duration dur,
   add(e);
 }
 
+void FaultScheduler::add_thread_stall(vt::TimePoint start, vt::Duration dur,
+                                      int thread) {
+  QSERV_CHECK(thread >= 0 && thread < 64);
+  FaultEpisode e;
+  e.kind = FaultEpisode::Kind::kThreadStall;
+  e.start = start;
+  e.end = start + dur;
+  e.a_lo = static_cast<uint16_t>(thread);
+  e.a_hi = static_cast<uint16_t>(thread);
+  add(e);
+}
+
+vt::Duration FaultScheduler::stall_remaining(vt::TimePoint now,
+                                             int thread) const {
+  vt::Duration left{};
+  for (const auto& e : episodes_) {
+    if (e.kind != FaultEpisode::Kind::kThreadStall) continue;
+    if (now < e.start || now >= e.end) continue;
+    if (static_cast<int>(e.a_lo) != thread) continue;
+    if (e.end - now > left) left = e.end - now;
+  }
+  return left;
+}
+
 FaultScheduler::Verdict FaultScheduler::apply(vt::TimePoint now, uint16_t src,
                                               uint16_t dst) {
   Verdict v;
@@ -98,6 +123,8 @@ FaultScheduler::Verdict FaultScheduler::apply(vt::TimePoint now, uint16_t src,
           return v;
         }
         break;
+      case FaultEpisode::Kind::kThreadStall:
+        break;  // server-side fault; packets are unaffected
     }
   }
   if (v.extra_latency.ns > 0) ++counters_.delayed_packets;

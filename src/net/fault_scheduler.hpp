@@ -30,6 +30,7 @@ struct FaultEpisode {
     kLatencySpike,  // add `extra_latency` of one-way delay
     kPartition,     // drop all traffic between port ranges A and B
     kBlackhole,     // drop all traffic to or from port range A
+    kThreadStall,   // wedge server worker thread `a_lo` (not a net fault)
   };
 
   Kind kind = Kind::kLossBurst;
@@ -73,10 +74,22 @@ class FaultScheduler {
                      uint16_t a_hi, uint16_t b_lo, uint16_t b_hi);
   // Drops everything to or from `port` — a crashed NIC / dead host.
   void add_blackhole(vt::TimePoint start, vt::Duration dur, uint16_t port);
+  // Wedges server worker `thread` for `dur`. Not consulted by the network
+  // layer at all: the server's worker loop polls stall_remaining() and
+  // spins/sleeps that long, simulating a worker stuck in a long syscall or
+  // runaway computation. Lives here so chaos timelines can mix thread
+  // stalls with network episodes on one schedule.
+  void add_thread_stall(vt::TimePoint start, vt::Duration dur, int thread);
 
   // Applies every episode active at `now` to a src->dst packet, updating
   // the counters. Called by VirtualNetwork under its lock.
   Verdict apply(vt::TimePoint now, uint16_t src, uint16_t dst);
+
+  // Time left in a thread-stall episode covering `thread` at `now` (zero
+  // if none). Const — polled by worker threads without the net lock, so
+  // it must not touch counters_ / rng_; the *server* counts the stalls it
+  // actually serves.
+  vt::Duration stall_remaining(vt::TimePoint now, int thread) const;
 
   const Counters& counters() const { return counters_; }
   size_t episode_count() const { return episodes_.size(); }

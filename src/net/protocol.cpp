@@ -8,6 +8,20 @@ namespace qserv::net {
 namespace {
 constexpr size_t kMaxSnapshotEntities = 4096;
 constexpr size_t kMaxSnapshotEvents = 4096;
+
+// Minimum wire bytes per record, used to bound every length-prefixed
+// count against the bytes actually present BEFORE allocating: a
+// length-lying header must cost the attacker bandwidth, not us memory.
+constexpr size_t kEntityUpdateWire = 4 + 1 + 12 + 4 + 1;  // id,type,org,yaw,st
+constexpr size_t kGameEventWire = 1 + 4 + 4 + 12;         // kind,a,b,pos
+constexpr size_t kDeltaRemovalWire = 4;                   // id
+constexpr size_t kDeltaEntityMinWire = 4 + 1;             // id + empty mask
+
+// A count is credible only if the remaining buffer could hold that many
+// minimum-size records.
+bool count_fits(const ByteReader& r, size_t n, size_t min_record_bytes) {
+  return n <= r.remaining() / min_record_bytes;
+}
 }  // namespace
 
 std::vector<uint8_t> encode(const ConnectMsg& m) {
@@ -43,6 +57,7 @@ const char* reject_reason_name(RejectReason r) {
   switch (r) {
     case RejectReason::kServerFull: return "server-full";
     case RejectReason::kEvicted: return "evicted";
+    case RejectReason::kServerBusy: return "server-busy";
   }
   return "?";
 }
@@ -112,7 +127,8 @@ void encode_events(const std::vector<GameEvent>& events, ByteWriter& w) {
 
 bool decode_events(ByteReader& r, std::vector<GameEvent>& events) {
   const uint16_t n = r.u16();
-  if (!r.ok() || n > kMaxSnapshotEvents) return false;
+  if (!r.ok() || n > kMaxSnapshotEvents || !count_fits(r, n, kGameEventWire))
+    return false;
   events.resize(n);
   for (auto& ev : events) {
     ev.kind = r.u8();
@@ -212,7 +228,9 @@ bool decode_delta(ByteReader& r, const BaselineLookup& baseline_lookup,
   const std::vector<EntityUpdate>& baseline = *baseline_ptr;
 
   const uint16_t n_removed = r.u16();
-  if (!r.ok() || n_removed > kMaxSnapshotEntities) return false;
+  if (!r.ok() || n_removed > kMaxSnapshotEntities ||
+      !count_fits(r, n_removed, kDeltaRemovalWire))
+    return false;
   std::set<uint32_t> removed;
   for (int i = 0; i < n_removed; ++i) removed.insert(r.u32());
 
@@ -222,7 +240,9 @@ bool decode_delta(ByteReader& r, const BaselineLookup& baseline_lookup,
     if (!removed.contains(e.id)) merged[e.id] = e;
   }
   const uint16_t n_changed = r.u16();
-  if (!r.ok() || n_changed > kMaxSnapshotEntities) return false;
+  if (!r.ok() || n_changed > kMaxSnapshotEntities ||
+      !count_fits(r, n_changed, kDeltaEntityMinWire))
+    return false;
   for (int i = 0; i < n_changed; ++i) {
     const uint32_t id = r.u32();
     const uint8_t mask = r.u8();
@@ -254,7 +274,10 @@ bool decode_client_type(ByteReader& r, ClientMsgType& type) {
 
 bool decode(ByteReader& r, ConnectMsg& m) {
   m.name = r.str();
-  return r.ok();
+  // str() is already bounded against the buffer; additionally refuse
+  // absurd names so a hostile connect cannot park 64 KiB per slot in the
+  // client registry.
+  return r.ok() && m.name.size() <= kMaxPlayerNameLen;
 }
 
 bool decode(ByteReader& r, MoveCmd& m) {
@@ -262,6 +285,9 @@ bool decode(ByteReader& r, MoveCmd& m) {
   m.client_time_ns = r.i64();
   m.baseline_frame = r.u32();
   m.msec = r.u16();
+  // A lying msec would have execute_move simulate an arbitrarily long
+  // timestep on the attacker's behalf; real clients tick ~30 Hz.
+  if (m.msec > kMaxMoveMsec) return false;
   m.yaw_deg = r.f32();
   m.pitch_deg = r.f32();
   m.forward = r.f32();
@@ -288,7 +314,8 @@ bool decode(ByteReader& r, RejectMsg& m) {
   const uint8_t reason = r.u8();
   if (!r.ok()) return false;
   if (reason != static_cast<uint8_t>(RejectReason::kServerFull) &&
-      reason != static_cast<uint8_t>(RejectReason::kEvicted)) {
+      reason != static_cast<uint8_t>(RejectReason::kEvicted) &&
+      reason != static_cast<uint8_t>(RejectReason::kServerBusy)) {
     return false;
   }
   m.reason = static_cast<RejectReason>(reason);
@@ -314,7 +341,9 @@ bool decode(ByteReader& r, Snapshot& m) {
   m.armor = static_cast<int16_t>(r.u16());
   m.frags = static_cast<int16_t>(r.u16());
   const uint16_t n_ent = r.u16();
-  if (!r.ok() || n_ent > kMaxSnapshotEntities) return false;
+  if (!r.ok() || n_ent > kMaxSnapshotEntities ||
+      !count_fits(r, n_ent, kEntityUpdateWire))
+    return false;
   m.entities.resize(n_ent);
   for (auto& e : m.entities) {
     e.id = r.u32();
@@ -324,7 +353,9 @@ bool decode(ByteReader& r, Snapshot& m) {
     e.state = r.u8();
   }
   const uint16_t n_ev = r.u16();
-  if (!r.ok() || n_ev > kMaxSnapshotEvents) return false;
+  if (!r.ok() || n_ev > kMaxSnapshotEvents ||
+      !count_fits(r, n_ev, kGameEventWire))
+    return false;
   m.events.resize(n_ev);
   for (auto& ev : m.events) {
     ev.kind = r.u8();

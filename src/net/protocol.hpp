@@ -30,6 +30,7 @@ enum class ServerMsgType : uint8_t {
 enum class RejectReason : uint8_t {
   kServerFull = 1,  // no free client slot; stop retrying the connect
   kEvicted = 2,     // reaped after client_timeout of silence; re-connect
+  kServerBusy = 3,  // admission control / load shedding; back off, retry
 };
 
 const char* reject_reason_name(RejectReason r);
@@ -46,6 +47,11 @@ inline constexpr uint8_t kDeltaAll =
 inline constexpr uint8_t kButtonAttack = 1;  // fire current weapon
 inline constexpr uint8_t kButtonJump = 2;
 inline constexpr uint8_t kButtonThrow = 4;   // long-range projectile throw
+
+// Parse-time sanity caps (overload/abuse hardening; decode() rejects
+// messages exceeding them). Real clients sit far below both.
+inline constexpr size_t kMaxPlayerNameLen = 32;
+inline constexpr uint16_t kMaxMoveMsec = 250;  // QuakeWorld's byte-msec cap
 
 struct ConnectMsg {
   std::string name;

@@ -39,6 +39,33 @@ void collect_server(const core::Server& server, MetricsRegistry& reg,
   reg.gauge("server.connected_clients")
       .set(static_cast<double>(server.connected_clients()));
 
+  // Resilience subsystem: backpressure, admission, governor, watchdog.
+  reg.counter("resilience.rejected_busy").set(server.rejected_busy());
+  reg.counter("resilience.moves_rate_limited")
+      .set(server.total_moves_rate_limited());
+  reg.counter("resilience.packets_oversized")
+      .set(server.total_packets_oversized());
+  reg.counter("resilience.moves_coalesced")
+      .set(server.total_moves_coalesced());
+  reg.counter("resilience.governor_evictions")
+      .set(server.governor_evictions());
+  const auto& gov = server.governor();
+  reg.gauge("resilience.degrade_level")
+      .set(static_cast<double>(gov.level()));
+  reg.gauge("resilience.frame_p95_ms").set(gov.p95_ms());
+  reg.counter("resilience.governor_steps_down").set(gov.counters().steps_down);
+  reg.counter("resilience.governor_steps_up").set(gov.counters().steps_up);
+  reg.counter("resilience.frames_degraded")
+      .set(gov.counters().frames_degraded);
+  if (const auto* wd = server.watchdog()) {
+    reg.counter("resilience.stalls_detected").set(wd->counters().stalls_detected);
+    reg.counter("resilience.stalls_recovered")
+        .set(wd->counters().stalls_recovered);
+    reg.counter("resilience.stall_reassignments")
+        .set(server.stall_reassignments());
+    reg.counter("resilience.stalls_injected").set(server.stalls_injected());
+  }
+
   const auto chan = server.netchan_totals();
   reg.counter("netchan.packets_sent").set(chan.packets_sent);
   reg.counter("netchan.packets_accepted").set(chan.packets_accepted);

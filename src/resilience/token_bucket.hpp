@@ -1,0 +1,70 @@
+// Lock-free per-client rate limiter (GCRA formulation of a token
+// bucket). The server's receive phase calls try_take() for every move; a
+// client's datagrams normally drain on one thread, but during a
+// stall-recovery migration two threads can briefly race on the same
+// client, so the state is a single atomic advanced by CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qserv::resilience {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  // Movable so the enclosing client registry can be vector-resized at
+  // construction time; never moved while traffic is flowing.
+  TokenBucket(TokenBucket&& o) noexcept
+      : interval_ns_(o.interval_ns_),
+        burst_ns_(o.burst_ns_),
+        tat_(o.tat_.load(std::memory_order_relaxed)) {}
+  TokenBucket& operator=(TokenBucket&& o) noexcept {
+    interval_ns_ = o.interval_ns_;
+    burst_ns_ = o.burst_ns_;
+    tat_.store(o.tat_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
+
+  // `rate_per_s` sustained permits per second, `burst` extra permits of
+  // headroom. rate_per_s <= 0 disables the limiter (try_take always
+  // succeeds).
+  void configure(double rate_per_s, double burst) {
+    if (rate_per_s <= 0.0) {
+      interval_ns_ = 0;
+      burst_ns_ = 0;
+    } else {
+      interval_ns_ = static_cast<int64_t>(1e9 / rate_per_s);
+      burst_ns_ = static_cast<int64_t>(static_cast<double>(interval_ns_) *
+                                       (burst < 0.0 ? 0.0 : burst));
+    }
+    tat_.store(0, std::memory_order_relaxed);
+  }
+
+  bool enabled() const { return interval_ns_ > 0; }
+
+  // Takes one permit at time `now_ns`; false = over budget, drop.
+  bool try_take(int64_t now_ns) {
+    if (interval_ns_ <= 0) return true;
+    int64_t tat = tat_.load(std::memory_order_relaxed);
+    for (;;) {
+      // Theoretical arrival time: the earliest instant the bucket is
+      // willing to account this permit to. More than burst_ns_ in the
+      // future means the client is past its sustained rate plus burst.
+      const int64_t base = tat > now_ns ? tat : now_ns;
+      if (base - now_ns > burst_ns_) return false;
+      if (tat_.compare_exchange_weak(tat, base + interval_ns_,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+ private:
+  int64_t interval_ns_ = 0;  // 1e9 / rate; 0 = disabled
+  int64_t burst_ns_ = 0;
+  std::atomic<int64_t> tat_{0};
+};
+
+}  // namespace qserv::resilience

@@ -8,7 +8,7 @@ SnapshotStats build_snapshot(const World& world, const Entity& player,
                              uint32_t server_frame, uint32_t ack_sequence,
                              int64_t client_time_echo_ns,
                              const std::vector<net::GameEvent>& events,
-                             net::Snapshot& out) {
+                             net::Snapshot& out, bool thin_far) {
   SnapshotStats stats;
   out = net::Snapshot{};
   out.server_frame = server_frame;
@@ -29,6 +29,13 @@ SnapshotStats build_snapshot(const World& world, const Entity& player,
     ++stats.interest_checks;
     const float d2 = dist_sq(e.origin, player.origin);
     if (d2 > kInterestRange * kInterestRange) return;
+    // Governor rung 1: far entities update at half rate under overload,
+    // skipping the expensive visibility work below entirely.
+    constexpr float kThinRange = kInterestRange * 0.5f;
+    if (thin_far && d2 > kThinRange * kThinRange &&
+        ((e.id + server_frame) & 1u) != 0) {
+      return;
+    }
 
     if (e.is_player() && d2 > kAlwaysAudibleRange * kAlwaysAudibleRange) {
       if (use_pvs) {

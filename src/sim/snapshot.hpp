@@ -26,10 +26,16 @@ struct SnapshotStats {
 // Fills `out` (entities + player private state) for `player`. `events` is
 // the frame's global event list, broadcast to everyone. Charges reply
 // costs to the attached platform.
+//
+// `thin_far` is the degradation governor's first rung: entities beyond
+// half the interest range are refreshed only every other snapshot (by
+// (entity id + frame) parity, so each far entity still updates at half
+// rate rather than some never appearing). Near entities — the ones the
+// client is interacting with — are never thinned.
 SnapshotStats build_snapshot(const World& world, const Entity& player,
                              uint32_t server_frame, uint32_t ack_sequence,
                              int64_t client_time_echo_ns,
                              const std::vector<net::GameEvent>& events,
-                             net::Snapshot& out);
+                             net::Snapshot& out, bool thin_far = false);
 
 }  // namespace qserv::sim

@@ -102,6 +102,12 @@ class Platform {
 
   // Human-readable description of the machine model (Table 1).
   virtual std::string machine_description() const = 0;
+
+  // True on the virtual-time platform. Used by code that needs a real
+  // wall-clock safety net (e.g. the worker watchdog's periodic timer)
+  // which on the simulated platform would only add events without adding
+  // coverage — fibers cannot wedge between scheduling points there.
+  virtual bool is_simulated() const { return false; }
 };
 
 }  // namespace qserv::vt

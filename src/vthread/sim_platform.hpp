@@ -113,6 +113,7 @@ class SimPlatform final : public Platform {
   void call_after(Duration d, std::function<void()> fn) override;
   void join_all() override { run(); }
   std::string machine_description() const override;
+  bool is_simulated() const override { return true; }
 
   // Simulation control ------------------------------------------------------
   // Processes events until every fiber finishes. Aborts with a diagnostic

@@ -334,5 +334,51 @@ TEST(Chaos, TenMinuteChurnSoakLeaksNoSlots) {
   EXPECT_EQ(server.invariant_violations(), 0u);
 }
 
+// Satellite regression: when an evicted client's slot is reused by the
+// next joiner, none of the old session's delta-snapshot state may leak —
+// the reject goes out before teardown, the slot's baseline history is
+// cleared, and the newcomer decodes every delta against its own session's
+// baselines only. With max_clients == 1 every rejoin is guaranteed to
+// land in the reaped client's slot.
+TEST(Chaos, EvictedSlotReuseLeaksNoStaleDeltaHistory) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(1024);
+  core::ServerConfig scfg;
+  scfg.max_clients = 1;
+  scfg.delta_snapshots = true;
+  scfg.client_timeout = vt::millis(300);
+  scfg.check_invariants = true;
+  core::SequentialServer server(p, net, map, scfg);
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 1;
+  dcfg.churn.enabled = true;
+  dcfg.churn.mean_session = vt::seconds(2);
+  dcfg.churn.crash_fraction = 1.0f;  // always vanish; the reaper must act
+  dcfg.churn.rejoin_delay = vt::seconds(1);  // re-join after the reap
+  bots::ClientDriver driver(p, net, map, server, dcfg);
+
+  server.start();
+  driver.start();
+  p.call_after(vt::seconds(20), [&] {
+    server.request_stop();
+    driver.request_stop();
+  });
+  p.run();
+
+  const auto& m = driver.clients()[0]->metrics();
+  // The slot really cycled several times through crash -> reap -> rejoin.
+  EXPECT_GE(m.sessions, 4u);
+  EXPECT_GE(server.evictions(), 3u);
+  EXPECT_EQ(m.rejected_full, 0u);  // the reaped slot was free every time
+  // Deltas flowed in every session, and not one referenced a baseline
+  // from a previous tenant of the slot: a leaked history entry would
+  // surface as an undecodable delta on the fresh client.
+  EXPECT_GT(m.delta_snapshots, 0u);
+  EXPECT_GT(m.full_snapshots, 0u);  // each new session starts from a full
+  EXPECT_EQ(m.undecodable_deltas, 0u);
+  EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
 }  // namespace
 }  // namespace qserv

@@ -144,6 +144,160 @@ TEST_P(FuzzSeeds, DeltaDecoderSurvivesGarbageAndCorruption) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 4));
 
+// --- hardened parse paths: length-lying, oversized, truncated inputs ---
+
+// Writes the fixed snapshot header (everything before the entity count).
+void write_snapshot_header(ByteWriter& w) {
+  w.u8(static_cast<uint8_t>(ServerMsgType::kSnapshot));
+  w.u32(7);        // server_frame
+  w.u32(3);        // ack_sequence
+  w.i64(0);        // client_time_echo_ns
+  w.u16(0);        // assigned_port
+  w.vec3({0, 0, 0});
+  w.vec3({0, 0, 0});
+  w.u16(100);      // health
+  w.u16(0);        // armor
+  w.u16(0);        // frags
+}
+
+// A header that claims thousands of entities backed by a few bytes must
+// fail the count-vs-remaining-bytes check before any allocation happens —
+// a lying length prefix costs the attacker bandwidth, not us memory.
+TEST(ParseHardening, EntityCountLyingAboutPayloadIsRejectedWithoutAllocation) {
+  ByteWriter w;
+  write_snapshot_header(w);
+  w.u16(4000);  // claimed entities; ~88 KB would be needed
+  w.u32(1);     // ...but only 4 payload bytes follow
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  ServerMsgType t;
+  ASSERT_TRUE(decode_server_type(r, t));
+  Snapshot out;
+  EXPECT_FALSE(decode(r, out));
+  EXPECT_TRUE(out.entities.empty());  // never resized toward the lie
+}
+
+TEST(ParseHardening, EventCountLyingAboutPayloadIsRejected) {
+  ByteWriter w;
+  write_snapshot_header(w);
+  w.u16(0);     // entities: none (honest)
+  w.u16(4000);  // events: a lie, no bytes behind it
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  ServerMsgType t;
+  ASSERT_TRUE(decode_server_type(r, t));
+  Snapshot out;
+  EXPECT_FALSE(decode(r, out));
+  EXPECT_TRUE(out.events.empty());
+}
+
+TEST(ParseHardening, DeltaCountsLyingAboutPayloadAreRejected) {
+  std::vector<EntityUpdate> baseline(4);
+  for (uint32_t i = 0; i < 4; ++i) baseline[i].id = i + 1;
+  const BaselineLookup lookup =
+      [&](uint32_t) -> const std::vector<EntityUpdate>* { return &baseline; };
+
+  for (const bool lie_in_removals : {true, false}) {
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(ServerMsgType::kDeltaSnapshot));
+    w.u32(8);   // server_frame
+    w.u32(3);   // ack_sequence
+    w.i64(0);   // client_time_echo_ns
+    w.u16(0);   // assigned_port
+    w.u32(7);   // baseline_frame
+    w.vec3({0, 0, 0});
+    w.vec3({0, 0, 0});
+    w.u16(100);
+    w.u16(0);
+    w.u16(0);
+    if (lie_in_removals) {
+      w.u16(60000);  // removals "count" with 2 bytes of backing
+      w.u16(1);
+    } else {
+      w.u16(0);      // removals: none
+      w.u16(60000);  // changed-entity count with 2 bytes of backing
+      w.u16(1);
+    }
+    const auto bytes = w.take();
+    ByteReader r(bytes);
+    ServerMsgType t;
+    ASSERT_TRUE(decode_server_type(r, t));
+    Snapshot out;
+    EXPECT_FALSE(decode_delta(r, lookup, out));
+  }
+}
+
+// Oversized player names are refused at decode so a hostile connect can
+// never park a 64 KB name in the client registry.
+TEST(ParseHardening, OversizedConnectNameIsRejected) {
+  {
+    const auto ok = encode(ConnectMsg{std::string(kMaxPlayerNameLen, 'a')});
+    ByteReader r(ok);
+    ClientMsgType t;
+    ASSERT_TRUE(decode_client_type(r, t));
+    ConnectMsg m;
+    EXPECT_TRUE(decode(r, m));
+  }
+  {
+    const auto bad =
+        encode(ConnectMsg{std::string(kMaxPlayerNameLen + 1, 'a')});
+    ByteReader r(bad);
+    ClientMsgType t;
+    ASSERT_TRUE(decode_client_type(r, t));
+    ConnectMsg m;
+    EXPECT_FALSE(decode(r, m));
+  }
+}
+
+// A move claiming an absurd timestep would have the server simulate a
+// multi-second leap on the sender's behalf; the decoder refuses it.
+TEST(ParseHardening, MoveWithLyingTimestepIsRejected) {
+  MoveCmd cmd;
+  cmd.msec = kMaxMoveMsec;
+  {
+    const auto ok = encode(cmd);
+    ByteReader r(ok);
+    ClientMsgType t;
+    ASSERT_TRUE(decode_client_type(r, t));
+    MoveCmd m;
+    EXPECT_TRUE(decode(r, m));
+  }
+  cmd.msec = kMaxMoveMsec + 1;
+  {
+    const auto bad = encode(cmd);
+    ByteReader r(bad);
+    ClientMsgType t;
+    ASSERT_TRUE(decode_client_type(r, t));
+    MoveCmd m;
+    EXPECT_FALSE(decode(r, m));
+  }
+}
+
+// Every truncation of a valid move must fail cleanly (the snapshot
+// counterpart is covered above; moves are what the server parses from
+// the internet at the highest rate).
+TEST(ParseHardening, TruncatedMovesAreRejectedNotCrashed) {
+  MoveCmd cmd;
+  cmd.sequence = 41;
+  cmd.msec = 33;
+  const auto bytes = encode(cmd);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(bytes.data(), len);
+    ClientMsgType t;
+    if (!decode_client_type(r, t)) continue;
+    MoveCmd m;
+    EXPECT_FALSE(decode(r, m)) << "prefix of length " << len;
+  }
+  ByteReader r(bytes);
+  ClientMsgType t;
+  ASSERT_TRUE(decode_client_type(r, t));
+  MoveCmd m;
+  EXPECT_TRUE(decode(r, m));
+  EXPECT_EQ(m.sequence, 41u);
+}
+
 TEST(ServerFuzz, GarbageDatagramsDoNotKillTheServer) {
   // Spray a live server port with junk while a real client plays.
   vt::SimPlatform p;
