@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/recovery/config.hpp"
 #include "src/resilience/config.hpp"
 #include "src/sim/cost_model.hpp"
 #include "src/vthread/time.hpp"
@@ -92,6 +93,11 @@ struct ServerConfig {
   // backpressure, connect-time admission control, the degradation
   // governor, and the worker watchdog. All off by default.
   resilience::Config resilience{};
+
+  // Crash recovery (src/recovery/): frame-aligned checkpoints, the
+  // flight-recorder journal, black-box dumps and warm restart. Off by
+  // default — recording costs host time (digest + journal) per frame.
+  recovery::Config recovery{};
 
   sim::CostModel costs{};
 };

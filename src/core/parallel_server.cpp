@@ -217,6 +217,11 @@ void ParallelServer::worker_loop(int tid) {
       // single-threaded — safe for entity removal and the audit walk.
       global_events_.clear();
       lock_manager_->frame_harvest(frame_lock_stats_);
+      // Deferred lifecycle first: pending connects spawn their entities
+      // (and get their acks) and pending disconnects remove theirs, each
+      // with a serialization index, before any other master duty can
+      // observe a half-created client.
+      complete_pending_lifecycle(st);
       reap_timed_out_clients(st);
       // Watchdog adjudication: stale heartbeats become stalls, and a
       // stalled worker's clients migrate to live threads right here —
@@ -229,6 +234,10 @@ void ParallelServer::worker_loop(int tid) {
             st.tracer->record(st.trace_track, "worker-stalled",
                               platform_.now().ns, 0,
                               stalled * 1000 + migrated);
+          if (cfg_.recovery.dump_on_stall)
+            dump_blackbox("stall", "worker " + std::to_string(stalled) +
+                                       " adjudicated stalled; migrated " +
+                                       std::to_string(migrated) + " clients");
         }
         for (const int back : verdict.recovered) {
           if (st.tracer != nullptr && st.tracer->enabled())
@@ -240,6 +249,10 @@ void ParallelServer::worker_loop(int tid) {
       // (and serving its eviction rung). The audit is part of what rung 3
       // sheds.
       const int level = governor_frame_end(frame_start, st);
+      // Seal after every mutation of the frame (including governor
+      // evictions) so the digest and journal cover the final state; the
+      // audit runs after the seal so a violation dump carries this frame.
+      recovery_frame_end();
       if (level < resilience::kShedDebugWork) run_invariant_check();
       record_frame_metrics(frame_start, frame_moves);
       // Whole-frame span on the master's track (election to frame end);

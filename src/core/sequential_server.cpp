@@ -64,8 +64,10 @@ void SequentialServer::main_loop() {
     // feed the degradation governor, and (when enabled and not shed)
     // audit cross-structure consistency.
     global_events_.clear();
+    complete_pending_lifecycle(st);
     reap_timed_out_clients(st);
     const int level = governor_frame_end(frame_start, st);
+    recovery_frame_end();
     if (level < resilience::kShedDebugWork) run_invariant_check();
     record_frame_metrics(frame_start, moves);
     if (st.tracer != nullptr && st.tracer->enabled())

@@ -6,6 +6,10 @@
 #include "src/core/invariant_checker.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/recovery/blackbox.hpp"
+#include "src/recovery/checkpoint.hpp"
+#include "src/recovery/digest.hpp"
+#include "src/recovery/journal.hpp"
 #include "src/sim/move.hpp"
 #include "src/sim/snapshot.hpp"
 #include "src/util/check.hpp"
@@ -59,9 +63,27 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
     selectors_.push_back(std::make_unique<net::Selector>(platform));
     selectors_.back()->add(*sockets_.back());
   }
+  if (cfg.recovery.enabled) {
+    map_text_ = map.serialize();
+    recorder_ = std::make_unique<recovery::FlightRecorder>(
+        cfg.recovery, static_cast<uint32_t>(cfg.threads), cfg.seed);
+    checkpoints_ = std::make_unique<recovery::CheckpointManager>();
+    blackbox_ = std::make_unique<recovery::BlackBox>(cfg.recovery.dump_dir);
+    if (cfg.recovery.install_signal_handler) {
+      recovery::install_signal_dumper(
+          (cfg.recovery.dump_dir.empty() ? std::string(".")
+                                         : cfg.recovery.dump_dir) +
+          "/qserv-crash.qckpt");
+    }
+  }
 }
 
-Server::~Server() = default;
+Server::~Server() {
+  // The signal handler holds a raw pointer into the checkpoint buffers;
+  // disarm it before they die.
+  if (cfg_.recovery.enabled && cfg_.recovery.install_signal_handler)
+    recovery::publish_signal_dump(nullptr, 0);
+}
 
 void Server::request_stop() {
   stop_.store(true, std::memory_order_relaxed);
@@ -205,6 +227,20 @@ void Server::do_world_phase(ThreadStats& st) {
   // physics step.
   dt.ns = std::clamp<int64_t>(dt.ns, 0, vt::millis(100).ns);
   last_world_ = t0;
+  last_world_t0_ = t0;
+  last_world_dt_ = dt;
+  if (recorder_ != nullptr) {
+    // The tick itself is a journaled, serialization-indexed mutation, so
+    // replay interleaves it correctly with lifecycle ops applied between
+    // frames (the sequential server's idle-path reap).
+    recovery::JournalRecord rec;
+    rec.kind = recovery::RecordKind::kWorldPhase;
+    rec.thread = static_cast<uint8_t>(&st - stats_.data());
+    rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
+    rec.t_ns = t0.ns;
+    rec.dt_ns = dt.ns;
+    recorder_->record(rec.thread, rec);
+  }
   world_.world_phase(t0, dt, global_events_);
   st.breakdown.world += platform_.now() - t0;
 }
@@ -218,34 +254,27 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
     if (cfg_.resilience.max_packet_bytes > 0 &&
         d.payload.size() > cfg_.resilience.max_packet_bytes) {
       ++st.packets_oversized;
+      journal_drop(tid, d.src_port, recovery::DropReason::kOversized);
       continue;
     }
     // --- receive + parse ---
     const vt::TimePoint t0 = platform_.now();
     platform_.compute(cfg_.costs.recv_parse);
     Client* client = client_by_port(d.src_port);
-
-    if (client != nullptr && client->owner_thread != tid) {
-      // Stale-port traffic: the client was migrated (region reassignment
-      // or stall recovery) but has not learned its new port yet. Only the
-      // owner thread may touch the netchan — accept() here would race
-      // with the owner draining the live port — so refresh liveness (the
-      // client must not be reaped mid-migration) and drop; the forced
-      // snapshot in do_replies carries the new port.
-      std::atomic_ref<int64_t>(client->last_heard_ns)
-          .store(platform_.now().ns, std::memory_order_relaxed);
-      st.breakdown.receive += platform_.now() - t0;
-      continue;
-    }
+    // Traffic for a slot owned by another thread. Only the owner thread
+    // may touch the netchan — accept() here would race with the owner
+    // draining the live port — so such datagrams are framed manually
+    // (header strip, no channel state) and, with one exception, dropped.
+    const bool cross_thread = client != nullptr && client->owner_thread != tid;
 
     net::NetChannel::Incoming info;
     net::ByteReader body(nullptr, 0);
     bool framed = false;
-    if (client != nullptr && client->chan != nullptr) {
+    if (client != nullptr && client->chan != nullptr && !cross_thread) {
       framed = client->chan->accept(d, info, body);
     } else {
-      // Unknown peer: strip the channel header manually; only a connect
-      // is acceptable.
+      // Unknown peer (or non-owner thread): strip the channel header
+      // manually; only a connect is acceptable.
       if (d.payload.size() > 8) {
         body = net::ByteReader(d.payload.data() + 8, d.payload.size() - 8);
         framed = true;
@@ -257,13 +286,34 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
     st.breakdown.receive += t1 - t0;
     if (st.tracer != nullptr && st.tracer->enabled())
       st.tracer->record(st.trace_track, "receive", t0.ns, (t1 - t0).ns);
-    if (!parsed) continue;
+
+    if (cross_thread && !(parsed && type == net::ClientMsgType::kConnect &&
+                          client->awaiting_resume)) {
+      // Stale-port traffic: the client was migrated (region reassignment
+      // or stall recovery) but has not learned its new port yet. Refresh
+      // liveness (the client must not be reaped mid-migration) and drop;
+      // the forced snapshot in do_replies carries the new port. The one
+      // exception above: after a warm restart, a restored slot owned by
+      // another thread reconnects through the base port — its slot is
+      // dormant (no owner-thread traffic until resumed), so the connect
+      // may safely proceed to handle_connect, which re-checks under the
+      // clients lock.
+      std::atomic_ref<int64_t>(client->last_heard_ns)
+          .store(platform_.now().ns, std::memory_order_relaxed);
+      journal_drop(tid, d.src_port, recovery::DropReason::kStalePort);
+      continue;
+    }
+    if (!parsed) {
+      journal_drop(tid, d.src_port, recovery::DropReason::kMalformed);
+      continue;
+    }
     // Any well-formed traffic proves liveness, even stale duplicates.
     if (client != nullptr)
       std::atomic_ref<int64_t>(client->last_heard_ns)
           .store(platform_.now().ns, std::memory_order_relaxed);
     if (client != nullptr && info.duplicate_or_old &&
         type == net::ClientMsgType::kMove) {
+      journal_drop(tid, d.src_port, recovery::DropReason::kDuplicate);
       continue;  // stale or duplicated move
     }
 
@@ -274,12 +324,34 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
         break;
       }
       case net::ClientMsgType::kMove: {
-        if (client == nullptr) break;
+        if (client == nullptr) {
+          // A remembered evicted port gets one explicit kEvicted answer
+          // (it may have been evicted by a previous incarnation of this
+          // server and never learned); anyone else is silence.
+          if (consume_remembered_eviction(d.src_port)) {
+            platform_.compute(cfg_.costs.send_syscall);
+            net::NetChannel reject(*sockets_[static_cast<size_t>(tid)],
+                                   d.src_port);
+            reject.send(
+                net::encode(net::RejectMsg{net::RejectReason::kEvicted}));
+            journal_drop(tid, d.src_port, recovery::DropReason::kEvictedPort);
+          } else {
+            journal_drop(tid, d.src_port, recovery::DropReason::kUnknown);
+          }
+          break;
+        }
+        if (client->pending_spawn || client->pending_disconnect) {
+          // No entity to move yet (or no longer): the spawn/removal is
+          // waiting for the master window.
+          journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
+          break;
+        }
         // Backpressure: over-budget movers lose the excess moves here,
         // before any execution cost. Safe under the netchan resend model
         // — full state is retransmitted every snapshot.
         if (!client->bucket.try_take(platform_.now().ns)) {
           ++st.moves_rate_limited;
+          journal_drop(tid, d.src_port, recovery::DropReason::kRateLimited);
           break;
         }
         net::MoveCmd cmd;
@@ -294,6 +366,7 @@ int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
             client->client_baseline_frame =
                 std::max(client->client_baseline_frame, cmd.baseline_frame);
             ++st.moves_coalesced;
+            journal_drop(tid, d.src_port, recovery::DropReason::kCoalesced);
           } else {
             handle_move(tid, *client, cmd, st, use_locks);
             ++moves;
@@ -313,33 +386,80 @@ void Server::handle_connect(int tid, const net::Datagram& d,
                             const net::ConnectMsg& msg, ThreadStats& st) {
   int slot = -1;
   bool busy = false;
+  bool ack_now = false;  // slot already owns a live entity: ack directly
   {
     vt::LockGuard g(*clients_mu_);
     const auto it = client_slot_by_port_.find(d.src_port);
     if (it != client_slot_by_port_.end()) {
-      slot = it->second;  // duplicate connect: re-ack below
-    } else if (cfg_.resilience.admission_control &&
-               governor_->admission_overloaded()) {
-      // Admission control: the frame loop is already past its budget, so
-      // serving the admitted population well beats admitting one more
-      // player it cannot simulate. kServerBusy tells the client to back
-      // off and retry, unlike the terminal kServerFull.
-      busy = true;
-      ++rejected_busy_;
-    } else {
+      slot = it->second;
+      Client& c = clients_[static_cast<size_t>(slot)];
+      if (c.pending_spawn) {
+        // Connect retry racing its own deferred spawn; the ack follows
+        // the master window.
+        journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
+        return;
+      }
+      if (c.awaiting_resume) {
+        // Warm restart, same port: the peer reset its channel for this
+        // connect, so resume with a fresh one (the restored sequencing
+        // only serves peers that never noticed the restart).
+        resume_client_locked(c);
+        ++resumed_clients_;
+        journal_drop(tid, d.src_port, recovery::DropReason::kResumed);
+      } else {
+        journal_drop(tid, d.src_port, recovery::DropReason::kReconnectDup);
+      }
+      ack_now = true;
+    } else if (restored_) {
+      // Warm restart, fresh port: a checkpointed client that noticed the
+      // outage reconnects from a new socket; re-adopt its slot by name.
       for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
-        if (!clients_[static_cast<size_t>(i)].in_use) {
+        Client& c = clients_[static_cast<size_t>(i)];
+        if (c.in_use && c.awaiting_resume && c.name == msg.name) {
+          client_slot_by_port_.erase(c.remote_port);
+          c.remote_port = d.src_port;
+          client_slot_by_port_[d.src_port] = i;
+          resume_client_locked(c);
+          ++resumed_clients_;
+          journal_drop(tid, d.src_port, recovery::DropReason::kResumed);
           slot = i;
+          ack_now = true;
           break;
         }
       }
-      if (slot < 0) ++rejected_connects_;  // rejected explicitly below
     }
-    if (slot >= 0 &&
-        !clients_[static_cast<size_t>(slot)].in_use) {
+    if (slot < 0 && !busy) {
+      if (cfg_.resilience.admission_control &&
+          governor_->admission_overloaded()) {
+        // Admission control: the frame loop is already past its budget,
+        // so serving the admitted population well beats admitting one
+        // more player it cannot simulate. kServerBusy tells the client to
+        // back off and retry, unlike the terminal kServerFull.
+        busy = true;
+        ++rejected_busy_;
+      } else {
+        for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
+          if (!clients_[static_cast<size_t>(i)].in_use) {
+            slot = i;
+            break;
+          }
+        }
+        if (slot < 0) ++rejected_connects_;  // rejected explicitly below
+      }
+    }
+    if (slot >= 0 && !clients_[static_cast<size_t>(slot)].in_use) {
+      // Fresh slot: record identity and defer the entity spawn (and the
+      // ack) to the master's between-frames window, where creation is
+      // single-threaded and takes a serialization index.
       client_slot_by_port_[d.src_port] = slot;
       Client& c = clients_[static_cast<size_t>(slot)];
       c.in_use = true;
+      c.pending_spawn = true;
+      c.pending_disconnect = false;
+      c.awaiting_resume = false;
+      c.connect_tid = tid;
+      c.owner_thread = tid;  // provisional until the spawn picks the owner
+      c.entity_id = 0;
       c.remote_port = d.src_port;
       c.name = msg.name;
       c.pending_reply = false;
@@ -355,23 +475,10 @@ void Server::handle_connect(int tid, const net::Datagram& d,
       c.bucket.configure(cfg_.resilience.move_rate_limit,
                          cfg_.resilience.move_burst);
       c.moves_since_scan = 0;
-
-      LockManager::ListLockContext ctx(*lock_manager_, st);
-      sim::Entity& player = world_.spawn_player(
-          msg.name, cfg_.threads > 1 ? &ctx : nullptr);
-      c.entity_id = player.id;
-
-      // Owner thread: the receiving thread under block assignment, or
-      // the thread responsible for the spawn region under region-based
-      // assignment (future-work extension).
-      const int owner = cfg_.assign_policy == AssignPolicy::kRegion
-                            ? owner_for_region(player.origin)
-                            : tid;
-      c.owner_thread = owner;
-      c.chan = std::make_unique<net::NetChannel>(
-          *sockets_[static_cast<size_t>(owner)], d.src_port);
-      c.buffer = std::make_unique<ReplyBuffer>(platform_);
+      c.chan.reset();
+      c.buffer.reset();
       ++st.connects;
+      journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
     }
   }
 
@@ -385,8 +492,12 @@ void Server::handle_connect(int tid, const net::Datagram& d,
     reject.send(net::encode(net::RejectMsg{
         busy ? net::RejectReason::kServerBusy
              : net::RejectReason::kServerFull}));
+    journal_drop(tid, d.src_port,
+                 busy ? recovery::DropReason::kRejectedBusy
+                      : recovery::DropReason::kRejectedFull);
     return;
   }
+  if (!ack_now) return;  // deferred: the master window sends the ack
 
   Client& c = clients_[static_cast<size_t>(slot)];
   const sim::Entity* player = world_.get(c.entity_id);
@@ -398,6 +509,24 @@ void Server::handle_connect(int tid, const net::Datagram& d,
   if (player != nullptr) ack.spawn_origin = player->origin;
   platform_.compute(cfg_.costs.send_syscall);
   c.chan->send(net::encode(ack));
+}
+
+void Server::resume_client_locked(Client& c) {
+  c.awaiting_resume = false;
+  c.pending_reply = false;
+  c.notify_port = true;  // re-teach the owner port in the next snapshot
+  c.last_seq = 0;        // the reconnected peer restarts its sequences
+  c.last_move_time_ns = 0;
+  c.history.clear();
+  c.client_baseline_frame = 0;
+  c.chan = std::make_unique<net::NetChannel>(
+      *sockets_[static_cast<size_t>(c.owner_thread)], c.remote_port);
+  c.buffer = std::make_unique<ReplyBuffer>(platform_);
+  std::atomic_ref<int64_t>(c.last_heard_ns)
+      .store(platform_.now().ns, std::memory_order_relaxed);
+  c.bucket.configure(cfg_.resilience.move_rate_limit,
+                     cfg_.resilience.move_burst);
+  c.moves_since_scan = 0;
 }
 
 void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
@@ -412,6 +541,10 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
     lock_manager_->plan_request(cfg_.lock_policy, *player, cmd, sets);
     lock_manager_->acquire(sets, tid, st, region);
   }
+  // Serialization index, drawn *after* the region locks: two conflicting
+  // moves' indexes order exactly as their executions did, so replay
+  // applies them in the same order the live run did.
+  const uint64_t order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
 
   // Execution time excludes any list-lock waiting incurred inside (that
   // is attributed to the lock components by the ListLockContext).
@@ -421,13 +554,25 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
   obs::TraceScope span(st.tracer, st.trace_track, "exec");
   const vt::TimePoint t0 = platform_.now();
   sim::execute_move(world_, *player, cmd, t0, lock ? &ctx : nullptr,
-                    &global_events_);
+                    &global_events_, order);
   const vt::Duration elapsed = platform_.now() - t0;
   const vt::Duration lock_delta =
       st.breakdown.lock_leaf + st.breakdown.lock_parent - lock_before;
   st.breakdown.exec += elapsed - lock_delta;
 
   if (lock) lock_manager_->release(region);
+
+  if (recorder_ != nullptr) {
+    recovery::JournalRecord rec;
+    rec.kind = recovery::RecordKind::kMoveExec;
+    rec.thread = static_cast<uint8_t>(tid);
+    rec.port = client.remote_port;
+    rec.entity = player->id;
+    rec.order = order;
+    rec.t_ns = t0.ns;
+    rec.cmd = cmd;
+    recorder_->record(static_cast<uint32_t>(tid), rec);
+  }
 
   client.pending_reply = true;
   client.last_seq = std::max(client.last_seq, cmd.sequence);
@@ -439,19 +584,23 @@ void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
 }
 
 void Server::handle_disconnect(Client& client, ThreadStats& st) {
+  (void)st;
   vt::LockGuard g(*clients_mu_);
   if (!client.in_use) return;
-  if (world_.get(client.entity_id) != nullptr) {
-    // Unlink under the node-list locks: other workers may be mid-gather
-    // on the node this entity sits in.
-    LockManager::ListLockContext ctx(*lock_manager_, st);
-    world_.remove_entity(client.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
+  if (client.pending_spawn) {
+    // The connect never reached the master window: no entity, no channel
+    // — just free the slot.
+    client_slot_by_port_.erase(client.remote_port);
+    client.in_use = false;
+    client.pending_spawn = false;
+    return;
   }
-  client_slot_by_port_.erase(client.remote_port);
-  client.in_use = false;
-  client.chan.reset();
-  client.buffer.reset();
-  client.history.clear();
+  // Entity removal is deferred to the master's between-frames window —
+  // the same single-threaded point as every other lifecycle mutation —
+  // so destruction never races another worker's gather and replays in
+  // serialization order. The disconnect datagram itself woke a frame, so
+  // that window runs before this drain's frame ends.
+  client.pending_disconnect = true;
 }
 
 bool Server::reap_due() const {
@@ -473,11 +622,24 @@ void Server::evict_client_locked(Client& c, net::RejectReason reason,
   // the peer never asked for arrives as an explicit verdict rather than
   // sudden silence (best effort; a crashed client never reads it, exactly
   // like QuakeWorld's timeout drop message).
-  platform_.compute(cfg_.costs.send_syscall);
-  c.chan->send(net::encode(net::RejectMsg{reason}));
+  if (c.chan != nullptr) {
+    platform_.compute(cfg_.costs.send_syscall);
+    c.chan->send(net::encode(net::RejectMsg{reason}));
+  }
+  if (recorder_ != nullptr && !c.pending_spawn) {
+    recovery::JournalRecord rec;
+    rec.kind = recovery::RecordKind::kEvict;
+    rec.thread = static_cast<uint8_t>(c.owner_thread);
+    rec.port = c.remote_port;
+    rec.entity = c.entity_id;
+    rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
+    rec.t_ns = platform_.now().ns;
+    recorder_->record(static_cast<uint32_t>(c.owner_thread), rec);
+  }
   LockManager::ListLockContext ctx(*lock_manager_, st);
-  if (world_.get(c.entity_id) != nullptr)
+  if (!c.pending_spawn && world_.get(c.entity_id) != nullptr)
     world_.remove_entity(c.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
+  remember_evicted(c.remote_port);
   client_slot_by_port_.erase(c.remote_port);
   c.in_use = false;
   c.chan.reset();
@@ -486,6 +648,9 @@ void Server::evict_client_locked(Client& c, net::RejectReason reason,
   c.client_baseline_frame = 0;
   c.pending_reply = false;
   c.notify_port = false;
+  c.pending_spawn = false;
+  c.pending_disconnect = false;
+  c.awaiting_resume = false;
 }
 
 int Server::reap_timed_out_clients(ThreadStats& st) {
@@ -494,8 +659,9 @@ int Server::reap_timed_out_clients(ThreadStats& st) {
   int evicted = 0;
   vt::LockGuard g(*clients_mu_);
   for (auto& c : clients_) {
-    if (!c.in_use || std::atomic_ref<int64_t>(c.last_heard_ns)
-                             .load(std::memory_order_relaxed) > cutoff)
+    if (!c.in_use || c.pending_spawn ||
+        std::atomic_ref<int64_t>(c.last_heard_ns)
+                .load(std::memory_order_relaxed) > cutoff)
       continue;
     evict_client_locked(c, net::RejectReason::kEvicted, st);
     ++evicted;
@@ -508,7 +674,7 @@ int Server::evict_most_expensive(ThreadStats& st) {
   vt::LockGuard g(*clients_mu_);
   Client* worst = nullptr;
   for (auto& c : clients_) {
-    if (!c.in_use) continue;
+    if (!c.in_use || c.pending_spawn || c.pending_disconnect) continue;
     if (worst == nullptr || c.moves_since_scan > worst->moves_since_scan)
       worst = &c;
   }
@@ -536,7 +702,8 @@ int Server::reassign_clients_from(int stalled_tid, ThreadStats& st) {
   int moved = 0;
   vt::LockGuard g(*clients_mu_);
   for (auto& c : clients_) {
-    if (!c.in_use || c.owner_thread != stalled_tid) continue;
+    if (!c.in_use || c.pending_spawn || c.owner_thread != stalled_tid)
+      continue;
     const int owner = live[static_cast<size_t>(moved) % live.size()];
     c.owner_thread = owner;
     // Keep the netchan's sequencing state: the peer must see one
@@ -572,11 +739,262 @@ int Server::governor_frame_end(vt::TimePoint frame_start, ThreadStats& st) {
 }
 
 void Server::run_invariant_check() {
-  if (invariants_ != nullptr) invariants_->run();
+  if (invariants_ == nullptr) return;
+  const int violations = invariants_->run();
+  if (violations > 0 && blackbox_ != nullptr &&
+      cfg_.recovery.dump_on_invariant_violation) {
+    std::string why = "invariant violations: " + std::to_string(violations);
+    if (!invariants_->messages().empty())
+      why += "\nlast: " + invariants_->messages().back();
+    dump_blackbox("invariant", why);
+  }
 }
 
 uint64_t Server::invariant_violations() const {
   return invariants_ == nullptr ? 0 : invariants_->total_violations();
+}
+
+// --- crash recovery ---------------------------------------------------------
+
+void Server::journal_drop(int tid, uint16_t port, recovery::DropReason why) {
+  if (recorder_ == nullptr) return;
+  recovery::JournalRecord rec;
+  rec.kind = recovery::RecordKind::kDropped;
+  rec.drop = why;
+  rec.thread = static_cast<uint8_t>(tid);
+  rec.port = port;
+  rec.t_ns = platform_.now().ns;
+  recorder_->record(static_cast<uint32_t>(tid), rec);
+}
+
+void Server::remember_evicted(uint16_t port) {
+  if (recorder_ == nullptr || cfg_.recovery.remembered_evictions == 0) return;
+  if (!remembered_evicted_set_.insert(port).second) return;
+  remembered_evicted_.push_back(port);
+  while (remembered_evicted_.size() > cfg_.recovery.remembered_evictions) {
+    remembered_evicted_set_.erase(remembered_evicted_.front());
+    remembered_evicted_.pop_front();
+  }
+}
+
+bool Server::consume_remembered_eviction(uint16_t port) {
+  if (recorder_ == nullptr) return false;
+  vt::LockGuard g(*clients_mu_);
+  // Consume-once: each remembered port is answered a single kEvicted, so
+  // a straggler streaming moves cannot turn the memory into a reject storm.
+  return remembered_evicted_set_.erase(port) > 0;
+}
+
+void Server::complete_pending_lifecycle(ThreadStats& st) {
+  (void)st;
+  vt::LockGuard g(*clients_mu_);
+  const int64_t now_ns = platform_.now().ns;
+  for (auto& c : clients_) {
+    if (!c.in_use) continue;
+    if (c.pending_disconnect) {
+      if (recorder_ != nullptr) {
+        recovery::JournalRecord rec;
+        rec.kind = recovery::RecordKind::kDisconnect;
+        rec.thread = static_cast<uint8_t>(c.owner_thread);
+        rec.port = c.remote_port;
+        rec.entity = c.entity_id;
+        rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
+        rec.t_ns = now_ns;
+        recorder_->record(static_cast<uint32_t>(c.owner_thread), rec);
+      }
+      if (world_.get(c.entity_id) != nullptr)
+        world_.remove_entity(c.entity_id);
+      client_slot_by_port_.erase(c.remote_port);
+      c.in_use = false;
+      c.pending_disconnect = false;
+      c.chan.reset();
+      c.buffer.reset();
+      c.history.clear();
+      continue;
+    }
+    if (!c.pending_spawn) continue;
+    // Deferred connect: spawn here, where entity creation is
+    // single-threaded, then send the ack the drain phase withheld.
+    sim::Entity& player = world_.spawn_player(c.name);
+    c.entity_id = player.id;
+    const int owner = cfg_.assign_policy == AssignPolicy::kRegion
+                          ? owner_for_region(player.origin)
+                          : c.connect_tid;
+    c.owner_thread = owner;
+    c.chan = std::make_unique<net::NetChannel>(
+        *sockets_[static_cast<size_t>(owner)], c.remote_port);
+    c.buffer = std::make_unique<ReplyBuffer>(platform_);
+    c.pending_spawn = false;
+    if (recorder_ != nullptr) {
+      recovery::JournalRecord rec;
+      rec.kind = recovery::RecordKind::kConnectSpawn;
+      rec.thread = static_cast<uint8_t>(owner);
+      rec.port = c.remote_port;
+      rec.entity = player.id;
+      rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
+      rec.t_ns = now_ns;
+      rec.name = c.name;
+      recorder_->record(static_cast<uint32_t>(owner), rec);
+    }
+    net::ConnectAck ack;
+    ack.player_id = player.id;
+    ack.server_frame = static_cast<uint32_t>(frames_);
+    ack.assigned_port = static_cast<uint16_t>(cfg_.base_port + owner);
+    ack.spawn_origin = player.origin;
+    platform_.compute(cfg_.costs.send_syscall);
+    c.chan->send(net::encode(ack));
+  }
+}
+
+void Server::recovery_frame_end() {
+  if (recorder_ == nullptr) return;
+  std::vector<recovery::EntityDigest> per_entity;
+  const uint64_t digest = recovery::world_digest(
+      world_, cfg_.recovery.per_entity_digests ? &per_entity : nullptr);
+  recorder_->seal_frame(frames_, last_world_t0_, last_world_dt_, digest,
+                        std::move(per_entity));
+  if (checkpoints_ != nullptr && cfg_.recovery.checkpoint_interval > 0 &&
+      frames_ % cfg_.recovery.checkpoint_interval == 0) {
+    checkpoints_->store(make_checkpoint(digest));
+    if (cfg_.recovery.install_signal_handler)
+      recovery::publish_signal_dump(checkpoints_->latest().data(),
+                                    checkpoints_->latest().size());
+  }
+}
+
+recovery::CheckpointData Server::make_checkpoint(uint64_t digest) {
+  recovery::CheckpointData c;
+  c.frame = frames_;
+  c.captured_at_ns = platform_.now().ns;
+  c.seed = cfg_.seed;
+  c.base_port = cfg_.base_port;
+  c.threads = static_cast<uint32_t>(cfg_.threads);
+  c.max_clients = static_cast<uint32_t>(cfg_.max_clients);
+  c.areanode_depth = cfg_.areanode_depth;
+  c.next_order = order_ctr_.load(std::memory_order_relaxed);
+  c.digest = digest;
+  c.rng_state = world_.rng().state();
+  c.map_text = map_text_;
+  c.entity_storage = static_cast<uint32_t>(world_.entity_storage_size());
+  const sim::World& w = world_;
+  w.for_each_entity(
+      [&](const sim::Entity& e) { c.entities.push_back(e); });
+  c.free_ids = world_.free_ids();
+  const auto& tree = world_.tree();
+  for (int i = 0; i < tree.node_count(); ++i) {
+    if (!tree.node(i).objects.empty())
+      c.node_objects.emplace_back(i, tree.node(i).objects);
+  }
+  vt::LockGuard g(*clients_mu_);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const Client& cl = clients_[i];
+    if (!cl.in_use || cl.pending_spawn) continue;
+    recovery::ClientRecord r;
+    r.slot = static_cast<uint16_t>(i);
+    r.remote_port = cl.remote_port;
+    r.name = cl.name;
+    r.entity_id = cl.entity_id;
+    r.owner_thread = static_cast<uint32_t>(cl.owner_thread);
+    r.last_seq = cl.last_seq;
+    r.last_move_time_ns = cl.last_move_time_ns;
+    r.last_heard_ns = std::atomic_ref<const int64_t>(cl.last_heard_ns)
+                          .load(std::memory_order_relaxed);
+    if (cl.chan != nullptr) {
+      r.chan_out_seq = cl.chan->out_sequence();
+      r.chan_in_seq = cl.chan->in_sequence();
+      r.chan_in_acked = cl.chan->peer_acked();
+    }
+    c.clients.push_back(std::move(r));
+  }
+  for (const uint16_t p : remembered_evicted_) {
+    if (remembered_evicted_set_.count(p) != 0) c.evicted_ports.push_back(p);
+  }
+  return c;
+}
+
+recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
+  recovery::CheckpointData c;
+  const recovery::LoadError err = recovery::decode_checkpoint(image, c);
+  if (err != recovery::LoadError::kNone) return err;
+
+  world_.reserve_entities(c.entity_storage);
+  recovery::restore_world(c, world_);
+  // Map checkpoint-time onto restart-time: every absolute-time entity
+  // field shifts by the same delta, so cooldowns, respawns and projectile
+  // expiries keep their remaining durations.
+  world_.rebase_times(platform_.now() - vt::TimePoint{c.captured_at_ns});
+
+  frames_ = c.frame;
+  order_ctr_.store(c.next_order, std::memory_order_relaxed);
+  last_world_ = platform_.now();
+
+  vt::LockGuard g(*clients_mu_);
+  for (const auto& r : c.clients) {
+    if (r.slot >= clients_.size()) continue;
+    Client& cl = clients_[r.slot];
+    cl.in_use = true;
+    cl.entity_id = r.entity_id;
+    cl.remote_port = r.remote_port;
+    cl.name = r.name;
+    cl.owner_thread =
+        std::clamp(static_cast<int>(r.owner_thread), 0, cfg_.threads - 1);
+    cl.connect_tid = cl.owner_thread;
+    // Stay silent until the peer makes contact. A peer that never
+    // noticed the restart keeps sending moves on the restored channel
+    // sequences and gets its reply then; a peer that noticed has reset
+    // its channel and reconnects (resume swaps in a fresh channel).
+    // Pushing a snapshot through the restored channel now would poison a
+    // reset peer: it would accept the checkpointed (high) sequence and
+    // then discard the fresh resume channel's low sequences as
+    // duplicates.
+    cl.notify_port = false;
+    cl.last_seq = r.last_seq;
+    cl.last_move_time_ns = r.last_move_time_ns;
+    std::atomic_ref<int64_t>(cl.last_heard_ns)
+        .store(platform_.now().ns, std::memory_order_relaxed);
+    cl.pending_reply = false;
+    cl.pending_spawn = false;
+    cl.pending_disconnect = false;
+    cl.awaiting_resume = true;
+    cl.chan = std::make_unique<net::NetChannel>(
+        *sockets_[static_cast<size_t>(cl.owner_thread)], r.remote_port);
+    cl.chan->restore_state(r.chan_out_seq, r.chan_in_seq, r.chan_in_acked);
+    cl.buffer = std::make_unique<ReplyBuffer>(platform_);
+    cl.history.clear();
+    cl.client_baseline_frame = 0;  // forces a full snapshot
+    cl.bucket.configure(cfg_.resilience.move_rate_limit,
+                        cfg_.resilience.move_burst);
+    cl.moves_since_scan = 0;
+    client_slot_by_port_[r.remote_port] = static_cast<int>(r.slot);
+  }
+  for (const uint16_t p : c.evicted_ports) remember_evicted(p);
+  restored_ = true;
+  return recovery::LoadError::kNone;
+}
+
+std::string Server::dump_blackbox(const std::string& label,
+                                  const std::string& why) {
+  if (blackbox_ == nullptr) return "";
+  std::string meta;
+  meta += "label: " + label + "\n";
+  meta += "why: " + why + "\n";
+  meta += "frame: " + std::to_string(frames_) + "\n";
+  meta += "now_ns: " + std::to_string(platform_.now().ns) + "\n";
+  meta += "seed: " + std::to_string(cfg_.seed) + "\n";
+  meta += "threads: " + std::to_string(cfg_.threads) + "\n";
+  meta += "clients: " + std::to_string(connected_clients()) + "\n";
+  std::vector<uint8_t> ckpt;
+  if (checkpoints_ != nullptr && checkpoints_->has())
+    ckpt = checkpoints_->latest();
+  std::vector<uint8_t> jrnl;
+  if (recorder_ != nullptr) jrnl = recorder_->encode();
+  // The trace is only exported where no other thread can be mid-record:
+  // the simulated platform is single-threaded under the hood, and a
+  // 1-thread real server has no concurrent writers in its own window.
+  std::string trace;
+  if (tracer_ != nullptr && (platform_.is_simulated() || cfg_.threads == 1))
+    trace = tracer_->export_chrome_trace();
+  return blackbox_->dump(label, meta, ckpt, jrnl, trace);
 }
 
 int Server::owner_for_region(const Vec3& origin) const {
@@ -592,7 +1010,7 @@ int Server::reassign_clients() {
   int moved = 0;
   vt::LockGuard g(*clients_mu_);
   for (auto& c : clients_) {
-    if (!c.in_use) continue;
+    if (!c.in_use || c.pending_spawn) continue;
     const sim::Entity* player = world_.get(c.entity_id);
     if (player == nullptr) continue;
     const int owner = owner_for_region(player->origin);
@@ -616,7 +1034,7 @@ void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
   const bool thin_far = governor_->at_least(resilience::kThinFarEntities);
 
   for (auto& c : clients_) {
-    if (!c.in_use) continue;
+    if (!c.in_use || c.pending_spawn || c.pending_disconnect) continue;
     const bool owned = c.owner_thread == tid;
     const bool orphaned =
         include_unowned && !owned &&

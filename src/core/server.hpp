@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/config.hpp"
@@ -28,6 +29,15 @@ namespace qserv::obs {
 class HistogramMetric;
 class MetricsRegistry;
 class Tracer;
+}
+
+namespace qserv::recovery {
+class BlackBox;
+class CheckpointManager;
+class FlightRecorder;
+struct CheckpointData;
+enum class DropReason : uint8_t;
+enum class LoadError : uint8_t;
 }
 
 namespace qserv::core {
@@ -137,6 +147,26 @@ class Server {
   // Total cross-structure violations detected (0 when checking is off).
   uint64_t invariant_violations() const;
 
+  // --- crash recovery (src/recovery/; null unless cfg.recovery.enabled) ---
+  const recovery::FlightRecorder* recorder() const { return recorder_.get(); }
+  const recovery::CheckpointManager* checkpoints() const {
+    return checkpoints_.get();
+  }
+  const recovery::BlackBox* blackbox() const { return blackbox_.get(); }
+  // Warm restart: installs a decoded checkpoint — world, client registry
+  // with netchan sequences, remembered evictions, frame/order counters —
+  // into this freshly constructed server. Call after construction, before
+  // start(). Restored clients either continue seamlessly on their old
+  // ports (channel state survives) or re-adopt their slot by name when
+  // they reconnect from a fresh port.
+  recovery::LoadError restore_from(const std::vector<uint8_t>& image);
+  bool restored() const { return restored_; }
+  // Checkpointed clients re-adopted through a reconnect (by port or name).
+  uint64_t resumed_clients() const { return resumed_clients_; }
+  // Writes a black-box dump (latest checkpoint, journal tail, trace,
+  // meta) now; returns the dump directory or "" (disabled / I/O failure).
+  std::string dump_blackbox(const std::string& label, const std::string& why);
+
   const sim::World& world() const { return world_; }
   sim::World& world() { return world_; }
   const ServerConfig& config() const { return cfg_; }
@@ -152,6 +182,18 @@ class Server {
     std::string name;
     int owner_thread = 0;
     bool notify_port = false;  // next snapshot carries assigned_port
+    // Connect accepted, entity not yet spawned: creation is deferred to
+    // the master's between-frames window so entity lifecycle never races
+    // request processing (and replays in serialization order). Until the
+    // spawn, the slot has no entity, channel or reply buffer.
+    bool pending_spawn = false;
+    int connect_tid = 0;  // receiving thread (block-assignment owner)
+    // Disconnect seen mid-drain; entity removal is deferred to the same
+    // window for the same reason.
+    bool pending_disconnect = false;
+    // Restored from a checkpoint and not yet heard from on a live socket;
+    // a connect from a fresh port may re-adopt this slot by name.
+    bool awaiting_resume = false;
     uint32_t last_seq = 0;          // latest move sequence processed
     int64_t last_move_time_ns = 0;  // echoed back in the reply
     // When the server last heard anything from this client (liveness
@@ -252,8 +294,30 @@ class Server {
   int governor_frame_end(vt::TimePoint frame_start, ThreadStats& st);
 
   // Runs the cross-structure audit when cfg.check_invariants is set.
-  // Master-only, between frames.
+  // Master-only, between frames. A run that finds violations triggers a
+  // black-box dump (when recovery is enabled).
   void run_invariant_check();
+
+  // --- crash-recovery hooks (all inert when cfg.recovery.enabled is off) ---
+  // Master window: spawns entities for pending connects (sending the
+  // deferred ConnectAck) and removes entities of pending disconnects,
+  // journaling each with a serialization index.
+  void complete_pending_lifecycle(ThreadStats& st);
+  // Master window, after all frame mutations: digests the world, seals
+  // the frame's journal records, and takes the periodic checkpoint.
+  void recovery_frame_end();
+  // Snapshot of the full recoverable state (master window only).
+  recovery::CheckpointData make_checkpoint(uint64_t digest);
+  // Re-adopts a checkpointed slot on a live connect: fresh channel and
+  // reply buffer, cleared delta baselines, liveness now. Caller holds
+  // clients_mu_ and has set remote_port / the port map.
+  void resume_client_locked(Client& c);
+  // Stages a forensic drop record (no serialization index).
+  void journal_drop(int tid, uint16_t port, recovery::DropReason why);
+  // Remembers an evicted client's port (caller holds clients_mu_) /
+  // consumes one remembered entry so the port is answered kEvicted once.
+  void remember_evicted(uint16_t port);
+  bool consume_remembered_eviction(uint16_t port);
 
   vt::Platform& platform_;
   net::VirtualNetwork& net_;
@@ -300,6 +364,26 @@ class Server {
   std::unique_ptr<resilience::FrameGovernor> governor_;
   std::unique_ptr<resilience::WorkerWatchdog> watchdog_;  // parallel only
   std::unique_ptr<InvariantChecker> invariants_;  // null unless enabled
+
+  // --- crash recovery (null unless cfg.recovery.enabled) ---
+  std::unique_ptr<recovery::FlightRecorder> recorder_;
+  std::unique_ptr<recovery::CheckpointManager> checkpoints_;
+  std::unique_ptr<recovery::BlackBox> blackbox_;
+  // Global serialization-index counter: every world mutation (world-phase
+  // tick, executed move, lifecycle op) takes one; replay applies records
+  // in this order. Moves draw theirs after acquiring their region locks,
+  // so conflicting moves' indexes order exactly as their executions did.
+  std::atomic<uint64_t> order_ctr_{0};
+  std::string map_text_;  // GameMap::serialize(), embedded in checkpoints
+  vt::TimePoint last_world_t0_{};  // world_phase args of the open frame
+  vt::Duration last_world_dt_{};
+  // Ports of evicted clients, remembered so their straggler moves (or a
+  // warm-restarted server they don't know crashed) answer kEvicted once
+  // instead of silence. FIFO-bounded; guarded by clients_mu_.
+  std::deque<uint16_t> remembered_evicted_;
+  std::unordered_set<uint16_t> remembered_evicted_set_;
+  uint64_t resumed_clients_ = 0;  // guarded by clients_mu_
+  bool restored_ = false;
 
   friend class InvariantChecker;
 };

@@ -10,8 +10,11 @@
 #include "src/core/sequential_server.hpp"
 #include "src/obs/collect.hpp"
 #include "src/obs/trace.hpp"
+#include "src/recovery/blackbox.hpp"
+#include "src/recovery/replay.hpp"
 #include "src/spatial/map_gen.hpp"
 #include "src/util/check.hpp"
+#include "src/util/rng.hpp"
 
 namespace qserv::harness {
 
@@ -47,7 +50,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   vt::SimPlatform platform(cfg.machine);
   net::VirtualNetwork::Config net_cfg;
-  net_cfg.seed = cfg.seed * 7919 + 1;
+  // Named seed streams (util/rng.hpp): each subsystem draws from its own
+  // derived stream of the root seed, so no two consume the same sequence
+  // and replay/determinism audits can reason about provenance.
+  net_cfg.seed = derive_seed(cfg.seed, streams::kNetwork);
   net::VirtualNetwork network(platform, net_cfg);
   if (cfg.configure_network) cfg.configure_network(network);
 
@@ -68,7 +74,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   bots::ClientDriver::Config dcfg;
   dcfg.players = cfg.players;
   dcfg.frame_interval = cfg.client_frame;
-  dcfg.seed = cfg.seed * 31 + 5;
+  dcfg.seed = derive_seed(cfg.seed, streams::kClientDriver);
   dcfg.aggression = cfg.bot_aggression;
   dcfg.grenade_ratio = cfg.bot_grenade_ratio;
   dcfg.server_silence_timeout = cfg.client_silence_timeout;
@@ -195,6 +201,28 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   out.client_connect_retries = agg.connect_retries;
   out.client_moves_sent = agg.moves_sent;
   out.client_replies = agg.replies;
+  if (const auto* ckpt = server->checkpoints()) {
+    out.checkpoints_taken = ckpt->count();
+    out.checkpoint_bytes = static_cast<uint64_t>(ckpt->last_bytes());
+    out.checkpoint_pause_ns = ckpt->max_pause_ns();
+  }
+  if (const auto* rec = server->recorder()) {
+    out.journal_frames = rec->frames_sealed();
+    out.journal_records = rec->records_staged();
+  }
+  if (const auto* bb = server->blackbox()) {
+    out.blackbox_dumps = bb->dumps();
+    out.blackbox_last_path = bb->last_path();
+  }
+  out.resumed_clients = server->resumed_clients();
+  if (cfg.verify_replay && server->checkpoints() != nullptr &&
+      server->recorder() != nullptr) {
+    const auto rv =
+        recovery::verify_recorded(*server->checkpoints(), *server->recorder());
+    out.replay_ran = true;
+    out.replay_ok = rv.ok;
+    out.replay_summary = rv.summary();
+  }
   out.sim_events = platform.events_processed();
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)

@@ -57,6 +57,10 @@ struct ExperimentConfig {
   vt::SimPlatform::MachineConfig machine{};
   // Map shared across experiments of a sweep (generated once).
   std::shared_ptr<const spatial::GameMap> map;
+  // After the run, replay the journal from the latest checkpoint and
+  // cross-check per-frame digests (requires server.recovery.enabled; see
+  // ExperimentResult::replay_*).
+  bool verify_replay = false;
 };
 
 struct ExperimentResult {
@@ -132,6 +136,19 @@ struct ExperimentResult {
   // actually deliver).
   uint64_t client_moves_sent = 0;
   uint64_t client_replies = 0;
+
+  // Crash recovery (populated when cfg.server.recovery.enabled).
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;     // latest encoded image size
+  int64_t checkpoint_pause_ns = 0;   // worst host-clock serialize pause
+  uint64_t journal_frames = 0;       // frames sealed into the ring
+  uint64_t journal_records = 0;      // records staged overall
+  uint64_t blackbox_dumps = 0;
+  std::string blackbox_last_path;
+  uint64_t resumed_clients = 0;      // slots re-adopted after warm restart
+  bool replay_ran = false;           // cfg.verify_replay executed
+  bool replay_ok = false;            // every replayed frame digest matched
+  std::string replay_summary;
 
   int total_frags = 0;
   uint64_t sim_events = 0;   // scheduler events processed (determinism aid)

@@ -145,6 +145,22 @@ void write_result_json(obs::JsonWriter& w, const std::string& label,
   w.kv("client_replies", r.client_replies);
   w.end_object();
 
+  w.key("recovery");
+  w.begin_object();
+  w.kv("checkpoints_taken", r.checkpoints_taken);
+  w.kv("checkpoint_bytes", r.checkpoint_bytes);
+  w.kv("checkpoint_pause_ms",
+       static_cast<double>(r.checkpoint_pause_ns) / 1e6);
+  w.kv("journal_frames", r.journal_frames);
+  w.kv("journal_records", r.journal_records);
+  w.kv("blackbox_dumps", r.blackbox_dumps);
+  w.kv("blackbox_last_path", r.blackbox_last_path);
+  w.kv("resumed_clients", r.resumed_clients);
+  w.kv("replay_ran", r.replay_ran);
+  w.kv("replay_ok", r.replay_ok);
+  w.kv("replay_summary", r.replay_summary);
+  w.end_object();
+
   w.kv("host_seconds", r.host_seconds);
   w.end_object();
 }

@@ -41,6 +41,13 @@ class NetChannel {
   // Re-targets the peer port, preserving sequencing state (the peer's
   // channel object is the same one on the other side).
   void set_remote(uint16_t remote) { remote_ = remote; }
+  // Restores sequencing state from a checkpoint so a warm-restarted server
+  // continues a surviving peer's packet stream without a handshake.
+  void restore_state(uint32_t out_seq, uint32_t in_seq, uint32_t in_acked) {
+    out_seq_ = out_seq;
+    in_seq_ = in_seq;
+    in_acked_ = in_acked;
+  }
 
   uint16_t remote() const { return remote_; }
   uint32_t out_sequence() const { return out_seq_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/check.hpp"
+#include "src/util/rng.hpp"
 
 namespace qserv::net {
 
@@ -30,7 +31,8 @@ std::unique_ptr<Socket> VirtualNetwork::open(uint16_t port) {
 FaultScheduler& VirtualNetwork::faults() {
   vt::LockGuard g(*mu_);
   if (faults_ == nullptr) {
-    faults_ = std::make_unique<FaultScheduler>(cfg_.seed * 6364136223846793005ull + 3);
+    faults_ =
+        std::make_unique<FaultScheduler>(derive_seed(cfg_.seed, streams::kFaults));
   }
   return *faults_;
 }

@@ -1,0 +1,98 @@
+#include "src/recovery/blackbox.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace qserv::recovery {
+namespace {
+
+bool write_file(const std::filesystem::path& path, const void* data,
+                size_t len) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string BlackBox::dump(const std::string& label, const std::string& meta,
+                           const std::vector<uint8_t>& checkpoint,
+                           const std::vector<uint8_t>& journal,
+                           const std::string& trace_json) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path base = dir_.empty() ? fs::path(".") : fs::path(dir_);
+  fs::create_directories(base, ec);
+  char name[128];
+  std::snprintf(name, sizeof name, "qserv-blackbox-%s-%llu", label.c_str(),
+                static_cast<unsigned long long>(dumps_));
+  const fs::path dir = base / name;
+  fs::create_directories(dir, ec);
+  if (ec) return "";
+
+  bool ok = write_file(dir / "meta.txt", meta.data(), meta.size());
+  if (!checkpoint.empty())
+    ok &= write_file(dir / "checkpoint.qckpt", checkpoint.data(),
+                     checkpoint.size());
+  if (!journal.empty())
+    ok &= write_file(dir / "journal.qjrnl", journal.data(), journal.size());
+  if (!trace_json.empty())
+    ok &= write_file(dir / "trace.json", trace_json.data(), trace_json.size());
+  if (!ok) return "";
+  ++dumps_;
+  last_path_ = dir.string();
+  return last_path_;
+}
+
+// --- fatal-signal path -----------------------------------------------------
+// Only async-signal-safe calls below: open/write/close on pre-published
+// bytes, then re-raise with the default disposition.
+
+namespace {
+
+std::atomic<const uint8_t*> g_dump_data{nullptr};
+std::atomic<size_t> g_dump_len{0};
+char g_dump_path[512] = {};
+std::atomic<bool> g_installed{false};
+
+void fatal_signal_handler(int sig) {
+  const uint8_t* data = g_dump_data.load(std::memory_order_acquire);
+  const size_t len = g_dump_len.load(std::memory_order_acquire);
+  if (data != nullptr && len > 0 && g_dump_path[0] != '\0') {
+    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      size_t off = 0;
+      while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n <= 0) break;
+        off += static_cast<size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_signal_dumper(const std::string& path) {
+  std::snprintf(g_dump_path, sizeof g_dump_path, "%s", path.c_str());
+  if (g_installed.exchange(true)) return;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+    ::signal(sig, fatal_signal_handler);
+}
+
+void publish_signal_dump(const uint8_t* data, size_t len) {
+  g_dump_len.store(0, std::memory_order_release);
+  g_dump_data.store(data, std::memory_order_release);
+  g_dump_len.store(data == nullptr ? 0 : len, std::memory_order_release);
+}
+
+}  // namespace qserv::recovery

@@ -1,0 +1,86 @@
+#include "src/recovery/digest.hpp"
+
+#include <cstring>
+
+namespace qserv::recovery {
+namespace {
+
+// Accumulates raw little-endian words; everything funnels through u64 so
+// the hash is independent of host struct layout.
+struct Hasher {
+  uint64_t h = kFnvOffset64;
+
+  void u64(uint64_t v) { h = fnv1a64(&v, sizeof v, h); }
+  void u32(uint32_t v) { u64(v); }
+  void i32(int32_t v) { u64(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+  void f32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void vec3(const Vec3& v) {
+    f32(v.x);
+    f32(v.y);
+    f32(v.z);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    h = fnv1a64(s.data(), s.size(), h);
+  }
+};
+
+void hash_entity(Hasher& hh, const sim::Entity& e) {
+  hh.u32(e.id);
+  hh.u32(static_cast<uint32_t>(e.type));
+  hh.vec3(e.origin);
+  hh.vec3(e.velocity);
+  hh.f32(e.yaw_deg);
+  hh.vec3(e.mins);
+  hh.vec3(e.maxs);
+  hh.u32(static_cast<uint32_t>(e.solid) | (static_cast<uint32_t>(e.on_ground) << 1) |
+         (static_cast<uint32_t>(e.available) << 2));
+  hh.str(e.name);
+  hh.i32(e.health);
+  hh.i32(e.armor);
+  hh.i32(e.frags);
+  hh.i32(e.grenades);
+  hh.u32(static_cast<uint32_t>(e.weapon));
+  hh.u64(static_cast<uint64_t>(e.next_attack.ns));
+  hh.u32(e.deaths);
+  hh.u32(static_cast<uint32_t>(e.item));
+  hh.u64(static_cast<uint64_t>(e.respawn_at.ns));
+  hh.u32(e.owner);
+  hh.vec3(e.dir);
+  hh.u64(static_cast<uint64_t>(e.expire_at.ns));
+  hh.vec3(e.teleport_dest);
+}
+
+}  // namespace
+
+uint32_t entity_digest(const sim::Entity& e) {
+  Hasher hh;
+  hash_entity(hh, e);
+  return static_cast<uint32_t>(hh.h ^ (hh.h >> 32));
+}
+
+uint64_t world_digest(const sim::World& w,
+                      std::vector<EntityDigest>* per_entity) {
+  if (per_entity != nullptr) {
+    per_entity->clear();
+    per_entity->reserve(w.active_entities());
+  }
+  Hasher hh;
+  w.for_each_entity([&](const sim::Entity& e) {
+    if (per_entity != nullptr) {
+      per_entity->push_back({e.id, entity_digest(e)});
+    }
+    hash_entity(hh, e);
+  });
+  // Fold in the allocator and RNG so drift is caught at its source frame.
+  hh.u64(w.entity_storage_size());
+  for (const uint32_t id : w.free_ids()) hh.u32(id);
+  for (const uint64_t word : w.rng().state()) hh.u64(word);
+  return hh.h;
+}
+
+}  // namespace qserv::recovery

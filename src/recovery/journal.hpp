@@ -1,0 +1,146 @@
+// The flight recorder: a ring-bounded per-frame journal of every inbound
+// datagram — receiving thread, source port, frame — plus, for the inputs
+// that actually mutated the world, the state-change record needed to
+// re-execute them (move command + serialization index + execution
+// timestamp, or the lifecycle operation applied in the master window).
+//
+// Disposition is recorded, not re-derived: whether a move was executed,
+// coalesced, rate-limited or dropped as a duplicate depends on arrival
+// timing the replay cannot (and need not) reproduce. Replay applies
+// exactly the records marked executed, in serialization-index order.
+//
+// Writer model: each server thread stages records into its own vector
+// while processing requests (single writer, no locks); the master drains
+// all staging vectors in the between-frames window — the same barrier
+// that orders every other cross-thread handoff — seals them into one
+// FrameJournal with the frame's digest, and pushes it onto the ring.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.hpp"
+#include "src/recovery/checkpoint.hpp"
+#include "src/recovery/config.hpp"
+#include "src/recovery/digest.hpp"
+#include "src/vthread/time.hpp"
+
+namespace qserv::recovery {
+
+inline constexpr uint32_t kJournalMagic = 0x6c6e726a;  // "jrnl"
+inline constexpr uint32_t kJournalVersion = 1;         // qserv-jrnl-v1
+
+// Records with no serialization index (forensic-only) carry this; they
+// sort after every executed record within the frame.
+inline constexpr uint64_t kNoOrder = ~0ull;
+
+enum class RecordKind : uint8_t {
+  kMoveExec = 1,      // move executed against the world
+  kConnectSpawn = 2,  // player entity spawned in the master window
+  kDisconnect = 3,    // graceful disconnect applied (entity removed)
+  kEvict = 4,         // reaped/shed by the server (entity removed)
+  kDropped = 5,       // datagram seen but did not mutate the world
+  // The frame's world-physics phase, with its (now, dt) arguments. Has a
+  // serialization index like every other mutation, so replay interleaves
+  // it correctly even with lifecycle ops applied between frames (the
+  // sequential server's idle-path reap).
+  kWorldPhase = 6,
+};
+
+// Why a datagram did not reach the world (forensics; never replayed).
+enum class DropReason : uint8_t {
+  kNone = 0,
+  kOversized,
+  kMalformed,
+  kStalePort,
+  kDuplicate,      // netchan duplicate_or_old, or an already-seen move seq
+  kRateLimited,    // token bucket
+  kCoalesced,      // governor merged it into a pending move
+  kRejectedFull,
+  kRejectedBusy,
+  kConnectPending, // connect accepted, spawn deferred to the master window
+  kReconnectDup,   // connect for an already-connected port
+  kResumed,        // connect re-adopted a checkpointed slot (warm restart)
+  kEvictedPort,    // move from a remembered evicted port, told kEvicted
+  kUnknown,        // move/disconnect from a port with no slot
+};
+
+const char* record_kind_name(RecordKind k);
+const char* drop_reason_name(DropReason r);
+
+struct JournalRecord {
+  RecordKind kind = RecordKind::kDropped;
+  DropReason drop = DropReason::kNone;
+  uint8_t thread = 0;    // receiving thread (master for lifecycle records)
+  uint16_t port = 0;     // source port
+  uint32_t entity = 0;   // player entity id (exec + lifecycle records)
+  uint64_t order = kNoOrder;  // serialization index (replayed records)
+  int64_t t_ns = 0;      // timestamp the operation executed with
+  int64_t dt_ns = 0;     // kWorldPhase: the frame's dt
+  net::MoveCmd cmd;      // kMoveExec payload
+  std::string name;      // kConnectSpawn payload
+};
+
+struct FrameJournal {
+  uint64_t frame = 0;
+  int64_t world_t0_ns = 0;  // world_phase(now, dt) arguments (informational;
+  int64_t world_dt_ns = 0;  // replay drives off the kWorldPhase record)
+  uint64_t digest = 0;      // live world digest at the frame boundary
+  std::vector<JournalRecord> records;        // executed first, by order
+  std::vector<EntityDigest> entity_digests;  // optional per-entity hashes
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(const Config& cfg, uint32_t threads, uint64_t seed);
+
+  // Stages a record on `thread`'s private vector. Called during request
+  // processing (one writer per thread) and from the master window.
+  void record(uint32_t thread, JournalRecord rec);
+
+  // Master window only: drains every staging vector, sorts executed
+  // records by serialization index (drops keep arrival order at the
+  // tail), attaches the digest, pushes onto the ring, trims to bounds.
+  void seal_frame(uint64_t frame, vt::TimePoint t0, vt::Duration dt,
+                  uint64_t digest, std::vector<EntityDigest> entity_digests);
+
+  const std::deque<FrameJournal>& frames() const { return ring_; }
+  uint64_t seed() const { return seed_; }
+  uint64_t frames_sealed() const { return frames_sealed_; }
+  uint64_t records_staged() const {
+    return records_staged_.load(std::memory_order_relaxed);
+  }
+
+  // Serializes header (seed, bounds) + the ring tail to qserv-jrnl-v1.
+  std::vector<uint8_t> encode() const;
+
+ private:
+  Config cfg_;
+  uint64_t seed_;
+  std::vector<std::vector<JournalRecord>> staging_;  // one per thread
+  std::deque<FrameJournal> ring_;
+  uint64_t frames_sealed_ = 0;
+  // Workers stage concurrently; the count is a statistic, not an ordering
+  // device, so relaxed increments suffice.
+  std::atomic<uint64_t> records_staged_{0};
+};
+
+// Decode side (replay tool, tests). Hardened like the checkpoint loader.
+struct JournalFile {
+  uint64_t seed = 0;
+  uint32_t threads = 1;
+  std::vector<FrameJournal> frames;
+};
+std::vector<uint8_t> encode_journal(uint64_t seed, uint32_t threads,
+                                    const std::deque<FrameJournal>& frames);
+// Returns kNone on success; shares the checkpoint loader's LoadError.
+LoadError decode_journal(const uint8_t* data, size_t n, JournalFile& out);
+inline LoadError decode_journal(const std::vector<uint8_t>& buf,
+                                JournalFile& out) {
+  return decode_journal(buf.data(), buf.size(), out);
+}
+
+}  // namespace qserv::recovery

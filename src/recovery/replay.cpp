@@ -1,0 +1,209 @@
+#include "src/recovery/replay.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/recovery/digest.hpp"
+#include "src/sim/move.hpp"
+#include "src/spatial/map.hpp"
+
+namespace qserv::recovery {
+namespace {
+
+struct NullSink final : sim::EventSink {
+  void emit(const net::GameEvent&) override {}
+};
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+// Names the first entity whose recorded hash differs from the replayed
+// world's, walking both id-ordered lists in lockstep. Returns 0 when the
+// recording carried no per-entity digests (or the lists are equal and the
+// divergence is in the allocator/RNG tail of the frame digest).
+uint32_t first_divergent_entity(const std::vector<EntityDigest>& want,
+                                const std::vector<EntityDigest>& got,
+                                std::string* detail) {
+  size_t i = 0, j = 0;
+  while (i < want.size() || j < got.size()) {
+    if (j >= got.size() || (i < want.size() && want[i].id < got[j].id)) {
+      *detail = format("entity %u exists live but not in replay", want[i].id);
+      return want[i].id;
+    }
+    if (i >= want.size() || got[j].id < want[i].id) {
+      *detail = format("entity %u exists in replay but not live", got[j].id);
+      return got[j].id;
+    }
+    if (want[i].hash != got[j].hash) {
+      *detail = format("entity %u state hash differs (live %08x, replay %08x)",
+                       want[i].id, want[i].hash, got[j].hash);
+      return want[i].id;
+    }
+    ++i;
+    ++j;
+  }
+  *detail = "all entities match; allocator or RNG state differs";
+  return 0;
+}
+
+}  // namespace
+
+std::string ReplayResult::summary() const {
+  if (!error.empty()) return "replay setup failed: " + error;
+  if (diverged) {
+    std::string s = format(
+        "DIVERGED at frame %" PRIu64 " (digest live %016" PRIx64
+        " vs replay %016" PRIx64 ")",
+        divergent_frame, want_digest, got_digest);
+    if (!detail.empty()) s += ": " + detail;
+    return s;
+  }
+  return format("replay identical over %" PRIu64 " frames (%" PRIu64
+                " moves, %" PRIu64 " lifecycle ops) from frame %" PRIu64,
+                frames_checked, moves_applied, lifecycle_applied, start_frame);
+}
+
+ReplayResult replay_verify(const CheckpointData& ckpt,
+                           const JournalFile& journal) {
+  ReplayResult res;
+  res.start_frame = ckpt.frame;
+
+  spatial::GameMap map;
+  if (!spatial::GameMap::parse(ckpt.map_text, map)) {
+    res.error = "checkpoint map text does not parse";
+    return res;
+  }
+  sim::World world(map, {ckpt.areanode_depth, ckpt.seed});
+  restore_world(ckpt, world);
+
+  const uint64_t d0 = world_digest(world);
+  if (ckpt.digest != 0 && d0 != ckpt.digest) {
+    res.diverged = true;
+    res.divergent_frame = ckpt.frame;
+    res.want_digest = ckpt.digest;
+    res.got_digest = d0;
+    res.detail = "restored world digest differs at the checkpoint itself";
+    return res;
+  }
+
+  NullSink sink;
+  std::vector<EntityDigest> got_entities;
+  uint64_t expected = ckpt.frame + 1;
+  for (const auto& fj : journal.frames) {
+    if (fj.frame <= ckpt.frame) continue;  // ring reaches further back
+    if (fj.frame != expected) {
+      res.error = format("journal gap: expected frame %" PRIu64
+                         ", ring has %" PRIu64,
+                         expected, fj.frame);
+      return res;
+    }
+    ++expected;
+
+    for (const auto& rec : fj.records) {
+      switch (rec.kind) {
+        case RecordKind::kWorldPhase:
+          world.world_phase(vt::TimePoint{rec.t_ns}, vt::Duration{rec.dt_ns},
+                            sink);
+          break;
+        case RecordKind::kMoveExec: {
+          sim::Entity* p = world.get(rec.entity);
+          if (p == nullptr || !p->is_player()) {
+            res.diverged = true;
+            res.divergent_frame = fj.frame;
+            res.divergent_entity = rec.entity;
+            res.detail = format("move for entity %u which is %s in replay",
+                                rec.entity,
+                                p == nullptr ? "missing" : "not a player");
+            return res;
+          }
+          sim::execute_move(world, *p, rec.cmd, vt::TimePoint{rec.t_ns},
+                            nullptr, &sink, rec.order);
+          ++res.moves_applied;
+          break;
+        }
+        case RecordKind::kConnectSpawn: {
+          sim::Entity& e = world.spawn_player(rec.name);
+          ++res.lifecycle_applied;
+          if (e.id != rec.entity) {
+            res.diverged = true;
+            res.divergent_frame = fj.frame;
+            res.divergent_entity = rec.entity;
+            res.detail =
+                format("spawn allocated entity %u, live allocated %u", e.id,
+                       rec.entity);
+            return res;
+          }
+          break;
+        }
+        case RecordKind::kDisconnect:
+        case RecordKind::kEvict: {
+          if (world.get(rec.entity) == nullptr) {
+            res.diverged = true;
+            res.divergent_frame = fj.frame;
+            res.divergent_entity = rec.entity;
+            res.detail = format("%s of entity %u which is missing in replay",
+                                record_kind_name(rec.kind), rec.entity);
+            return res;
+          }
+          world.remove_entity(rec.entity);
+          ++res.lifecycle_applied;
+          break;
+        }
+        case RecordKind::kDropped:
+          break;  // forensic only
+      }
+    }
+
+    const bool want_entities = !fj.entity_digests.empty();
+    const uint64_t d =
+        world_digest(world, want_entities ? &got_entities : nullptr);
+    ++res.frames_checked;
+    if (d != fj.digest) {
+      res.diverged = true;
+      res.divergent_frame = fj.frame;
+      res.want_digest = fj.digest;
+      res.got_digest = d;
+      if (want_entities) {
+        res.divergent_entity = first_divergent_entity(
+            fj.entity_digests, got_entities, &res.detail);
+      }
+      return res;
+    }
+  }
+
+  if (res.frames_checked == 0) {
+    res.error = "no journal frames follow the checkpoint";
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+ReplayResult verify_recorded(const CheckpointManager& checkpoints,
+                             const FlightRecorder& recorder) {
+  ReplayResult res;
+  if (!checkpoints.has()) {
+    res.error = "no checkpoint taken";
+    return res;
+  }
+  CheckpointData ckpt;
+  const LoadError err = decode_checkpoint(checkpoints.latest(), ckpt);
+  if (err != LoadError::kNone) {
+    res.error = std::string("latest checkpoint does not decode: ") +
+                load_error_name(err);
+    return res;
+  }
+  JournalFile jf;
+  jf.seed = recorder.seed();
+  jf.frames.assign(recorder.frames().begin(), recorder.frames().end());
+  return replay_verify(ckpt, jf);
+}
+
+}  // namespace qserv::recovery

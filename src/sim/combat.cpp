@@ -100,7 +100,7 @@ AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
 
 AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
                            vt::TimePoint now, NodeListLocks* locks,
-                           EventSink* events) {
+                           EventSink* events, uint64_t order) {
   AttackResult res;
   if (now < shooter.next_attack || shooter.health <= 0 ||
       shooter.grenades <= 0)
@@ -136,7 +136,7 @@ AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
   }
   // Flight continues in the world-physics phase (type-1 object).
   world.queue_projectile(
-      {shooter.id, tr.endpos, dir, now + kGrenadeLifetime});
+      {shooter.id, tr.endpos, dir, now + kGrenadeLifetime, order});
   return res;
 }
 

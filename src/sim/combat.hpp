@@ -30,10 +30,11 @@ AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
                           vt::TimePoint now, NodeListLocks* locks,
                           EventSink* events);
 
-// Grenade toss along the view direction. Consumes one grenade.
+// Grenade toss along the view direction. Consumes one grenade. `order`
+// tags the queued projectile with the throwing move's serialization index.
 AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
                            vt::TimePoint now, NodeListLocks* locks,
-                           EventSink* events);
+                           EventSink* events, uint64_t order = 0);
 
 // Radius damage at `pos` attributed to `owner`; used by grenades both at
 // request time (early detonation) and in the world phase.

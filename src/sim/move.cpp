@@ -73,7 +73,7 @@ Aabb move_bounds(const Entity& player, const net::MoveCmd& cmd) {
 
 MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
                        vt::TimePoint now, NodeListLocks* locks,
-                       EventSink* events) {
+                       EventSink* events, uint64_t order) {
   MoveStats stats;
   world.charge(world.costs().move_base);
   if (!player.alive()) return stats;
@@ -180,7 +180,7 @@ MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
     stats.entities_scanned += r.entities_scanned;
   } else if ((cmd.buttons & net::kButtonThrow) != 0) {
     const auto r =
-        throw_grenade(world, player, cmd.pitch_deg, now, locks, events);
+        throw_grenade(world, player, cmd.pitch_deg, now, locks, events, order);
     stats.threw_grenade = r.fired;
     stats.hit_player |= r.hit_player;
     stats.brushes_tested += r.brushes_tested;

@@ -33,9 +33,11 @@ struct MoveStats {
 // Executes one move command. The caller must hold the region locks
 // required by the active locking policy for move_bounds() (and for the
 // long-range region if cmd requests an attack/throw). The player is
-// relinked into the areanode tree afterwards.
+// relinked into the areanode tree afterwards. `order` is the move's
+// serialization index; it tags any projectile this move queues so the
+// world phase can materialize projectiles in a replayable order.
 MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
                        vt::TimePoint now, NodeListLocks* locks,
-                       EventSink* events);
+                       EventSink* events, uint64_t order = 0);
 
 }  // namespace qserv::sim

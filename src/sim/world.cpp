@@ -24,7 +24,8 @@ World::World(const spatial::GameMap& map, Config cfg, vt::Platform* platform,
       tree_(map.bounds, cfg.areanode_depth),
       platform_(platform),
       costs_(costs),
-      rng_(cfg.seed) {
+      seed_(cfg.seed),
+      rng_(derive_seed(cfg.seed, streams::kWorld)) {
   if (platform_ != nullptr) projectile_mu_ = platform_->make_mutex("projq");
 
   // Materialize static entities from the map: items and teleporter pads.
@@ -159,27 +160,37 @@ void World::gather(const Aabb& box, std::vector<uint32_t>& out,
     stats->nodes_visited += local.nodes_visited;
     stats->entities_scanned += local.entities_scanned;
   }
+  // Canonical candidate order. Node lists are in link/unlink history
+  // order, which is not part of world state: a restored world (or a
+  // differently interleaved parallel run) would hand order-sensitive
+  // consumers — item-touch sequence, first-teleporter-wins — a different
+  // iteration order over the same state. Sorting by id makes every
+  // gather a pure function of entity state, which deterministic replay
+  // depends on (DESIGN.md §9).
+  std::sort(out.begin(), out.end());
 }
 
-spatial::SpawnPoint World::pick_spawn_point() {
+spatial::SpawnPoint World::pick_spawn_point(Rng& rng, bool check_blocked) {
   QSERV_CHECK_MSG(!map_.spawns.empty(), "map has no spawn points");
   // Try a few random spawn points and take the first not blocked by a
   // player; fall back to a random one (telefrag-free: we allow overlap).
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    const auto& sp =
-        map_.spawns[rng_.below(static_cast<uint64_t>(map_.spawns.size()))];
-    std::vector<uint32_t> nearby;
-    gather(Aabb::at(sp.origin, kPlayerMins, kPlayerMaxs), nearby);
-    bool blocked = false;
-    for (const uint32_t id : nearby) blocked |= entities_[id].is_player();
-    if (!blocked) return sp;
+  if (check_blocked) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto& sp =
+          map_.spawns[rng.below(static_cast<uint64_t>(map_.spawns.size()))];
+      std::vector<uint32_t> nearby;
+      gather(Aabb::at(sp.origin, kPlayerMins, kPlayerMaxs), nearby);
+      bool blocked = false;
+      for (const uint32_t id : nearby) blocked |= entities_[id].is_player();
+      if (!blocked) return sp;
+    }
   }
-  return map_.spawns[rng_.below(static_cast<uint64_t>(map_.spawns.size()))];
+  return map_.spawns[rng.below(static_cast<uint64_t>(map_.spawns.size()))];
 }
 
 Entity& World::spawn_player(const std::string& name, NodeListLocks* locks) {
   Entity& e = spawn_entity(EntityType::kPlayer);
-  const auto sp = pick_spawn_point();
+  const auto sp = pick_spawn_point(rng_);
   e.name = name;
   e.origin = sp.origin;
   e.yaw_deg = sp.yaw_deg;
@@ -196,7 +207,15 @@ Entity& World::spawn_player(const std::string& name, NodeListLocks* locks) {
 
 void World::respawn_player(Entity& player, NodeListLocks* locks,
                            EventSink* events) {
-  const auto sp = pick_spawn_point();
+  // Stateless placement keyed on (seed, id, deaths): respawn runs inside
+  // request processing under region locks, where drawing the shared world
+  // RNG would make results depend on cross-thread execution order (and
+  // the blocked-spawn gather would scan lists outside this move's locked
+  // region). Placement is blind — overlap is allowed, as in the fallback.
+  Rng r(derive_seed(derive_seed(seed_, streams::kRespawn),
+                    (static_cast<uint64_t>(player.id) << 32) |
+                        static_cast<uint32_t>(player.deaths)));
+  const auto sp = pick_spawn_point(r, /*check_blocked=*/false);
   player.origin = sp.origin;
   player.yaw_deg = sp.yaw_deg;
   player.velocity = Vec3{};
@@ -233,6 +252,14 @@ void World::world_phase(vt::TimePoint now, vt::Duration dt,
   } else {
     specs.swap(pending_projectiles_);
   }
+  // Queue arrival order is scheduling-dependent in the parallel server;
+  // the throwing move's serialization index is not. Materializing in
+  // index order keeps entity-id assignment replayable (stable: specs
+  // without an index keep arrival order).
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const ProjectileSpec& a, const ProjectileSpec& b) {
+                     return a.order < b.order;
+                   });
   for (const auto& spec : specs) {
     Entity& e = spawn_entity(EntityType::kProjectile);
     e.origin = spec.origin;
@@ -287,6 +314,45 @@ void World::world_phase(vt::TimePoint now, vt::Duration dt,
     if (!e.available && now >= e.respawn_at) e.available = true;
   }
   charge(costs_.per_item_check * item_checks);
+}
+
+void World::begin_restore() {
+  for (auto& e : entities_) e = Entity{};
+  free_ids_.clear();
+  active_count_ = 0;
+  tree_.clear_all_objects();
+  pending_projectiles_.clear();
+}
+
+void World::restore_entity(const Entity& e) {
+  QSERV_CHECK_MSG(e.id < entities_.size(),
+                  "restored entity id beyond pre-sized storage");
+  Entity& slot = entities_[e.id];
+  QSERV_CHECK_MSG(!slot.active, "duplicate entity id in checkpoint");
+  slot = e;
+  slot.areanode = -1;  // links are restored separately, per node
+  ++active_count_;
+}
+
+void World::restore_link(uint32_t id, int node) {
+  Entity* e = get(id);
+  QSERV_CHECK_MSG(e != nullptr, "checkpoint links a missing entity");
+  QSERV_CHECK_MSG(e->areanode < 0, "checkpoint links an entity twice");
+  tree_.restore_object(node, id);
+  e->areanode = node;
+}
+
+void World::finish_restore(std::vector<uint32_t> free_ids) {
+  free_ids_ = std::move(free_ids);
+}
+
+void World::rebase_times(vt::Duration delta) {
+  for (auto& e : entities_) {
+    if (!e.active) continue;
+    if (e.next_attack.ns != 0) e.next_attack = e.next_attack + delta;
+    if (e.respawn_at.ns != 0) e.respawn_at = e.respawn_at + delta;
+    if (e.expire_at.ns != 0) e.expire_at = e.expire_at + delta;
+  }
 }
 
 }  // namespace qserv::sim

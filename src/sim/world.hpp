@@ -104,10 +104,16 @@ class World {
   Entity& spawn_player(const std::string& name,
                        NodeListLocks* locks = nullptr);
   // Moves a (dead) player to a fresh spawn point, restores stats, relinks.
+  // Spawn placement is drawn from a stateless RNG keyed on
+  // (seed, player id, death count) — not the shared world RNG — so
+  // respawns reached concurrently from request processing neither race on
+  // RNG state nor depend on cross-thread ordering. Deterministic replay
+  // depends on this.
   void respawn_player(Entity& player, NodeListLocks* locks,
                       EventSink* events);
-  // A spawn point currently clear of other players.
-  spatial::SpawnPoint pick_spawn_point();
+  // A spawn point drawn from `rng`; if `check_blocked`, tries a few times
+  // to find one clear of players (gathers — single-threaded phases only).
+  spatial::SpawnPoint pick_spawn_point(Rng& rng, bool check_blocked = true);
 
   // --- projectiles ---
   struct ProjectileSpec {
@@ -115,6 +121,10 @@ class World {
     Vec3 origin;
     Vec3 dir;  // unit
     vt::TimePoint expire_at{};
+    // Serialization index of the move that threw it. The world phase
+    // materializes specs in this order (not queue-arrival order, which is
+    // scheduling-dependent), so entity-id assignment replays exactly.
+    uint64_t order = 0;
   };
   // Thread-safe; callable from request processing.
   void queue_projectile(const ProjectileSpec& spec);
@@ -130,6 +140,28 @@ class World {
   spatial::AreanodeTree& tree() { return tree_; }
   const CostModel& costs() const { return costs_; }
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+  uint64_t seed() const { return seed_; }
+  // Raw storage views for checkpointing: every slot (active or not) and
+  // the free-id stack whose order determines future id assignment.
+  size_t entity_storage_size() const { return entities_.size(); }
+  const std::vector<uint32_t>& free_ids() const { return free_ids_; }
+
+  // --- checkpoint restore (single-threaded, before any traffic) ---
+  // Clears all entities, areanode lists and the free stack.
+  void begin_restore();
+  // Places a checkpointed entity at its recorded id (storage must have
+  // been pre-sized past it); does NOT link — links are restored per node
+  // via restore_link so list order round-trips exactly.
+  void restore_entity(const Entity& e);
+  // Appends `id` to `node`'s object list and records the link.
+  void restore_link(uint32_t id, int node);
+  // Installs the recorded free-id stack (checkpointed bottom-to-top).
+  void finish_restore(std::vector<uint32_t> free_ids);
+  // Shifts every absolute-time entity field (attack cooldowns, item
+  // respawns, projectile expiry) by `delta` — warm restart maps
+  // checkpoint-time T onto restart-time now.
+  void rebase_times(vt::Duration delta);
 
   // Charges virtual CPU time if a platform is attached.
   void charge(vt::Duration d) const {
@@ -145,6 +177,7 @@ class World {
   spatial::AreanodeTree tree_;
   vt::Platform* platform_;
   CostModel costs_;
+  uint64_t seed_;
   Rng rng_;
 
   std::vector<Entity> entities_;

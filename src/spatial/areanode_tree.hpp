@@ -83,6 +83,19 @@ class AreanodeTree {
   // Total entities currently linked anywhere (O(nodes), for tests).
   size_t total_linked() const;
 
+  // --- checkpoint restore (single-threaded) ---
+  // Empties every node's object list.
+  void clear_all_objects() {
+    for (auto& n : nodes_) n.objects.clear();
+  }
+  // Appends `id` to `node_index`'s list. Restore replays each node's
+  // recorded list in order, reproducing insertion order exactly — list
+  // order is part of the deterministic-replay contract.
+  void restore_object(int node_index, uint32_t id) {
+    QSERV_CHECK(node_index >= 0 && node_index < node_count());
+    nodes_[static_cast<size_t>(node_index)].objects.push_back(id);
+  }
+
  private:
   void build(int index, int parent, int depth, const Aabb& bounds);
 

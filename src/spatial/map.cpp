@@ -84,9 +84,12 @@ const char* item_type_name(ItemType t) {
 
 namespace {
 
+// %.9g: 9 significant digits round-trip any binary32 exactly, so a
+// parsed map is bit-identical to the one serialized. Checkpoint/replay
+// geometry (traces, spawn points) depends on this.
 void emit_vec(std::string& out, const Vec3& v) {
   char buf[96];
-  std::snprintf(buf, sizeof buf, " %.3f %.3f %.3f", double(v.x), double(v.y),
+  std::snprintf(buf, sizeof buf, " %.9g %.9g %.9g", double(v.x), double(v.y),
                 double(v.z));
   out += buf;
 }
@@ -110,7 +113,7 @@ std::string GameMap::serialize() const {
     out += "spawn";
     emit_vec(out, s.origin);
     char buf[32];
-    std::snprintf(buf, sizeof buf, " %.3f", double(s.yaw_deg));
+    std::snprintf(buf, sizeof buf, " %.9g", double(s.yaw_deg));
     out += buf;
     out += "\n";
   }

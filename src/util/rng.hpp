@@ -5,12 +5,33 @@
 // independently.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "src/util/check.hpp"
 #include "src/util/vec.hpp"
 
 namespace qserv {
+
+// Named RNG streams. Every component that needs randomness derives its
+// seed as derive_seed(root_seed, streams::kX) instead of ad-hoc arithmetic
+// (seed*31+5 and friends), so the full tree of seeds is auditable and two
+// components can never collide by accident.
+namespace streams {
+inline constexpr uint64_t kNetwork = 1;       // VirtualNetwork latency/jitter
+inline constexpr uint64_t kClientDriver = 2;  // bot/lifecycle seeds
+inline constexpr uint64_t kFaults = 3;        // chaos fault scheduler
+inline constexpr uint64_t kWorld = 4;         // world RNG (spawn points)
+inline constexpr uint64_t kRespawn = 5;       // per-death respawn placement
+}  // namespace streams
+
+// SplitMix64-mixes (root, stream) into an independent child seed.
+constexpr uint64_t derive_seed(uint64_t root, uint64_t stream) {
+  uint64_t z = root + stream * 0x9e3779b97f4a7c15ull + 0xd1342543de82ef95ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 class Rng {
  public:
@@ -80,6 +101,15 @@ class Rng {
   Vec3 point_in(const Vec3& mins, const Vec3& maxs) {
     return {uniform(mins.x, maxs.x), uniform(mins.y, maxs.y),
             uniform(mins.z, maxs.z)};
+  }
+
+  // Exact generator state, for checkpoint/restore: a restored Rng
+  // continues the original's sequence bit-for-bit.
+  std::array<uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<size_t>(i)];
   }
 
  private:

@@ -45,9 +45,15 @@ TEST_P(FuzzSeeds, RandomBytesNeverCrashDecoders) {
       if (decode_server_type(r, t)) {
         ConnectAck a;
         Snapshot s;
+        RejectMsg j;
+        static const std::vector<EntityUpdate> kEmptyBaseline;
         switch (t) {
           case ServerMsgType::kConnectAck: (void)decode(r, a); break;
           case ServerMsgType::kSnapshot: (void)decode(r, s); break;
+          case ServerMsgType::kDeltaSnapshot:
+            (void)decode_delta(r, [](uint32_t) { return &kEmptyBaseline; }, s);
+            break;
+          case ServerMsgType::kReject: (void)decode(r, j); break;
         }
       }
     }
