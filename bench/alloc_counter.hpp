@@ -1,0 +1,44 @@
+// Process-wide heap-allocation counter for benches: overrides the global
+// (non-aligned) operator new/delete pair and counts every allocation, so
+// a bench can report allocations-per-frame deltas for hot-path memory
+// work. Include from exactly ONE translation unit per binary — the
+// replacement operators are definitions, not declarations.
+//
+// Over-aligned allocations keep using the library's aligned operators
+// (replacing only the unaligned pair keeps new/delete pairing intact);
+// they are rare enough in this codebase not to matter for the counts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace qserv::bench {
+
+inline std::atomic<uint64_t> g_heap_allocs{0};
+
+// Total heap allocations observed in this process so far.
+inline uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace qserv::bench
+
+void* operator new(std::size_t n) {
+  qserv::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) {
+  qserv::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

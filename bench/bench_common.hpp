@@ -1,10 +1,13 @@
 // Shared helpers for the figure benches: measurement-window defaults
 // (overridable via QSERV_MEASURE_SECONDS / QSERV_WARMUP_SECONDS for
-// longer, paper-length runs), common formatting, and the standard
-// machine-readable outputs every bench supports:
-//   --json <path>   results as "qserv-bench-v1" JSON (harness/json_export)
-//   --trace <path>  Chrome trace-event JSON of a representative config,
-//                   viewable in chrome://tracing or https://ui.perfetto.dev
+// longer, paper-length runs), common formatting, and the standard CLI
+// every bench binary supports (parse_args — unknown flags are a hard
+// error):
+//   --json <path>      results as "qserv-bench-v1" JSON (harness/json_export)
+//   --trace <path>     Chrome trace-event JSON of a representative config,
+//                      viewable in chrome://tracing or https://ui.perfetto.dev
+//   --measure <secs>   measurement window (sets QSERV_MEASURE_SECONDS)
+//   --warmup <secs>    warmup window (sets QSERV_WARMUP_SECONDS)
 #pragma once
 
 #include <cstdio>
@@ -49,23 +52,43 @@ struct Options {
   std::string trace_path;
 };
 
-inline Options parse_options(int argc, char** argv) {
+// The one CLI parser every bench main goes through (directly or via
+// BenchOutput). Unknown flags are a hard error: a typoed flag must not
+// silently run the default configuration for ten minutes. --measure and
+// --warmup land in the QSERV_* environment variables so apply_windows()
+// (and any subprocess the bench spawns) picks them up uniformly.
+inline Options parse_args(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    auto path_arg = [&](const char* flag) -> const char* {
+    auto value_arg = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a path argument\n", flag);
+        std::fprintf(stderr, "%s requires an argument\n", flag);
         std::exit(2);
       }
       return argv[++i];
     };
+    auto seconds_arg = [&](const char* flag, const char* env) {
+      const char* v = value_arg(flag);
+      if (std::atof(v) <= 0.0) {
+        std::fprintf(stderr, "%s requires a positive seconds value\n", flag);
+        std::exit(2);
+      }
+      setenv(env, v, /*overwrite=*/1);
+    };
     if (a == "--json") {
-      o.json_path = path_arg("--json");
+      o.json_path = value_arg("--json");
     } else if (a == "--trace") {
-      o.trace_path = path_arg("--trace");
+      o.trace_path = value_arg("--trace");
+    } else if (a == "--measure") {
+      seconds_arg("--measure", "QSERV_MEASURE_SECONDS");
+    } else if (a == "--warmup") {
+      seconds_arg("--warmup", "QSERV_WARMUP_SECONDS");
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: %s [--json <path>] [--trace <path>]\n", argv[0]);
+      std::printf(
+          "usage: %s [--json <path>] [--trace <path>] [--measure <secs>] "
+          "[--warmup <secs>]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", a.c_str());
@@ -82,7 +105,7 @@ inline Options parse_options(int argc, char** argv) {
 class BenchOutput {
  public:
   BenchOutput(const char* bench_name, int argc, char** argv)
-      : opts_(parse_options(argc, argv)), json_(bench_name) {}
+      : opts_(parse_args(argc, argv)), json_(bench_name) {}
 
   const Options& options() const { return opts_; }
 

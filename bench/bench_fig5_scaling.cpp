@@ -8,6 +8,7 @@
 // reach 40%+ with inter-frame > intra-frame; saturation at roughly
 // 128/144/160 players for 2/4/8 threads; 8 threads barely beats 4
 // (hyper-threaded contexts share cores).
+#include "alloc_counter.hpp"
 #include "bench_common.hpp"
 
 using namespace qserv;
@@ -38,7 +39,19 @@ int main(int argc, char** argv) {
 
   auto grid = paper_grid(threads, players, core::LockPolicy::kConservative);
   for (auto& p : grid) bench::apply_windows(p.config);
+  const uint64_t allocs_before = bench::heap_allocs();
   run_sweep(grid);
+  const uint64_t sweep_allocs = bench::heap_allocs() - allocs_before;
+  uint64_t sweep_frames = 0;
+  for (const auto& p : grid) sweep_frames += p.result.frames;
+  std::printf(
+      "\nheap allocations over the conservative sweep: %llu"
+      " (%.1f per server frame, %llu frames; whole process incl. clients)\n",
+      static_cast<unsigned long long>(sweep_allocs),
+      sweep_frames > 0
+          ? static_cast<double>(sweep_allocs) / static_cast<double>(sweep_frames)
+          : 0.0,
+      static_cast<unsigned long long>(sweep_frames));
 
   out.add_points("sequential", seq);
   out.add_points("conservative", grid);

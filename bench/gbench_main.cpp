@@ -1,0 +1,45 @@
+// Shared main for the google-benchmark micro benches, replacing
+// benchmark::benchmark_main so all bench binaries share one CLI contract:
+// --measure/--warmup land in the QSERV_* environment variables, and any
+// flag neither we nor google-benchmark recognize is a hard error instead
+// of a silently ignored typo.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  // Peel off the qserv-wide flags first; everything else goes to
+  // benchmark::Initialize, which consumes the --benchmark_* family and
+  // leaves anything it does not recognize in argv.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto seconds_arg = [&](const char* flag, const char* env) {
+      if (i + 1 >= argc || std::atof(argv[i + 1]) <= 0.0) {
+        std::fprintf(stderr, "%s requires a positive seconds value\n", flag);
+        std::exit(2);
+      }
+      setenv(env, argv[++i], /*overwrite=*/1);
+    };
+    if (a == "--measure") {
+      seconds_arg("--measure", "QSERV_MEASURE_SECONDS");
+    } else if (a == "--warmup") {
+      seconds_arg("--warmup", "QSERV_WARMUP_SECONDS");
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (rest_argc > 1) {
+    std::fprintf(stderr, "unknown argument: %s\n", rest[1]);
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

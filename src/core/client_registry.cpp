@@ -1,0 +1,162 @@
+#include "src/core/client_registry.hpp"
+
+#include <atomic>
+
+namespace qserv::core {
+
+ClientRegistry::ClientRegistry(vt::Platform& platform, const ServerConfig& cfg)
+    : platform_(platform), cfg_(cfg), mu_(platform.make_mutex("clients")) {
+  slots_.resize(static_cast<size_t>(cfg.max_clients));
+}
+
+ClientSlot* ClientRegistry::by_port(uint16_t port) {
+  vt::LockGuard g(*mu_);
+  const auto it = slot_by_port_.find(port);
+  return it == slot_by_port_.end()
+             ? nullptr
+             : &slots_[static_cast<size_t>(it->second)];
+}
+
+int ClientRegistry::index_of_port_locked(uint16_t port) const {
+  const auto it = slot_by_port_.find(port);
+  return it == slot_by_port_.end() ? -1 : it->second;
+}
+
+int ClientRegistry::connected() const {
+  int n = 0;
+  for (const auto& c : slots_) n += c.in_use ? 1 : 0;
+  return n;
+}
+
+int ClientRegistry::find_free_locked() const {
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    if (!slots_[static_cast<size_t>(i)].in_use) return i;
+  }
+  return -1;
+}
+
+void ClientRegistry::init_pending_slot_locked(int slot_index, uint16_t port,
+                                              int tid,
+                                              const std::string& name) {
+  slot_by_port_[port] = slot_index;
+  ClientSlot& c = slots_[static_cast<size_t>(slot_index)];
+  c.in_use = true;
+  c.pending_spawn = true;
+  c.pending_disconnect = false;
+  c.awaiting_resume = false;
+  c.connect_tid = tid;
+  c.owner_thread = tid;  // provisional until the spawn picks the owner
+  c.entity_id = 0;
+  c.remote_port = port;
+  c.name = name;
+  c.pending_reply = false;
+  c.notify_port = false;
+  c.last_seq = 0;
+  c.last_move_time_ns = 0;
+  std::atomic_ref<int64_t>(c.last_heard_ns)
+      .store(platform_.now().ns, std::memory_order_relaxed);
+  // A reused slot must not inherit the previous occupant's delta
+  // baselines — the new client has reconstructed nothing.
+  c.history.clear();
+  c.client_baseline_frame = 0;
+  c.bucket.configure(cfg_.resilience.move_rate_limit,
+                     cfg_.resilience.move_burst);
+  c.moves_since_scan = 0;
+  c.chan.reset();
+  c.buffer.reset();
+}
+
+void ClientRegistry::resume_slot_locked(ClientSlot& c,
+                                        net::Socket& owner_socket) {
+  c.awaiting_resume = false;
+  c.pending_reply = false;
+  c.notify_port = true;  // re-teach the owner port in the next snapshot
+  c.last_seq = 0;        // the reconnected peer restarts its sequences
+  c.last_move_time_ns = 0;
+  c.history.clear();
+  c.client_baseline_frame = 0;
+  c.chan = std::make_unique<net::NetChannel>(owner_socket, c.remote_port);
+  c.buffer = std::make_unique<ReplyBuffer>(platform_);
+  std::atomic_ref<int64_t>(c.last_heard_ns)
+      .store(platform_.now().ns, std::memory_order_relaxed);
+  c.bucket.configure(cfg_.resilience.move_rate_limit,
+                     cfg_.resilience.move_burst);
+  c.moves_since_scan = 0;
+}
+
+void ClientRegistry::release_slot_locked(ClientSlot& c) {
+  c.in_use = false;
+  c.chan.reset();
+  c.buffer.reset();
+  c.history.clear();
+  c.client_baseline_frame = 0;
+  c.pending_reply = false;
+  c.notify_port = false;
+  c.pending_spawn = false;
+  c.pending_disconnect = false;
+  c.awaiting_resume = false;
+}
+
+void ClientRegistry::migrate_slot_locked(ClientSlot& c, int new_owner,
+                                         net::Socket& owner_socket) {
+  c.owner_thread = new_owner;
+  // Keep the netchan's sequencing state: the peer must see one
+  // continuous stream across the migration.
+  c.chan->rebind(owner_socket);
+  // Force a snapshot carrying assigned_port even though the client may
+  // have no request pending on the new owner (its moves may still be
+  // going to the old port) — see the reply phase.
+  c.notify_port = true;
+}
+
+bool ClientRegistry::reap_due() const {
+  if (cfg_.client_timeout.ns <= 0) return false;
+  const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
+  vt::LockGuard g(*mu_);
+  for (const auto& c : slots_) {
+    if (c.in_use && std::atomic_ref<const int64_t>(c.last_heard_ns)
+                            .load(std::memory_order_relaxed) <= cutoff)
+      return true;
+  }
+  return false;
+}
+
+void ClientRegistry::remember_evicted_locked(uint16_t port) {
+  if (!cfg_.recovery.enabled || cfg_.recovery.remembered_evictions == 0)
+    return;
+  if (!remembered_set_.insert(port).second) return;
+  remembered_evicted_.push_back(port);
+  while (remembered_evicted_.size() > cfg_.recovery.remembered_evictions) {
+    remembered_set_.erase(remembered_evicted_.front());
+    remembered_evicted_.pop_front();
+  }
+}
+
+bool ClientRegistry::consume_remembered_eviction(uint16_t port) {
+  // Mirrors the pre-extraction gate exactly: with recovery off the lock
+  // is never taken; with it on the lock is taken even when the memory is
+  // empty (the lock acquisition sequence is part of replay determinism).
+  if (!cfg_.recovery.enabled) return false;
+  vt::LockGuard g(*mu_);
+  return remembered_set_.erase(port) > 0;
+}
+
+std::vector<uint16_t> ClientRegistry::remembered_ports_locked() const {
+  std::vector<uint16_t> out;
+  for (const uint16_t p : remembered_evicted_) {
+    if (remembered_set_.count(p) != 0) out.push_back(p);
+  }
+  return out;
+}
+
+void ClientRegistry::reset_run_counters() {
+  counters.evictions = 0;
+  counters.rejected_connects = 0;
+  counters.rejected_busy = 0;
+  counters.reassignments = 0;
+  counters.stall_reassignments = 0;
+  counters.governor_evictions = 0;
+  // counters.resumed_clients deliberately survives (lifetime counter).
+}
+
+}  // namespace qserv::core

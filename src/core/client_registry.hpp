@@ -1,0 +1,184 @@
+// The session layer: client slot lifecycle, the port -> slot map, netchan
+// and reply-buffer ownership, evicted-port memory, and the per-run session
+// counters. Extracted from the Server monolith so slot reuse, resume and
+// migration are unit-testable without a frame loop, and so the engine's
+// phases touch sessions through one narrow surface.
+//
+// Locking contract: the registry owns the clients mutex (the old
+// clients_mu_). Methods suffixed _locked require it held by the caller;
+// by_port()/consume_remembered_eviction() take it internally; connected()
+// and netchan-style scans read without it (racy-by-design post-run
+// inspection, exactly as before the extraction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/global_state.hpp"
+#include "src/net/netchan.hpp"
+#include "src/resilience/token_bucket.hpp"
+
+namespace qserv::core {
+
+// One client session. Field semantics are unchanged from the Server-era
+// Client struct; see the comments for the deferred-lifecycle flags.
+struct ClientSlot {
+  bool in_use = false;
+  uint32_t entity_id = 0;
+  uint16_t remote_port = 0;
+  std::string name;
+  int owner_thread = 0;
+  bool notify_port = false;  // next snapshot carries assigned_port
+  // Connect accepted, entity not yet spawned: creation is deferred to
+  // the master's between-frames window so entity lifecycle never races
+  // request processing (and replays in serialization order). Until the
+  // spawn, the slot has no entity, channel or reply buffer.
+  bool pending_spawn = false;
+  int connect_tid = 0;  // receiving thread (block-assignment owner)
+  // Disconnect seen mid-drain; entity removal is deferred to the same
+  // window for the same reason.
+  bool pending_disconnect = false;
+  // Restored from a checkpoint and not yet heard from on a live socket;
+  // a connect from a fresh port may re-adopt this slot by name.
+  bool awaiting_resume = false;
+  uint32_t last_seq = 0;          // latest move sequence processed
+  int64_t last_move_time_ns = 0;  // echoed back in the reply
+  // When the server last heard anything from this client (liveness
+  // clock for client_timeout reaping). Written by the thread draining
+  // the client's datagrams while an idle thread may concurrently poll
+  // reap_due(), so all access goes through std::atomic_ref.
+  int64_t last_heard_ns = 0;
+  bool pending_reply = false;  // sent a request this frame
+  std::unique_ptr<net::NetChannel> chan;
+  std::unique_ptr<ReplyBuffer> buffer;
+  // Delta-snapshot support (owner thread only): recently sent snapshot
+  // entity lists keyed by server frame, and the newest frame the client
+  // reports having reconstructed.
+  struct SentSnapshot {
+    uint32_t server_frame = 0;
+    std::vector<net::EntityUpdate> entities;
+  };
+  std::deque<SentSnapshot> history;
+  uint32_t client_baseline_frame = 0;
+  // Per-client move-rate limiter (configured at connect from
+  // cfg.resilience). Atomic inside: during a stall migration two
+  // threads can briefly drain the same client.
+  resilience::TokenBucket bucket;
+  // Moves executed since the governor's last expensive-client scan
+  // (owner thread writes, master window reads/clears — ordered by the
+  // frame-sync mutex).
+  uint32_t moves_since_scan = 0;
+};
+
+class ClientRegistry {
+ public:
+  ClientRegistry(vt::Platform& platform, const ServerConfig& cfg);
+
+  ClientRegistry(const ClientRegistry&) = delete;
+  ClientRegistry& operator=(const ClientRegistry&) = delete;
+
+  vt::Mutex& mutex() const { return *mu_; }
+
+  std::vector<ClientSlot>& slots() { return slots_; }
+  const std::vector<ClientSlot>& slots() const { return slots_; }
+  ClientSlot& slot(int i) { return slots_[static_cast<size_t>(i)]; }
+
+  // Locks internally. The returned pointer stays valid after unlock: the
+  // slot vector never grows, and slots are never destroyed, only reused.
+  ClientSlot* by_port(uint16_t port);
+  // Caller holds mutex(). -1 when the port has no slot.
+  int index_of_port_locked(uint16_t port) const;
+  const std::unordered_map<uint16_t, int>& port_map() const {
+    return slot_by_port_;
+  }
+  // Lock-free scan (post-run inspection / blackbox metadata).
+  int connected() const;
+
+  // --- slot lifecycle (caller holds mutex()) ---
+  int find_free_locked() const;  // -1 when full
+  void bind_port_locked(uint16_t port, int slot_index) {
+    slot_by_port_[port] = slot_index;
+  }
+  void unbind_port_locked(uint16_t port) { slot_by_port_.erase(port); }
+  // Fresh connect accepted: binds the port, stamps identity, and clears
+  // every delta/backpressure field a reused slot must not inherit. The
+  // entity spawn (and channel creation) stays deferred to the master
+  // window.
+  void init_pending_slot_locked(int slot_index, uint16_t port, int tid,
+                                const std::string& name);
+  // Re-adopts a checkpointed slot on a live connect: fresh channel on the
+  // owner's socket, fresh reply buffer, cleared delta baselines, liveness
+  // now. Caller has set remote_port / the port map.
+  void resume_slot_locked(ClientSlot& c, net::Socket& owner_socket);
+  // Frees one slot after eviction teardown (registry bookkeeping only —
+  // the reject send, journaling and world-entity removal are the
+  // caller's).
+  void release_slot_locked(ClientSlot& c);
+  // Ownership handoff to `new_owner`: rebinds the channel (sequencing
+  // state survives — the peer must see one continuous stream) and flags
+  // notify_port so the next snapshot re-teaches the port.
+  void migrate_slot_locked(ClientSlot& c, int new_owner,
+                           net::Socket& owner_socket);
+
+  // True when client_timeout is enabled and some connected client has
+  // been silent past it — the cue for a maintenance frame when the
+  // server is otherwise idle.
+  bool reap_due() const;
+
+  // --- evicted-port memory (inert unless recovery is enabled) ---
+  // Remembers an evicted client's port so its straggler moves (or a
+  // warm-restarted server it doesn't know crashed) answer kEvicted once
+  // instead of silence. FIFO-bounded. Caller holds mutex().
+  void remember_evicted_locked(uint16_t port);
+  // Consumes one remembered entry (locks internally); each port is
+  // answered a single kEvicted, so a straggler streaming moves cannot
+  // turn the memory into a reject storm.
+  bool consume_remembered_eviction(uint16_t port);
+  // FIFO-ordered remembered ports (checkpoint capture). Caller holds
+  // mutex().
+  std::vector<uint16_t> remembered_ports_locked() const;
+
+  // Restored-from-checkpoint flag: a connect from an unknown port may
+  // re-adopt an awaiting_resume slot by name.
+  void set_restored() { restored_ = true; }
+  bool restored() const { return restored_; }
+
+  // Per-run session counters. Guarded by mutex() where their increment
+  // sites are (see server.hpp's accessor comments); zeroed — except the
+  // lifetime ones — at the warmup boundary by reset_run_counters().
+  struct RunCounters {
+    uint64_t evictions = 0;          // timeout reaps
+    uint64_t rejected_connects = 0;  // kServerFull
+    uint64_t rejected_busy = 0;      // kServerBusy (admission control)
+    uint64_t reassignments = 0;      // region-based migrations
+    uint64_t stall_reassignments = 0;  // watchdog migrations
+    uint64_t governor_evictions = 0;   // governor rung-4 evictions
+    uint64_t resumed_clients = 0;      // lifetime: checkpoint re-adoptions
+  };
+  RunCounters counters;
+
+  // Warmup boundary: zeroes the per-run counters above. resumed_clients
+  // survives — restore/resume happens before the measurement window and
+  // is inspected after it.
+  void reset_run_counters();
+
+ private:
+  vt::Platform& platform_;
+  const ServerConfig& cfg_;
+  std::unique_ptr<vt::Mutex> mu_;
+  std::vector<ClientSlot> slots_;  // fixed capacity max_clients
+  std::unordered_map<uint16_t, int> slot_by_port_;
+  // Guarded by mu_. The set answers membership; the deque keeps FIFO
+  // eviction order for the bound.
+  std::deque<uint16_t> remembered_evicted_;
+  std::unordered_set<uint16_t> remembered_set_;
+  bool restored_ = false;
+};
+
+}  // namespace qserv::core

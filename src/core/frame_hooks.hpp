@@ -1,0 +1,197 @@
+// The hook seam between the frame engine and its satellite subsystems
+// (recovery, resilience, observability — and eventually per-shard
+// plugins). The engine never calls a subsystem directly; it dispatches
+// through HookList at fixed points of the frame, and subsystems reach
+// back only through the Engine facade below. Callback *presence* is part
+// of replay determinism: a subsystem that draws serialization indexes or
+// charges modelled compute simply does not register when disabled, which
+// reproduces the old `if (recorder_ != nullptr)` gates exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vthread/time.hpp"
+
+namespace qserv::vt {
+class Platform;
+}
+namespace qserv::obs {
+class Tracer;
+}
+namespace qserv::net {
+struct MoveCmd;
+}
+namespace qserv::sim {
+class World;
+}
+namespace qserv::recovery {
+enum class DropReason : uint8_t;
+}
+
+namespace qserv::core {
+
+class ClientRegistry;
+struct ServerConfig;
+struct ThreadStats;
+
+// The narrow engine surface subsystems may touch. Implemented by Server;
+// everything here is either a read or one of the engine-owned mutations a
+// subsystem is allowed to request (client migration off a stalled worker,
+// the governor's expensive-client eviction, a black-box dump).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual vt::Platform& platform() = 0;
+  virtual const ServerConfig& config() const = 0;
+  virtual const sim::World& world() const = 0;
+  virtual ClientRegistry& registry() = 0;
+  virtual obs::Tracer* tracer() const = 0;
+
+  virtual uint64_t frames() const = 0;
+  // Draws the next serialization index (replayed-mutation order).
+  virtual uint64_t draw_order() = 0;
+  // The next index that would be drawn (checkpoint capture).
+  virtual uint64_t order_count() const = 0;
+  // world_phase() arguments of the open frame (journal sealing).
+  virtual vt::TimePoint last_world_t0() const = 0;
+  virtual vt::Duration last_world_dt() const = 0;
+  virtual int connected_clients() const = 0;
+
+  // Moves every client owned by `stalled_tid` to live workers; returns
+  // clients migrated. Master window only.
+  virtual int migrate_clients_from(int stalled_tid, ThreadStats& st) = 0;
+  // Governor rung 4: evicts the most expensive client. Master window
+  // only.
+  virtual int evict_most_expensive(ThreadStats& st) = 0;
+  // Writes a black-box dump now; "" when recovery is disabled.
+  virtual std::string dump_blackbox(const std::string& label,
+                                    const std::string& why) = 0;
+};
+
+// Frame-scoped callbacks, dispatched at fixed points of every frame. All
+// default to no-ops so a hook overrides only the points it needs; no
+// callback may sleep, block, or charge compute the live run did not
+// (overriders own their determinism budget — see the journal hooks).
+class FrameHook {
+ public:
+  virtual ~FrameHook() = default;
+
+  // Master only, inside the world phase, after (t0, dt) are fixed and
+  // before world_phase() runs.
+  virtual void on_world_tick(int /*tid*/, vt::TimePoint /*t0*/,
+                             vt::Duration /*dt*/) {}
+  // Exec phase, after the move executed and its region locks released.
+  virtual void on_move_executed(int /*tid*/, uint16_t /*port*/,
+                                uint32_t /*entity*/, uint64_t /*order*/,
+                                vt::TimePoint /*t0*/,
+                                const net::MoveCmd& /*cmd*/) {}
+  // Receive phase: a datagram was seen but did not mutate the world.
+  virtual void on_drop(int /*tid*/, uint16_t /*port*/,
+                       recovery::DropReason /*why*/) {}
+  // Master window, after lifecycle completion and timeout reaping, before
+  // the frame is sealed. The place for subsystem "master duties"
+  // (watchdog adjudication, governor stepping).
+  virtual void on_master_window(int /*tid*/, vt::TimePoint /*frame_start*/,
+                                ThreadStats& /*st*/) {}
+  // Master window, after every mutation of the frame (including any
+  // master-window evictions): the frame's final state is observable.
+  virtual void on_frame_sealed() {}
+  // Master window, last callback of the frame (metrics point).
+  virtual void on_frame_end(vt::TimePoint /*frame_start*/, int /*moves*/,
+                            ThreadStats& /*st*/) {}
+  // Warmup boundary (Server::reset_stats).
+  virtual void on_reset_stats() {}
+};
+
+// Client-session lifecycle callbacks. All are invoked with the registry
+// mutex held (they fire at the mutation site); implementations must not
+// re-lock it.
+class LifecycleObserver {
+ public:
+  virtual ~LifecycleObserver() = default;
+
+  // Master window: the deferred spawn materialized the player entity.
+  virtual void on_client_spawned(int /*owner*/, uint16_t /*port*/,
+                                 uint32_t /*entity*/,
+                                 const std::string& /*name*/,
+                                 int64_t /*t_ns*/) {}
+  // Master window: a pending disconnect is being applied (entity removal
+  // follows this call).
+  virtual void on_client_disconnected(int /*owner*/, uint16_t /*port*/,
+                                      uint32_t /*entity*/,
+                                      int64_t /*t_ns*/) {}
+  // A spawned client is being evicted (reap or governor); entity removal
+  // follows this call.
+  virtual void on_client_evicted(int /*owner*/, uint16_t /*port*/,
+                                 uint32_t /*entity*/) {}
+  // Ownership moved between worker threads (region or stall migration).
+  virtual void on_client_migrated(int /*from*/, int /*to*/,
+                                  uint16_t /*port*/) {}
+  // A checkpointed slot was re-adopted by a live connect.
+  virtual void on_client_resumed(uint16_t /*port*/) {}
+};
+
+// Registered hook set, dispatched in registration order. Registration
+// happens before start() and never changes while the loops run, so
+// dispatch is lock-free.
+class HookList {
+ public:
+  void add(FrameHook* h) { frame_.push_back(h); }
+  void add(LifecycleObserver* o) { lifecycle_.push_back(o); }
+
+  void world_tick(int tid, vt::TimePoint t0, vt::Duration dt) const {
+    for (FrameHook* h : frame_) h->on_world_tick(tid, t0, dt);
+  }
+  void move_executed(int tid, uint16_t port, uint32_t entity, uint64_t order,
+                     vt::TimePoint t0, const net::MoveCmd& cmd) const {
+    for (FrameHook* h : frame_)
+      h->on_move_executed(tid, port, entity, order, t0, cmd);
+  }
+  void drop(int tid, uint16_t port, recovery::DropReason why) const {
+    for (FrameHook* h : frame_) h->on_drop(tid, port, why);
+  }
+  void master_window(int tid, vt::TimePoint frame_start,
+                     ThreadStats& st) const {
+    for (FrameHook* h : frame_) h->on_master_window(tid, frame_start, st);
+  }
+  void frame_sealed() const {
+    for (FrameHook* h : frame_) h->on_frame_sealed();
+  }
+  void frame_end(vt::TimePoint frame_start, int moves, ThreadStats& st) const {
+    for (FrameHook* h : frame_) h->on_frame_end(frame_start, moves, st);
+  }
+  void reset_stats() const {
+    for (FrameHook* h : frame_) h->on_reset_stats();
+  }
+
+  void client_spawned(int owner, uint16_t port, uint32_t entity,
+                      const std::string& name, int64_t t_ns) const {
+    for (LifecycleObserver* o : lifecycle_)
+      o->on_client_spawned(owner, port, entity, name, t_ns);
+  }
+  void client_disconnected(int owner, uint16_t port, uint32_t entity,
+                           int64_t t_ns) const {
+    for (LifecycleObserver* o : lifecycle_)
+      o->on_client_disconnected(owner, port, entity, t_ns);
+  }
+  void client_evicted(int owner, uint16_t port, uint32_t entity) const {
+    for (LifecycleObserver* o : lifecycle_)
+      o->on_client_evicted(owner, port, entity);
+  }
+  void client_migrated(int from, int to, uint16_t port) const {
+    for (LifecycleObserver* o : lifecycle_)
+      o->on_client_migrated(from, to, port);
+  }
+  void client_resumed(uint16_t port) const {
+    for (LifecycleObserver* o : lifecycle_) o->on_client_resumed(port);
+  }
+
+ private:
+  std::vector<FrameHook*> frame_;
+  std::vector<LifecycleObserver*> lifecycle_;
+};
+
+}  // namespace qserv::core

@@ -30,6 +30,13 @@ class GlobalStateBuffer : public sim::EventSink {
     return events_;
   }
 
+  // snapshot() into a caller-owned buffer: same single lock acquisition,
+  // but the reply phase's per-frame copy reuses `out`'s capacity.
+  void snapshot_into(std::vector<net::GameEvent>& out) const {
+    vt::LockGuard g(*mu_);
+    out.assign(events_.begin(), events_.end());
+  }
+
   // Master-only, at frame end.
   void clear() {
     vt::LockGuard g(*mu_);

@@ -3,7 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "src/core/server.hpp"
+#include "src/core/client_registry.hpp"
+#include "src/sim/world.hpp"
 
 namespace qserv::core {
 
@@ -17,9 +18,9 @@ int InvariantChecker::run() {
   ++runs_;
   current_run_violations_ = 0;
 
-  const auto& clients = server_.clients_;
-  const auto& by_port = server_.client_slot_by_port_;
-  const sim::World& world = server_.world_;
+  const auto& clients = registry_.slots();
+  const auto& by_port = registry_.port_map();
+  const sim::World& world = world_;
   const spatial::AreanodeTree& tree = world.tree();
 
   // --- 1. client registry: slots <-> port map ---

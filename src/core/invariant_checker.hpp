@@ -23,13 +23,18 @@
 #include <string>
 #include <vector>
 
+namespace qserv::sim {
+class World;
+}
+
 namespace qserv::core {
 
-class Server;
+class ClientRegistry;
 
 class InvariantChecker {
  public:
-  explicit InvariantChecker(const Server& server) : server_(server) {}
+  InvariantChecker(const ClientRegistry& registry, const sim::World& world)
+      : registry_(registry), world_(world) {}
 
   // Runs the full audit once; returns violations found by this run.
   // Caller must guarantee a quiescent server (between frames).
@@ -46,7 +51,8 @@ class InvariantChecker {
 
   static constexpr size_t kMaxMessages = 64;
 
-  const Server& server_;
+  const ClientRegistry& registry_;
+  const sim::World& world_;
   uint64_t runs_ = 0;
   uint64_t total_violations_ = 0;
   int current_run_violations_ = 0;

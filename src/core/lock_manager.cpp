@@ -44,44 +44,50 @@ LockManager::Region::~Region() {
 void LockManager::plan_request(LockPolicy policy, const sim::Entity& player,
                                const net::MoveCmd& cmd,
                                std::vector<std::vector<int>>& sets_out) const {
-  sets_out.clear();
-  if (policy == LockPolicy::kNone) return;
+  // Reuse the caller's inner vectors (the exec phase passes a per-thread
+  // scratch): claim the next slot, clear it, refill, and shrink the outer
+  // vector to the sets actually planned at the end.
+  size_t used = 0;
+  auto next_set = [&]() -> std::vector<int>& {
+    if (used == sets_out.size()) sets_out.emplace_back();
+    std::vector<int>& s = sets_out[used++];
+    s.clear();
+    return s;
+  };
+  if (policy != LockPolicy::kNone) {
+    // Short-range: the move's bounding box, "slightly larger than
+    // necessary" (§4.3).
+    tree_.leaves_for(sim::move_bounds(player, cmd), next_set());
 
-  // Short-range: the move's bounding box, "slightly larger than
-  // necessary" (§4.3).
-  {
-    std::vector<int> leaves;
-    tree_.leaves_for(sim::move_bounds(player, cmd), leaves);
-    sets_out.push_back(std::move(leaves));
+    // Long-range: only when the command initiates one.
+    const bool attacks = (cmd.buttons & net::kButtonAttack) != 0;
+    const bool throws = (cmd.buttons & net::kButtonThrow) != 0;
+    if (attacks || throws) {
+      std::vector<int>& leaves = next_set();
+      if (policy == LockPolicy::kConservative) {
+        // Highly conservative: the entire map.
+        for (int i = 0; i < tree_.node_count(); ++i)
+          if (tree_.is_leaf(i)) leaves.push_back(i);
+      } else if (attacks) {
+        // Type-2 object (fully simulated now): directional bounding box
+        // from the player to the world edge along the aim direction.
+        const Vec3 dir = sim::aim_dir(player, cmd.pitch_deg);
+        tree_.leaves_for(
+            directional_bounds(player.bounds(), dir, tree_.world_bounds(),
+                               sim::kDirectionalLockPad),
+            leaves);
+      } else {
+        // Type-1 object (completed during world physics): expanded
+        // bounding box covering the maximum request-time interaction
+        // range.
+        tree_.leaves_for(
+            player.bounds().expanded(sim::kGrenadeRequestRange +
+                                     sim::kDirectionalLockPad),
+            leaves);
+      }
+    }
   }
-
-  // Long-range: only when the command initiates one.
-  const bool attacks = (cmd.buttons & net::kButtonAttack) != 0;
-  const bool throws = (cmd.buttons & net::kButtonThrow) != 0;
-  if (!attacks && !throws) return;
-
-  std::vector<int> leaves;
-  if (policy == LockPolicy::kConservative) {
-    // Highly conservative: the entire map.
-    for (int i = 0; i < tree_.node_count(); ++i)
-      if (tree_.is_leaf(i)) leaves.push_back(i);
-  } else if (attacks) {
-    // Type-2 object (fully simulated now): directional bounding box from
-    // the player to the world edge along the aim direction.
-    const Vec3 dir = sim::aim_dir(player, cmd.pitch_deg);
-    tree_.leaves_for(
-        directional_bounds(player.bounds(), dir, tree_.world_bounds(),
-                           sim::kDirectionalLockPad),
-        leaves);
-  } else {
-    // Type-1 object (completed during world physics): expanded bounding
-    // box covering the maximum request-time interaction range.
-    tree_.leaves_for(
-        player.bounds().expanded(sim::kGrenadeRequestRange +
-                                 sim::kDirectionalLockPad),
-        leaves);
-  }
-  sets_out.push_back(std::move(leaves));
+  sets_out.resize(used);
 }
 
 void LockManager::acquire(const std::vector<std::vector<int>>& sets,
@@ -90,8 +96,11 @@ void LockManager::acquire(const std::vector<std::vector<int>>& sets,
   QSERV_CHECK(thread_id >= 0 && thread_id < 64);
   if (sets.empty()) return;
 
-  // Union of all sets in canonical order; overlaps are re-locks.
-  std::vector<int> requested;
+  // Union of all sets in canonical order; overlaps are re-locks. Both
+  // region buffers are reused across acquisitions when the caller reuses
+  // the Region object (the exec phase's per-thread arena does).
+  std::vector<int>& requested = out.scratch_;
+  requested.clear();
   for (const auto& s : sets) requested.insert(requested.end(), s.begin(), s.end());
   const uint64_t requests = requested.size();
   std::vector<int>& leaves = out.leaves_;

@@ -53,7 +53,8 @@ class LockManager {
    private:
     friend class LockManager;
     LockManager* mgr_ = nullptr;
-    std::vector<int> leaves_;  // sorted node indices
+    std::vector<int> leaves_;   // sorted node indices
+    std::vector<int> scratch_;  // acquire()'s pre-dedup request list
   };
 
   // Computes the leaf sets a request must lock under `policy`: the

@@ -1,6 +1,8 @@
 #include "src/core/parallel_server.hpp"
 
+#include "src/core/frame_pipeline.hpp"
 #include "src/obs/trace.hpp"
+#include "src/resilience/engine_hook.hpp"
 
 namespace qserv::core {
 
@@ -11,8 +13,8 @@ ParallelServer::ParallelServer(vt::Platform& platform,
       sync_mu_(platform.make_mutex("frame-sync")),
       sync_cv_(platform.make_condvar()) {
   if (cfg_.resilience.watchdog_timeout.ns > 0) {
-    watchdog_ = std::make_unique<resilience::WorkerWatchdog>(cfg_.resilience,
-                                                             cfg_.threads);
+    watchdog_ = resilience_->arm_watchdog(cfg_.threads);
+    pipeline_->context().watchdog = watchdog_;
   }
 }
 
@@ -99,7 +101,7 @@ void ParallelServer::worker_loop(int tid) {
       is_master = true;
       sync_.phase = FramePhase::kWorld;
       sync_.master = tid;
-      sync_.frame_id = ++frames_;
+      sync_.frame_id = pipeline_->advance_frame();
       sync_.participants = 1;
       sync_.participants_mask = 1ull << tid;
       sync_.done_processing = 0;
@@ -120,7 +122,7 @@ void ParallelServer::worker_loop(int tid) {
 
       lock_manager_->frame_reset();
       // P: world physics, performed by the master alone.
-      do_world_phase(st);
+      pipeline_->world_phase().run(st);
       ++st.frames_as_master;
 
       // Extension: periodic dynamic re-partitioning of players to
@@ -129,7 +131,7 @@ void ParallelServer::worker_loop(int tid) {
       if (cfg_.assign_policy == AssignPolicy::kRegion &&
           cfg_.reassign_interval.ns > 0 &&
           platform_.now() >= next_reassign_) {
-        reassign_clients();
+        pipeline_->maintenance().reassign_clients();
         next_reassign_ = platform_.now() + cfg_.reassign_interval;
       }
 
@@ -164,14 +166,14 @@ void ParallelServer::worker_loop(int tid) {
     }
 
     // Rx/E: drain this thread's request queue.
-    const int moves = drain_requests(tid, st, /*use_locks=*/true);
+    const int moves = pipeline_->receive().drain(tid, st, /*use_locks=*/true);
     st.requests_per_frame.add(moves);
     ++st.frames_participated;
 
     // Global synchronization before the reply phase.
     sync_mu_->lock();
     if (frame_trace_enabled_ &&
-        !governor_->at_least(resilience::kShedDebugWork))
+        !governor().at_least(resilience::kShedDebugWork))
       record_frame_trace(st, sync_.frame_id, moves);
     sync_.frame_moves += moves;
     ++sync_.done_processing;
@@ -191,7 +193,7 @@ void ParallelServer::worker_loop(int tid) {
 
     // T/Tx: replies for this thread's complete client set; the master
     // also covers clients of threads not participating in this frame.
-    do_replies(tid, st, /*include_unowned=*/is_master, mask);
+    pipeline_->reply().run(tid, st, /*include_unowned=*/is_master, mask);
 
     // Frame end.
     sync_mu_->lock();
@@ -209,59 +211,18 @@ void ParallelServer::worker_loop(int tid) {
       const vt::TimePoint frame_start = sync_.frame_start;
       sync_mu_->unlock();
 
-      // Master duties: clear the global state buffer, harvest per-frame
-      // lock statistics, reap timed-out clients, audit invariants (when
-      // enabled), then signal the frame end to wake any threads that
-      // missed this frame. All participants are past their reply phase
-      // and non-participants are blocked on kIdle, so this window is
-      // single-threaded — safe for entity removal and the audit walk.
-      global_events_.clear();
-      lock_manager_->frame_harvest(frame_lock_stats_);
-      // Deferred lifecycle first: pending connects spawn their entities
-      // (and get their acks) and pending disconnects remove theirs, each
-      // with a serialization index, before any other master duty can
-      // observe a half-created client.
-      complete_pending_lifecycle(st);
-      reap_timed_out_clients(st);
-      // Watchdog adjudication: stale heartbeats become stalls, and a
-      // stalled worker's clients migrate to live threads right here —
-      // master election next frame simply proceeds without it.
-      if (watchdog_ != nullptr) {
-        const auto verdict = watchdog_->master_check(platform_.now(), tid);
-        for (const int stalled : verdict.newly_stalled) {
-          const int migrated = reassign_clients_from(stalled, st);
-          if (st.tracer != nullptr && st.tracer->enabled())
-            st.tracer->record(st.trace_track, "worker-stalled",
-                              platform_.now().ns, 0,
-                              stalled * 1000 + migrated);
-          if (cfg_.recovery.dump_on_stall)
-            dump_blackbox("stall", "worker " + std::to_string(stalled) +
-                                       " adjudicated stalled; migrated " +
-                                       std::to_string(migrated) + " clients");
-        }
-        for (const int back : verdict.recovered) {
-          if (st.tracer != nullptr && st.tracer->enabled())
-            st.tracer->record(st.trace_track, "worker-recovered",
-                              platform_.now().ns, 0, back);
-        }
-      }
-      // Governor: feed the finished frame, possibly stepping the ladder
-      // (and serving its eviction rung). The audit is part of what rung 3
-      // sheds.
-      const int level = governor_frame_end(frame_start, st);
-      // Seal after every mutation of the frame (including governor
-      // evictions) so the digest and journal cover the final state; the
-      // audit runs after the seal so a violation dump carries this frame.
-      recovery_frame_end();
-      if (level < resilience::kShedDebugWork) run_invariant_check();
-      record_frame_metrics(frame_start, frame_moves);
-      // Whole-frame span on the master's track (election to frame end);
-      // phase spans nest inside it by time containment. frames_ is stable
-      // here: no new master can be elected while the phase is not kIdle.
-      if (st.tracer != nullptr && st.tracer->enabled())
-        st.tracer->record(st.trace_track, "frame", frame_start.ns,
-                          platform_.now().ns - frame_start.ns,
-                          static_cast<int64_t>(frames_));
+      // Master duties (all participants are past their reply phase and
+      // non-participants are blocked on kIdle, so this window is
+      // single-threaded — safe for entity removal and the audit walk):
+      // the maintenance phase clears the global state buffer, harvests
+      // per-frame lock statistics, completes deferred lifecycle, reaps
+      // timed-out clients, runs the subsystem master duties (watchdog
+      // adjudication, governor step), seals the frame, audits, and
+      // records the frame metrics/trace. Then signal the frame end to
+      // wake any threads that missed this frame.
+      pipeline_->maintenance().run_master_window(tid, frame_start,
+                                                 frame_moves, st,
+                                                 /*harvest_locks=*/true);
 
       sync_mu_->lock();
       sync_.phase = FramePhase::kIdle;

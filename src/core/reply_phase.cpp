@@ -1,0 +1,96 @@
+// T/Tx: snapshot assembly and delivery. The per-thread arena supplies the
+// frame-event snapshot, the per-client event list, and the net::Snapshot
+// being built, so a steady-state reply phase allocates only the encoded
+// wire bytes and the per-client history entry.
+#include "src/core/frame_pipeline.hpp"
+
+#include "src/obs/trace.hpp"
+#include "src/resilience/governor.hpp"
+#include "src/sim/snapshot.hpp"
+
+namespace qserv::core {
+
+void ReplyPhase::run(int tid, ThreadStats& st, bool include_unowned,
+                     uint64_t participants_mask) {
+  PipelineContext& ctx = pipe_.ctx_;
+  FrameArena& arena = pipe_.arena(tid);
+  obs::TraceScope span(st.tracer, st.trace_track, "reply");
+  const vt::TimePoint t0 = ctx.platform.now();
+  std::vector<net::GameEvent>& frame_events = arena.frame_events;
+  ctx.global_events.snapshot_into(frame_events);
+  const bool thin_far = ctx.governor->at_least(resilience::kThinFarEntities);
+
+  for (auto& c : ctx.registry.slots()) {
+    if (!c.in_use || c.pending_spawn || c.pending_disconnect) continue;
+    const bool owned = c.owner_thread == tid;
+    const bool orphaned =
+        include_unowned && !owned &&
+        ((participants_mask >> c.owner_thread) & 1ull) == 0;
+    if (!owned && !orphaned) continue;
+
+    // notify_port without pending_reply forces a snapshot anyway: a
+    // client migrated off a stalled worker is still sending moves to the
+    // dead port, so waiting for a request it can deliver would deadlock —
+    // it must be *told* the new port to have one.
+    if (owned && (c.pending_reply || c.notify_port)) {
+      const sim::Entity* player = ctx.world.get(c.entity_id);
+      if (player == nullptr) continue;
+      net::Snapshot& snap = arena.snap;
+      // Buffered events from frames this client missed, then this
+      // frame's events.
+      std::vector<net::GameEvent>& events = arena.events;
+      events.clear();
+      c.buffer->drain_into(events);
+      events.insert(events.end(), frame_events.begin(), frame_events.end());
+      sim::build_snapshot(ctx.world, *player,
+                          static_cast<uint32_t>(pipe_.frames_), c.last_seq,
+                          c.last_move_time_ns, events, snap, thin_far);
+      if (c.notify_port) {
+        snap.assigned_port =
+            static_cast<uint16_t>(ctx.cfg.base_port + c.owner_thread);
+        c.notify_port = false;
+      }
+      ctx.platform.compute(ctx.cfg.costs.reply_base +
+                           ctx.cfg.costs.send_syscall);
+
+      if (ctx.cfg.delta_snapshots) {
+        // Delta against the newest snapshot the client reports having
+        // reconstructed (carried in its move commands); full snapshot if
+        // that frame is no longer in our history.
+        const ClientSlot::SentSnapshot* baseline = nullptr;
+        if (c.client_baseline_frame != 0) {
+          for (auto it = c.history.rbegin(); it != c.history.rend(); ++it) {
+            if (it->server_frame == c.client_baseline_frame) {
+              baseline = &*it;
+              break;
+            }
+          }
+        }
+        std::vector<uint8_t> bytes =
+            baseline != nullptr
+                ? net::encode_delta(snap, baseline->entities,
+                                    baseline->server_frame)
+                : net::encode(snap);
+        c.history.push_back({snap.server_frame, snap.entities});
+        while (static_cast<int>(c.history.size()) > ctx.cfg.snapshot_history)
+          c.history.pop_front();
+        c.chan->send(std::move(bytes));
+      } else {
+        c.chan->send(net::encode(snap));
+      }
+      c.pending_reply = false;
+      ++st.replies_sent;
+    } else {
+      // No request this frame: update the client's message buffer from
+      // the global state buffer anyway (§3.3 — every client, every
+      // frame; per-buffer lock inside).
+      c.buffer->append(frame_events);
+      ctx.platform.compute(ctx.cfg.costs.per_buffer_update +
+                           ctx.cfg.costs.per_event *
+                               static_cast<int64_t>(frame_events.size()));
+    }
+  }
+  st.breakdown.reply += ctx.platform.now() - t0;
+}
+
+}  // namespace qserv::core

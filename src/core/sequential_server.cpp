@@ -1,6 +1,8 @@
 #include "src/core/sequential_server.hpp"
 
+#include "src/core/frame_pipeline.hpp"
 #include "src/obs/trace.hpp"
+#include "src/resilience/governor.hpp"
 
 namespace qserv::core {
 
@@ -35,45 +37,38 @@ void SequentialServer::main_loop() {
       // when no frames are running, or a lone stalled client would hold
       // its slot forever.
       if (reap_due()) {
-        reap_timed_out_clients(st);
-        run_invariant_check();
+        pipeline_->maintenance().reap_timed_out_clients(st);
+        pipeline_->maintenance().run_invariant_check();
       }
       continue;
     }
     platform_.compute(cfg_.costs.select_syscall);
 
-    ++frames_;
+    const uint64_t fid = pipeline_->advance_frame();
     ++st.frames_participated;
     const vt::TimePoint frame_start = platform_.now();
 
     // P: world physics.
-    do_world_phase(st);
+    pipeline_->world_phase().run(st);
 
     // Rx/E: receive and process requests until the queue is empty.
-    const int moves = drain_requests(0, st, /*use_locks=*/false);
+    const int moves = pipeline_->receive().drain(0, st, /*use_locks=*/false);
     st.requests_per_frame.add(moves);
     if (frame_trace_enabled_ &&
-        !governor_->at_least(resilience::kShedDebugWork))
-      record_frame_trace(st, frames_, moves);
+        !governor().at_least(resilience::kShedDebugWork))
+      record_frame_trace(st, fid, moves);
 
     // T/Tx: form and send replies to everyone who sent a request, and
     // buffer global updates for everyone else.
-    do_replies(0, st, /*include_unowned=*/true, /*participants_mask=*/1);
+    pipeline_->reply().run(0, st, /*include_unowned=*/true,
+                           /*participants_mask=*/1);
 
-    // Frame end: clear the global state buffer, reap timed-out clients,
-    // feed the degradation governor, and (when enabled and not shed)
-    // audit cross-structure consistency.
-    global_events_.clear();
-    complete_pending_lifecycle(st);
-    reap_timed_out_clients(st);
-    const int level = governor_frame_end(frame_start, st);
-    recovery_frame_end();
-    if (level < resilience::kShedDebugWork) run_invariant_check();
-    record_frame_metrics(frame_start, moves);
-    if (st.tracer != nullptr && st.tracer->enabled())
-      st.tracer->record(st.trace_track, "frame", frame_start.ns,
-                        platform_.now().ns - frame_start.ns,
-                        static_cast<int64_t>(frames_));
+    // Frame end: the maintenance phase clears the global state buffer,
+    // completes deferred lifecycle, reaps timed-out clients, runs the
+    // subsystem master duties (governor step), seals the frame, audits,
+    // and records the frame metrics/trace.
+    pipeline_->maintenance().run_master_window(0, frame_start, moves, st,
+                                               /*harvest_locks=*/false);
   }
 }
 

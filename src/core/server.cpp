@@ -3,15 +3,14 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/core/frame_pipeline.hpp"
 #include "src/core/invariant_checker.hpp"
-#include "src/obs/metrics.hpp"
+#include "src/core/lock_manager.hpp"
+#include "src/obs/engine_hook.hpp"
 #include "src/obs/trace.hpp"
-#include "src/recovery/blackbox.hpp"
 #include "src/recovery/checkpoint.hpp"
-#include "src/recovery/digest.hpp"
-#include "src/recovery/journal.hpp"
-#include "src/sim/move.hpp"
-#include "src/sim/snapshot.hpp"
+#include "src/recovery/engine_hook.hpp"
+#include "src/resilience/engine_hook.hpp"
 #include "src/util/check.hpp"
 
 namespace qserv::core {
@@ -41,21 +40,21 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
       world_(map, sim::World::Config{cfg.areanode_depth, cfg.seed}, &platform,
              cfg.costs),
       global_events_(platform),
-      clients_mu_(platform.make_mutex("clients")) {
+      registry_(platform, cfg_) {
   QSERV_CHECK(cfg.threads >= 1 && cfg.threads <= 64);
   lock_manager_ =
       std::make_unique<LockManager>(platform, world_.tree(), cfg.costs);
-  // Always built: even with the ladder off it maintains the rolling p95
-  // that connect-time admission control reads.
-  governor_ = std::make_unique<resilience::FrameGovernor>(cfg.resilience);
+  // Resilience always attaches: even with the ladder off its governor
+  // maintains the rolling p95 that connect-time admission control reads.
+  resilience_ = std::make_unique<resilience::ServerResilience>(*this);
+  hooks_.add(static_cast<FrameHook*>(resilience_.get()));
   // Entity storage must never reallocate or change size once clients
   // join: concurrent readers hold references and call get() during
   // request processing, so connect-time spawns may only pop free slots.
   world_.reserve_entities(world_.active_entities() +
                           static_cast<size_t>(cfg.max_clients) + 256);
-  clients_.resize(static_cast<size_t>(cfg.max_clients));
   if (cfg.check_invariants)
-    invariants_ = std::make_unique<InvariantChecker>(*this);
+    invariants_ = std::make_unique<InvariantChecker>(registry_, world_);
   const int n = cfg.threads;
   stats_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -63,27 +62,24 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
     selectors_.push_back(std::make_unique<net::Selector>(platform));
     selectors_.back()->add(*sockets_.back());
   }
+  // Recovery attaches only when enabled: its callbacks draw serialization
+  // indexes, so its *registration* is part of replay determinism.
   if (cfg.recovery.enabled) {
-    map_text_ = map.serialize();
-    recorder_ = std::make_unique<recovery::FlightRecorder>(
-        cfg.recovery, static_cast<uint32_t>(cfg.threads), cfg.seed);
-    checkpoints_ = std::make_unique<recovery::CheckpointManager>();
-    blackbox_ = std::make_unique<recovery::BlackBox>(cfg.recovery.dump_dir);
-    if (cfg.recovery.install_signal_handler) {
-      recovery::install_signal_dumper(
-          (cfg.recovery.dump_dir.empty() ? std::string(".")
-                                         : cfg.recovery.dump_dir) +
-          "/qserv-crash.qckpt");
-    }
+    recovery_ = std::make_unique<recovery::ServerRecovery>(*this, map);
+    hooks_.add(static_cast<FrameHook*>(recovery_.get()));
+    hooks_.add(static_cast<LifecycleObserver*>(recovery_.get()));
   }
+  obs_hook_ = std::make_unique<obs::ServerObs>(*this);
+  hooks_.add(static_cast<FrameHook*>(obs_hook_.get()));
+  // The engine proper, built over everything above. The watchdog slot
+  // stays null until ParallelServer arms one.
+  pipeline_ = std::make_unique<FramePipeline>(PipelineContext{
+      platform_, cfg_, world_, global_events_, *lock_manager_, registry_,
+      sockets_, stats_, frame_lock_stats_, hooks_, &resilience_->governor(),
+      nullptr, invariants_.get(), this});
 }
 
-Server::~Server() {
-  // The signal handler holds a raw pointer into the checkpoint buffers;
-  // disarm it before they die.
-  if (cfg_.recovery.enabled && cfg_.recovery.install_signal_handler)
-    recovery::publish_signal_dump(nullptr, 0);
-}
+Server::~Server() = default;
 
 void Server::request_stop() {
   stop_.store(true, std::memory_order_relaxed);
@@ -143,6 +139,12 @@ uint64_t Server::total_moves_coalesced() const {
 void Server::reset_stats() {
   for (auto& s : stats_) s.reset();
   frame_lock_stats_.reset();
+  // The per-run session counters are measurement state too: a warmup
+  // boundary must zero reassignments/evictions/rejections or the
+  // measurement window reports warmup work (resumed_clients survives —
+  // restore happens before the window and is inspected after it).
+  registry_.reset_run_counters();
+  hooks_.reset_stats();
 }
 
 uint64_t Server::frame_trace_dropped() const {
@@ -153,7 +155,7 @@ uint64_t Server::frame_trace_dropped() const {
 
 Server::NetchanTotals Server::netchan_totals() const {
   NetchanTotals t;
-  for (const auto& c : clients_) {
+  for (const auto& c : registry_.slots()) {
     if (!c.in_use || c.chan == nullptr) continue;
     t.packets_sent += c.chan->packets_sent();
     t.packets_accepted += c.chan->packets_accepted();
@@ -179,19 +181,7 @@ void Server::attach_observability(obs::Tracer* tracer,
             : -1;
   }
   lock_manager_->set_metrics(metrics);
-  if (metrics != nullptr) {
-    frame_duration_ms_ = &metrics->histogram("server.frame_duration_ms", 1e-3);
-    moves_per_frame_ = &metrics->histogram("server.moves_per_frame", 0.5);
-  } else {
-    frame_duration_ms_ = nullptr;
-    moves_per_frame_ = nullptr;
-  }
-}
-
-void Server::record_frame_metrics(vt::TimePoint start, int moves) {
-  if (frame_duration_ms_ == nullptr) return;
-  frame_duration_ms_->observe((platform_.now() - start).millis());
-  moves_per_frame_->observe(static_cast<double>(moves));
+  obs_hook_->attach(metrics);
 }
 
 void Server::record_frame_trace(ThreadStats& st, uint64_t frame_id,
@@ -204,519 +194,8 @@ void Server::record_frame_trace(ThreadStats& st, uint64_t frame_id,
   }
 }
 
-int Server::connected_clients() const {
-  int n = 0;
-  for (const auto& c : clients_) n += c.in_use ? 1 : 0;
-  return n;
-}
-
-Server::Client* Server::client_by_port(uint16_t port) {
-  vt::LockGuard g(*clients_mu_);
-  const auto it = client_slot_by_port_.find(port);
-  return it == client_slot_by_port_.end()
-             ? nullptr
-             : &clients_[static_cast<size_t>(it->second)];
-}
-
-void Server::do_world_phase(ThreadStats& st) {
-  obs::TraceScope span(st.tracer, st.trace_track, "world",
-                       static_cast<int64_t>(frames_));
-  const vt::TimePoint t0 = platform_.now();
-  vt::Duration dt = t0 - last_world_;
-  // Clamp: the first frame (and long idle gaps) must not produce a huge
-  // physics step.
-  dt.ns = std::clamp<int64_t>(dt.ns, 0, vt::millis(100).ns);
-  last_world_ = t0;
-  last_world_t0_ = t0;
-  last_world_dt_ = dt;
-  if (recorder_ != nullptr) {
-    // The tick itself is a journaled, serialization-indexed mutation, so
-    // replay interleaves it correctly with lifecycle ops applied between
-    // frames (the sequential server's idle-path reap).
-    recovery::JournalRecord rec;
-    rec.kind = recovery::RecordKind::kWorldPhase;
-    rec.thread = static_cast<uint8_t>(&st - stats_.data());
-    rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
-    rec.t_ns = t0.ns;
-    rec.dt_ns = dt.ns;
-    recorder_->record(rec.thread, rec);
-  }
-  world_.world_phase(t0, dt, global_events_);
-  st.breakdown.world += platform_.now() - t0;
-}
-
-int Server::drain_requests(int tid, ThreadStats& st, bool use_locks) {
-  net::Datagram d;
-  int moves = 0;
-  while (sockets_[static_cast<size_t>(tid)]->try_recv(d)) {
-    // Flood/oversize clamp: no legitimate client message approaches this
-    // size, so drop before spending any parse work on it.
-    if (cfg_.resilience.max_packet_bytes > 0 &&
-        d.payload.size() > cfg_.resilience.max_packet_bytes) {
-      ++st.packets_oversized;
-      journal_drop(tid, d.src_port, recovery::DropReason::kOversized);
-      continue;
-    }
-    // --- receive + parse ---
-    const vt::TimePoint t0 = platform_.now();
-    platform_.compute(cfg_.costs.recv_parse);
-    Client* client = client_by_port(d.src_port);
-    // Traffic for a slot owned by another thread. Only the owner thread
-    // may touch the netchan — accept() here would race with the owner
-    // draining the live port — so such datagrams are framed manually
-    // (header strip, no channel state) and, with one exception, dropped.
-    const bool cross_thread = client != nullptr && client->owner_thread != tid;
-
-    net::NetChannel::Incoming info;
-    net::ByteReader body(nullptr, 0);
-    bool framed = false;
-    if (client != nullptr && client->chan != nullptr && !cross_thread) {
-      framed = client->chan->accept(d, info, body);
-    } else {
-      // Unknown peer (or non-owner thread): strip the channel header
-      // manually; only a connect is acceptable.
-      if (d.payload.size() > 8) {
-        body = net::ByteReader(d.payload.data() + 8, d.payload.size() - 8);
-        framed = true;
-      }
-    }
-    net::ClientMsgType type{};
-    const bool parsed = framed && net::decode_client_type(body, type);
-    const vt::TimePoint t1 = platform_.now();
-    st.breakdown.receive += t1 - t0;
-    if (st.tracer != nullptr && st.tracer->enabled())
-      st.tracer->record(st.trace_track, "receive", t0.ns, (t1 - t0).ns);
-
-    if (cross_thread && !(parsed && type == net::ClientMsgType::kConnect &&
-                          client->awaiting_resume)) {
-      // Stale-port traffic: the client was migrated (region reassignment
-      // or stall recovery) but has not learned its new port yet. Refresh
-      // liveness (the client must not be reaped mid-migration) and drop;
-      // the forced snapshot in do_replies carries the new port. The one
-      // exception above: after a warm restart, a restored slot owned by
-      // another thread reconnects through the base port — its slot is
-      // dormant (no owner-thread traffic until resumed), so the connect
-      // may safely proceed to handle_connect, which re-checks under the
-      // clients lock.
-      std::atomic_ref<int64_t>(client->last_heard_ns)
-          .store(platform_.now().ns, std::memory_order_relaxed);
-      journal_drop(tid, d.src_port, recovery::DropReason::kStalePort);
-      continue;
-    }
-    if (!parsed) {
-      journal_drop(tid, d.src_port, recovery::DropReason::kMalformed);
-      continue;
-    }
-    // Any well-formed traffic proves liveness, even stale duplicates.
-    if (client != nullptr)
-      std::atomic_ref<int64_t>(client->last_heard_ns)
-          .store(platform_.now().ns, std::memory_order_relaxed);
-    if (client != nullptr && info.duplicate_or_old &&
-        type == net::ClientMsgType::kMove) {
-      journal_drop(tid, d.src_port, recovery::DropReason::kDuplicate);
-      continue;  // stale or duplicated move
-    }
-
-    switch (type) {
-      case net::ClientMsgType::kConnect: {
-        net::ConnectMsg msg;
-        if (decode(body, msg)) handle_connect(tid, d, msg, st);
-        break;
-      }
-      case net::ClientMsgType::kMove: {
-        if (client == nullptr) {
-          // A remembered evicted port gets one explicit kEvicted answer
-          // (it may have been evicted by a previous incarnation of this
-          // server and never learned); anyone else is silence.
-          if (consume_remembered_eviction(d.src_port)) {
-            platform_.compute(cfg_.costs.send_syscall);
-            net::NetChannel reject(*sockets_[static_cast<size_t>(tid)],
-                                   d.src_port);
-            reject.send(
-                net::encode(net::RejectMsg{net::RejectReason::kEvicted}));
-            journal_drop(tid, d.src_port, recovery::DropReason::kEvictedPort);
-          } else {
-            journal_drop(tid, d.src_port, recovery::DropReason::kUnknown);
-          }
-          break;
-        }
-        if (client->pending_spawn || client->pending_disconnect) {
-          // No entity to move yet (or no longer): the spawn/removal is
-          // waiting for the master window.
-          journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
-          break;
-        }
-        // Backpressure: over-budget movers lose the excess moves here,
-        // before any execution cost. Safe under the netchan resend model
-        // — full state is retransmitted every snapshot.
-        if (!client->bucket.try_take(platform_.now().ns)) {
-          ++st.moves_rate_limited;
-          journal_drop(tid, d.src_port, recovery::DropReason::kRateLimited);
-          break;
-        }
-        net::MoveCmd cmd;
-        if (decode(body, cmd)) {
-          if (governor_->at_least(resilience::kCoalesceMoves) &&
-              client->pending_reply) {
-            // Governor rung 2: a client that already executed a move this
-            // frame gets the rest of its backlog folded into the ack —
-            // sequence and echo advance, execution cost is not paid.
-            client->last_seq = std::max(client->last_seq, cmd.sequence);
-            client->last_move_time_ns = cmd.client_time_ns;
-            client->client_baseline_frame =
-                std::max(client->client_baseline_frame, cmd.baseline_frame);
-            ++st.moves_coalesced;
-            journal_drop(tid, d.src_port, recovery::DropReason::kCoalesced);
-          } else {
-            handle_move(tid, *client, cmd, st, use_locks);
-            ++moves;
-          }
-        }
-        break;
-      }
-      case net::ClientMsgType::kDisconnect:
-        if (client != nullptr) handle_disconnect(*client, st);
-        break;
-    }
-  }
-  return moves;
-}
-
-void Server::handle_connect(int tid, const net::Datagram& d,
-                            const net::ConnectMsg& msg, ThreadStats& st) {
-  int slot = -1;
-  bool busy = false;
-  bool ack_now = false;  // slot already owns a live entity: ack directly
-  {
-    vt::LockGuard g(*clients_mu_);
-    const auto it = client_slot_by_port_.find(d.src_port);
-    if (it != client_slot_by_port_.end()) {
-      slot = it->second;
-      Client& c = clients_[static_cast<size_t>(slot)];
-      if (c.pending_spawn) {
-        // Connect retry racing its own deferred spawn; the ack follows
-        // the master window.
-        journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
-        return;
-      }
-      if (c.awaiting_resume) {
-        // Warm restart, same port: the peer reset its channel for this
-        // connect, so resume with a fresh one (the restored sequencing
-        // only serves peers that never noticed the restart).
-        resume_client_locked(c);
-        ++resumed_clients_;
-        journal_drop(tid, d.src_port, recovery::DropReason::kResumed);
-      } else {
-        journal_drop(tid, d.src_port, recovery::DropReason::kReconnectDup);
-      }
-      ack_now = true;
-    } else if (restored_) {
-      // Warm restart, fresh port: a checkpointed client that noticed the
-      // outage reconnects from a new socket; re-adopt its slot by name.
-      for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
-        Client& c = clients_[static_cast<size_t>(i)];
-        if (c.in_use && c.awaiting_resume && c.name == msg.name) {
-          client_slot_by_port_.erase(c.remote_port);
-          c.remote_port = d.src_port;
-          client_slot_by_port_[d.src_port] = i;
-          resume_client_locked(c);
-          ++resumed_clients_;
-          journal_drop(tid, d.src_port, recovery::DropReason::kResumed);
-          slot = i;
-          ack_now = true;
-          break;
-        }
-      }
-    }
-    if (slot < 0 && !busy) {
-      if (cfg_.resilience.admission_control &&
-          governor_->admission_overloaded()) {
-        // Admission control: the frame loop is already past its budget,
-        // so serving the admitted population well beats admitting one
-        // more player it cannot simulate. kServerBusy tells the client to
-        // back off and retry, unlike the terminal kServerFull.
-        busy = true;
-        ++rejected_busy_;
-      } else {
-        for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
-          if (!clients_[static_cast<size_t>(i)].in_use) {
-            slot = i;
-            break;
-          }
-        }
-        if (slot < 0) ++rejected_connects_;  // rejected explicitly below
-      }
-    }
-    if (slot >= 0 && !clients_[static_cast<size_t>(slot)].in_use) {
-      // Fresh slot: record identity and defer the entity spawn (and the
-      // ack) to the master's between-frames window, where creation is
-      // single-threaded and takes a serialization index.
-      client_slot_by_port_[d.src_port] = slot;
-      Client& c = clients_[static_cast<size_t>(slot)];
-      c.in_use = true;
-      c.pending_spawn = true;
-      c.pending_disconnect = false;
-      c.awaiting_resume = false;
-      c.connect_tid = tid;
-      c.owner_thread = tid;  // provisional until the spawn picks the owner
-      c.entity_id = 0;
-      c.remote_port = d.src_port;
-      c.name = msg.name;
-      c.pending_reply = false;
-      c.notify_port = false;
-      c.last_seq = 0;
-      c.last_move_time_ns = 0;
-      std::atomic_ref<int64_t>(c.last_heard_ns)
-          .store(platform_.now().ns, std::memory_order_relaxed);
-      // A reused slot must not inherit the previous occupant's delta
-      // baselines — the new client has reconstructed nothing.
-      c.history.clear();
-      c.client_baseline_frame = 0;
-      c.bucket.configure(cfg_.resilience.move_rate_limit,
-                         cfg_.resilience.move_burst);
-      c.moves_since_scan = 0;
-      c.chan.reset();
-      c.buffer.reset();
-      ++st.connects;
-      journal_drop(tid, d.src_port, recovery::DropReason::kConnectPending);
-    }
-  }
-
-  if (busy || slot < 0) {
-    // Explicit reject: kServerFull stops the client's connect-retry loop
-    // outright (the seed silently dropped the datagram, Quake-style, so
-    // a refused client hammered the port forever); kServerBusy invites a
-    // backed-off retry once load recedes.
-    platform_.compute(cfg_.costs.send_syscall);
-    net::NetChannel reject(*sockets_[static_cast<size_t>(tid)], d.src_port);
-    reject.send(net::encode(net::RejectMsg{
-        busy ? net::RejectReason::kServerBusy
-             : net::RejectReason::kServerFull}));
-    journal_drop(tid, d.src_port,
-                 busy ? recovery::DropReason::kRejectedBusy
-                      : recovery::DropReason::kRejectedFull);
-    return;
-  }
-  if (!ack_now) return;  // deferred: the master window sends the ack
-
-  Client& c = clients_[static_cast<size_t>(slot)];
-  const sim::Entity* player = world_.get(c.entity_id);
-  net::ConnectAck ack;
-  ack.player_id = c.entity_id;
-  ack.server_frame = static_cast<uint32_t>(frames_);
-  ack.assigned_port =
-      static_cast<uint16_t>(cfg_.base_port + c.owner_thread);
-  if (player != nullptr) ack.spawn_origin = player->origin;
-  platform_.compute(cfg_.costs.send_syscall);
-  c.chan->send(net::encode(ack));
-}
-
-void Server::resume_client_locked(Client& c) {
-  c.awaiting_resume = false;
-  c.pending_reply = false;
-  c.notify_port = true;  // re-teach the owner port in the next snapshot
-  c.last_seq = 0;        // the reconnected peer restarts its sequences
-  c.last_move_time_ns = 0;
-  c.history.clear();
-  c.client_baseline_frame = 0;
-  c.chan = std::make_unique<net::NetChannel>(
-      *sockets_[static_cast<size_t>(c.owner_thread)], c.remote_port);
-  c.buffer = std::make_unique<ReplyBuffer>(platform_);
-  std::atomic_ref<int64_t>(c.last_heard_ns)
-      .store(platform_.now().ns, std::memory_order_relaxed);
-  c.bucket.configure(cfg_.resilience.move_rate_limit,
-                     cfg_.resilience.move_burst);
-  c.moves_since_scan = 0;
-}
-
-void Server::handle_move(int tid, Client& client, const net::MoveCmd& cmd,
-                         ThreadStats& st, bool use_locks) {
-  sim::Entity* player = world_.get(client.entity_id);
-  if (player == nullptr) return;
-
-  const bool lock = use_locks && cfg_.lock_policy != LockPolicy::kNone;
-  LockManager::Region region;
-  if (lock) {
-    std::vector<std::vector<int>> sets;
-    lock_manager_->plan_request(cfg_.lock_policy, *player, cmd, sets);
-    lock_manager_->acquire(sets, tid, st, region);
-  }
-  // Serialization index, drawn *after* the region locks: two conflicting
-  // moves' indexes order exactly as their executions did, so replay
-  // applies them in the same order the live run did.
-  const uint64_t order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
-
-  // Execution time excludes any list-lock waiting incurred inside (that
-  // is attributed to the lock components by the ListLockContext).
-  LockManager::ListLockContext ctx(*lock_manager_, st);
-  const vt::Duration lock_before =
-      st.breakdown.lock_leaf + st.breakdown.lock_parent;
-  obs::TraceScope span(st.tracer, st.trace_track, "exec");
-  const vt::TimePoint t0 = platform_.now();
-  sim::execute_move(world_, *player, cmd, t0, lock ? &ctx : nullptr,
-                    &global_events_, order);
-  const vt::Duration elapsed = platform_.now() - t0;
-  const vt::Duration lock_delta =
-      st.breakdown.lock_leaf + st.breakdown.lock_parent - lock_before;
-  st.breakdown.exec += elapsed - lock_delta;
-
-  if (lock) lock_manager_->release(region);
-
-  if (recorder_ != nullptr) {
-    recovery::JournalRecord rec;
-    rec.kind = recovery::RecordKind::kMoveExec;
-    rec.thread = static_cast<uint8_t>(tid);
-    rec.port = client.remote_port;
-    rec.entity = player->id;
-    rec.order = order;
-    rec.t_ns = t0.ns;
-    rec.cmd = cmd;
-    recorder_->record(static_cast<uint32_t>(tid), rec);
-  }
-
-  client.pending_reply = true;
-  client.last_seq = std::max(client.last_seq, cmd.sequence);
-  client.last_move_time_ns = cmd.client_time_ns;
-  client.client_baseline_frame =
-      std::max(client.client_baseline_frame, cmd.baseline_frame);
-  ++client.moves_since_scan;
-  ++st.requests_processed;
-}
-
-void Server::handle_disconnect(Client& client, ThreadStats& st) {
-  (void)st;
-  vt::LockGuard g(*clients_mu_);
-  if (!client.in_use) return;
-  if (client.pending_spawn) {
-    // The connect never reached the master window: no entity, no channel
-    // — just free the slot.
-    client_slot_by_port_.erase(client.remote_port);
-    client.in_use = false;
-    client.pending_spawn = false;
-    return;
-  }
-  // Entity removal is deferred to the master's between-frames window —
-  // the same single-threaded point as every other lifecycle mutation —
-  // so destruction never races another worker's gather and replays in
-  // serialization order. The disconnect datagram itself woke a frame, so
-  // that window runs before this drain's frame ends.
-  client.pending_disconnect = true;
-}
-
-bool Server::reap_due() const {
-  if (cfg_.client_timeout.ns <= 0) return false;
-  const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
-  vt::LockGuard g(*clients_mu_);
-  for (const auto& c : clients_) {
-    if (c.in_use && std::atomic_ref<const int64_t>(c.last_heard_ns)
-                            .load(std::memory_order_relaxed) <= cutoff)
-      return true;
-  }
-  return false;
-}
-
-void Server::evict_client_locked(Client& c, net::RejectReason reason,
-                                 ThreadStats& st) {
-  // Reject-first, teardown-second: the reason must leave on the client's
-  // still-live channel before any state is dropped, so even an eviction
-  // the peer never asked for arrives as an explicit verdict rather than
-  // sudden silence (best effort; a crashed client never reads it, exactly
-  // like QuakeWorld's timeout drop message).
-  if (c.chan != nullptr) {
-    platform_.compute(cfg_.costs.send_syscall);
-    c.chan->send(net::encode(net::RejectMsg{reason}));
-  }
-  if (recorder_ != nullptr && !c.pending_spawn) {
-    recovery::JournalRecord rec;
-    rec.kind = recovery::RecordKind::kEvict;
-    rec.thread = static_cast<uint8_t>(c.owner_thread);
-    rec.port = c.remote_port;
-    rec.entity = c.entity_id;
-    rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
-    rec.t_ns = platform_.now().ns;
-    recorder_->record(static_cast<uint32_t>(c.owner_thread), rec);
-  }
-  LockManager::ListLockContext ctx(*lock_manager_, st);
-  if (!c.pending_spawn && world_.get(c.entity_id) != nullptr)
-    world_.remove_entity(c.entity_id, cfg_.threads > 1 ? &ctx : nullptr);
-  remember_evicted(c.remote_port);
-  client_slot_by_port_.erase(c.remote_port);
-  c.in_use = false;
-  c.chan.reset();
-  c.buffer.reset();
-  c.history.clear();
-  c.client_baseline_frame = 0;
-  c.pending_reply = false;
-  c.notify_port = false;
-  c.pending_spawn = false;
-  c.pending_disconnect = false;
-  c.awaiting_resume = false;
-}
-
-int Server::reap_timed_out_clients(ThreadStats& st) {
-  if (cfg_.client_timeout.ns <= 0) return 0;
-  const int64_t cutoff = platform_.now().ns - cfg_.client_timeout.ns;
-  int evicted = 0;
-  vt::LockGuard g(*clients_mu_);
-  for (auto& c : clients_) {
-    if (!c.in_use || c.pending_spawn ||
-        std::atomic_ref<int64_t>(c.last_heard_ns)
-                .load(std::memory_order_relaxed) > cutoff)
-      continue;
-    evict_client_locked(c, net::RejectReason::kEvicted, st);
-    ++evicted;
-    ++evictions_;
-  }
-  return evicted;
-}
-
-int Server::evict_most_expensive(ThreadStats& st) {
-  vt::LockGuard g(*clients_mu_);
-  Client* worst = nullptr;
-  for (auto& c : clients_) {
-    if (!c.in_use || c.pending_spawn || c.pending_disconnect) continue;
-    if (worst == nullptr || c.moves_since_scan > worst->moves_since_scan)
-      worst = &c;
-  }
-  int evicted = 0;
-  // moves_since_scan == 0 means nobody cost anything since the last scan;
-  // evicting an idle client would free no frame time.
-  if (worst != nullptr && worst->moves_since_scan > 0) {
-    evict_client_locked(*worst, net::RejectReason::kServerBusy, st);
-    ++governor_evictions_;
-    evicted = 1;
-  }
-  for (auto& c : clients_) c.moves_since_scan = 0;
-  return evicted;
-}
-
-int Server::reassign_clients_from(int stalled_tid, ThreadStats& st) {
-  (void)st;
-  std::vector<int> live;
-  for (int t = 0; t < cfg_.threads; ++t) {
-    if (t == stalled_tid) continue;
-    if (watchdog_ != nullptr && watchdog_->is_stalled(t)) continue;
-    live.push_back(t);
-  }
-  if (live.empty()) return 0;
-  int moved = 0;
-  vt::LockGuard g(*clients_mu_);
-  for (auto& c : clients_) {
-    if (!c.in_use || c.pending_spawn || c.owner_thread != stalled_tid)
-      continue;
-    const int owner = live[static_cast<size_t>(moved) % live.size()];
-    c.owner_thread = owner;
-    // Keep the netchan's sequencing state: the peer must see one
-    // continuous stream across the migration.
-    c.chan->rebind(*sockets_[static_cast<size_t>(owner)]);
-    // Force a snapshot carrying assigned_port even though the client has
-    // no request pending on the new owner (its moves are still going to
-    // the stalled thread's dead port) — see do_replies.
-    c.notify_port = true;
-    ++moved;
-    ++stall_reassignments_;
-  }
-  return moved;
+const resilience::FrameGovernor& Server::governor() const {
+  return resilience_->governor();
 }
 
 bool Server::watchdog_due(int self_tid) const {
@@ -724,192 +203,20 @@ bool Server::watchdog_due(int self_tid) const {
          watchdog_->check_due(platform_.now(), self_tid);
 }
 
-int Server::governor_frame_end(vt::TimePoint frame_start, ThreadStats& st) {
-  const int before = governor_->level();
-  const int level = governor_->on_frame(platform_.now() - frame_start);
-  if (level != before && st.tracer != nullptr && st.tracer->enabled())
-    st.tracer->record(st.trace_track, "degrade-step", platform_.now().ns, 0,
-                      level);
-  if (level >= resilience::kEvictExpensive &&
-      platform_.now() >= next_expensive_evict_) {
-    evict_most_expensive(st);
-    next_expensive_evict_ = platform_.now() + cfg_.resilience.evict_interval;
-  }
-  return level;
-}
-
-void Server::run_invariant_check() {
-  if (invariants_ == nullptr) return;
-  const int violations = invariants_->run();
-  if (violations > 0 && blackbox_ != nullptr &&
-      cfg_.recovery.dump_on_invariant_violation) {
-    std::string why = "invariant violations: " + std::to_string(violations);
-    if (!invariants_->messages().empty())
-      why += "\nlast: " + invariants_->messages().back();
-    dump_blackbox("invariant", why);
-  }
-}
-
 uint64_t Server::invariant_violations() const {
   return invariants_ == nullptr ? 0 : invariants_->total_violations();
 }
 
-// --- crash recovery ---------------------------------------------------------
-
-void Server::journal_drop(int tid, uint16_t port, recovery::DropReason why) {
-  if (recorder_ == nullptr) return;
-  recovery::JournalRecord rec;
-  rec.kind = recovery::RecordKind::kDropped;
-  rec.drop = why;
-  rec.thread = static_cast<uint8_t>(tid);
-  rec.port = port;
-  rec.t_ns = platform_.now().ns;
-  recorder_->record(static_cast<uint32_t>(tid), rec);
+const recovery::FlightRecorder* Server::recorder() const {
+  return recovery_ == nullptr ? nullptr : recovery_->recorder();
 }
 
-void Server::remember_evicted(uint16_t port) {
-  if (recorder_ == nullptr || cfg_.recovery.remembered_evictions == 0) return;
-  if (!remembered_evicted_set_.insert(port).second) return;
-  remembered_evicted_.push_back(port);
-  while (remembered_evicted_.size() > cfg_.recovery.remembered_evictions) {
-    remembered_evicted_set_.erase(remembered_evicted_.front());
-    remembered_evicted_.pop_front();
-  }
+const recovery::CheckpointManager* Server::checkpoints() const {
+  return recovery_ == nullptr ? nullptr : recovery_->checkpoints();
 }
 
-bool Server::consume_remembered_eviction(uint16_t port) {
-  if (recorder_ == nullptr) return false;
-  vt::LockGuard g(*clients_mu_);
-  // Consume-once: each remembered port is answered a single kEvicted, so
-  // a straggler streaming moves cannot turn the memory into a reject storm.
-  return remembered_evicted_set_.erase(port) > 0;
-}
-
-void Server::complete_pending_lifecycle(ThreadStats& st) {
-  (void)st;
-  vt::LockGuard g(*clients_mu_);
-  const int64_t now_ns = platform_.now().ns;
-  for (auto& c : clients_) {
-    if (!c.in_use) continue;
-    if (c.pending_disconnect) {
-      if (recorder_ != nullptr) {
-        recovery::JournalRecord rec;
-        rec.kind = recovery::RecordKind::kDisconnect;
-        rec.thread = static_cast<uint8_t>(c.owner_thread);
-        rec.port = c.remote_port;
-        rec.entity = c.entity_id;
-        rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
-        rec.t_ns = now_ns;
-        recorder_->record(static_cast<uint32_t>(c.owner_thread), rec);
-      }
-      if (world_.get(c.entity_id) != nullptr)
-        world_.remove_entity(c.entity_id);
-      client_slot_by_port_.erase(c.remote_port);
-      c.in_use = false;
-      c.pending_disconnect = false;
-      c.chan.reset();
-      c.buffer.reset();
-      c.history.clear();
-      continue;
-    }
-    if (!c.pending_spawn) continue;
-    // Deferred connect: spawn here, where entity creation is
-    // single-threaded, then send the ack the drain phase withheld.
-    sim::Entity& player = world_.spawn_player(c.name);
-    c.entity_id = player.id;
-    const int owner = cfg_.assign_policy == AssignPolicy::kRegion
-                          ? owner_for_region(player.origin)
-                          : c.connect_tid;
-    c.owner_thread = owner;
-    c.chan = std::make_unique<net::NetChannel>(
-        *sockets_[static_cast<size_t>(owner)], c.remote_port);
-    c.buffer = std::make_unique<ReplyBuffer>(platform_);
-    c.pending_spawn = false;
-    if (recorder_ != nullptr) {
-      recovery::JournalRecord rec;
-      rec.kind = recovery::RecordKind::kConnectSpawn;
-      rec.thread = static_cast<uint8_t>(owner);
-      rec.port = c.remote_port;
-      rec.entity = player.id;
-      rec.order = order_ctr_.fetch_add(1, std::memory_order_relaxed);
-      rec.t_ns = now_ns;
-      rec.name = c.name;
-      recorder_->record(static_cast<uint32_t>(owner), rec);
-    }
-    net::ConnectAck ack;
-    ack.player_id = player.id;
-    ack.server_frame = static_cast<uint32_t>(frames_);
-    ack.assigned_port = static_cast<uint16_t>(cfg_.base_port + owner);
-    ack.spawn_origin = player.origin;
-    platform_.compute(cfg_.costs.send_syscall);
-    c.chan->send(net::encode(ack));
-  }
-}
-
-void Server::recovery_frame_end() {
-  if (recorder_ == nullptr) return;
-  std::vector<recovery::EntityDigest> per_entity;
-  const uint64_t digest = recovery::world_digest(
-      world_, cfg_.recovery.per_entity_digests ? &per_entity : nullptr);
-  recorder_->seal_frame(frames_, last_world_t0_, last_world_dt_, digest,
-                        std::move(per_entity));
-  if (checkpoints_ != nullptr && cfg_.recovery.checkpoint_interval > 0 &&
-      frames_ % cfg_.recovery.checkpoint_interval == 0) {
-    checkpoints_->store(make_checkpoint(digest));
-    if (cfg_.recovery.install_signal_handler)
-      recovery::publish_signal_dump(checkpoints_->latest().data(),
-                                    checkpoints_->latest().size());
-  }
-}
-
-recovery::CheckpointData Server::make_checkpoint(uint64_t digest) {
-  recovery::CheckpointData c;
-  c.frame = frames_;
-  c.captured_at_ns = platform_.now().ns;
-  c.seed = cfg_.seed;
-  c.base_port = cfg_.base_port;
-  c.threads = static_cast<uint32_t>(cfg_.threads);
-  c.max_clients = static_cast<uint32_t>(cfg_.max_clients);
-  c.areanode_depth = cfg_.areanode_depth;
-  c.next_order = order_ctr_.load(std::memory_order_relaxed);
-  c.digest = digest;
-  c.rng_state = world_.rng().state();
-  c.map_text = map_text_;
-  c.entity_storage = static_cast<uint32_t>(world_.entity_storage_size());
-  const sim::World& w = world_;
-  w.for_each_entity(
-      [&](const sim::Entity& e) { c.entities.push_back(e); });
-  c.free_ids = world_.free_ids();
-  const auto& tree = world_.tree();
-  for (int i = 0; i < tree.node_count(); ++i) {
-    if (!tree.node(i).objects.empty())
-      c.node_objects.emplace_back(i, tree.node(i).objects);
-  }
-  vt::LockGuard g(*clients_mu_);
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    const Client& cl = clients_[i];
-    if (!cl.in_use || cl.pending_spawn) continue;
-    recovery::ClientRecord r;
-    r.slot = static_cast<uint16_t>(i);
-    r.remote_port = cl.remote_port;
-    r.name = cl.name;
-    r.entity_id = cl.entity_id;
-    r.owner_thread = static_cast<uint32_t>(cl.owner_thread);
-    r.last_seq = cl.last_seq;
-    r.last_move_time_ns = cl.last_move_time_ns;
-    r.last_heard_ns = std::atomic_ref<const int64_t>(cl.last_heard_ns)
-                          .load(std::memory_order_relaxed);
-    if (cl.chan != nullptr) {
-      r.chan_out_seq = cl.chan->out_sequence();
-      r.chan_in_seq = cl.chan->in_sequence();
-      r.chan_in_acked = cl.chan->peer_acked();
-    }
-    c.clients.push_back(std::move(r));
-  }
-  for (const uint16_t p : remembered_evicted_) {
-    if (remembered_evicted_set_.count(p) != 0) c.evicted_ports.push_back(p);
-  }
-  return c;
+const recovery::BlackBox* Server::blackbox() const {
+  return recovery_ == nullptr ? nullptr : recovery_->blackbox();
 }
 
 recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
@@ -924,14 +231,12 @@ recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
   // expiries keep their remaining durations.
   world_.rebase_times(platform_.now() - vt::TimePoint{c.captured_at_ns});
 
-  frames_ = c.frame;
-  order_ctr_.store(c.next_order, std::memory_order_relaxed);
-  last_world_ = platform_.now();
+  pipeline_->restore(c.frame, c.next_order);
 
-  vt::LockGuard g(*clients_mu_);
+  vt::LockGuard g(registry_.mutex());
   for (const auto& r : c.clients) {
-    if (r.slot >= clients_.size()) continue;
-    Client& cl = clients_[r.slot];
+    if (r.slot >= registry_.slots().size()) continue;
+    ClientSlot& cl = registry_.slot(static_cast<int>(r.slot));
     cl.in_use = true;
     cl.entity_id = r.entity_id;
     cl.remote_port = r.remote_port;
@@ -965,143 +270,41 @@ recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
     cl.bucket.configure(cfg_.resilience.move_rate_limit,
                         cfg_.resilience.move_burst);
     cl.moves_since_scan = 0;
-    client_slot_by_port_[r.remote_port] = static_cast<int>(r.slot);
+    registry_.bind_port_locked(r.remote_port, static_cast<int>(r.slot));
   }
-  for (const uint16_t p : c.evicted_ports) remember_evicted(p);
-  restored_ = true;
+  for (const uint16_t p : c.evicted_ports)
+    registry_.remember_evicted_locked(p);
+  registry_.set_restored();
   return recovery::LoadError::kNone;
 }
 
 std::string Server::dump_blackbox(const std::string& label,
                                   const std::string& why) {
-  if (blackbox_ == nullptr) return "";
-  std::string meta;
-  meta += "label: " + label + "\n";
-  meta += "why: " + why + "\n";
-  meta += "frame: " + std::to_string(frames_) + "\n";
-  meta += "now_ns: " + std::to_string(platform_.now().ns) + "\n";
-  meta += "seed: " + std::to_string(cfg_.seed) + "\n";
-  meta += "threads: " + std::to_string(cfg_.threads) + "\n";
-  meta += "clients: " + std::to_string(connected_clients()) + "\n";
-  std::vector<uint8_t> ckpt;
-  if (checkpoints_ != nullptr && checkpoints_->has())
-    ckpt = checkpoints_->latest();
-  std::vector<uint8_t> jrnl;
-  if (recorder_ != nullptr) jrnl = recorder_->encode();
-  // The trace is only exported where no other thread can be mid-record:
-  // the simulated platform is single-threaded under the hood, and a
-  // 1-thread real server has no concurrent writers in its own window.
-  std::string trace;
-  if (tracer_ != nullptr && (platform_.is_simulated() || cfg_.threads == 1))
-    trace = tracer_->export_chrome_trace();
-  return blackbox_->dump(label, meta, ckpt, jrnl, trace);
+  return recovery_ == nullptr ? "" : recovery_->dump(label, why);
 }
 
-int Server::owner_for_region(const Vec3& origin) const {
-  std::vector<int> leaves;
-  world_.tree().leaves_for({origin, origin}, leaves);
-  const int ord =
-      leaves.empty() ? 0 : world_.tree().leaf_ordinal(leaves.front());
-  return std::clamp(ord * cfg_.threads / world_.tree().leaf_count(), 0,
-                    cfg_.threads - 1);
+// --- Engine facade (hook seam) ----------------------------------------------
+
+uint64_t Server::frames() const { return pipeline_->frames(); }
+
+uint64_t Server::draw_order() { return pipeline_->draw_order(); }
+
+uint64_t Server::order_count() const { return pipeline_->order_count(); }
+
+vt::TimePoint Server::last_world_t0() const {
+  return pipeline_->last_world_t0();
 }
 
-int Server::reassign_clients() {
-  int moved = 0;
-  vt::LockGuard g(*clients_mu_);
-  for (auto& c : clients_) {
-    if (!c.in_use || c.pending_spawn) continue;
-    const sim::Entity* player = world_.get(c.entity_id);
-    if (player == nullptr) continue;
-    const int owner = owner_for_region(player->origin);
-    if (owner == c.owner_thread) continue;
-    c.owner_thread = owner;
-    // Keep the netchan's sequencing state: the peer must see one
-    // continuous stream across the migration.
-    c.chan->rebind(*sockets_[static_cast<size_t>(owner)]);
-    c.notify_port = true;
-    ++moved;
-    ++reassignments_;
-  }
-  return moved;
+vt::Duration Server::last_world_dt() const {
+  return pipeline_->last_world_dt();
 }
 
-void Server::do_replies(int tid, ThreadStats& st, bool include_unowned,
-                        uint64_t participants_mask) {
-  obs::TraceScope span(st.tracer, st.trace_track, "reply");
-  const vt::TimePoint t0 = platform_.now();
-  const std::vector<net::GameEvent> frame_events = global_events_.snapshot();
-  const bool thin_far = governor_->at_least(resilience::kThinFarEntities);
+int Server::migrate_clients_from(int stalled_tid, ThreadStats& st) {
+  return pipeline_->maintenance().reassign_clients_from(stalled_tid, st);
+}
 
-  for (auto& c : clients_) {
-    if (!c.in_use || c.pending_spawn || c.pending_disconnect) continue;
-    const bool owned = c.owner_thread == tid;
-    const bool orphaned =
-        include_unowned && !owned &&
-        ((participants_mask >> c.owner_thread) & 1ull) == 0;
-    if (!owned && !orphaned) continue;
-
-    // notify_port without pending_reply forces a snapshot anyway: a
-    // client migrated off a stalled worker is still sending moves to the
-    // dead port, so waiting for a request it can deliver would deadlock —
-    // it must be *told* the new port to have one.
-    if (owned && (c.pending_reply || c.notify_port)) {
-      const sim::Entity* player = world_.get(c.entity_id);
-      if (player == nullptr) continue;
-      net::Snapshot snap;
-      // Buffered events from frames this client missed, then this
-      // frame's events.
-      std::vector<net::GameEvent> events;
-      c.buffer->drain_into(events);
-      events.insert(events.end(), frame_events.begin(), frame_events.end());
-      sim::build_snapshot(world_, *player, static_cast<uint32_t>(frames_),
-                          c.last_seq, c.last_move_time_ns, events, snap,
-                          thin_far);
-      if (c.notify_port) {
-        snap.assigned_port =
-            static_cast<uint16_t>(cfg_.base_port + c.owner_thread);
-        c.notify_port = false;
-      }
-      platform_.compute(cfg_.costs.reply_base + cfg_.costs.send_syscall);
-
-      if (cfg_.delta_snapshots) {
-        // Delta against the newest snapshot the client reports having
-        // reconstructed (carried in its move commands); full snapshot if
-        // that frame is no longer in our history.
-        const Client::SentSnapshot* baseline = nullptr;
-        if (c.client_baseline_frame != 0) {
-          for (auto it = c.history.rbegin(); it != c.history.rend(); ++it) {
-            if (it->server_frame == c.client_baseline_frame) {
-              baseline = &*it;
-              break;
-            }
-          }
-        }
-        std::vector<uint8_t> bytes =
-            baseline != nullptr
-                ? net::encode_delta(snap, baseline->entities,
-                                    baseline->server_frame)
-                : net::encode(snap);
-        c.history.push_back({snap.server_frame, snap.entities});
-        while (static_cast<int>(c.history.size()) > cfg_.snapshot_history)
-          c.history.pop_front();
-        c.chan->send(std::move(bytes));
-      } else {
-        c.chan->send(net::encode(snap));
-      }
-      c.pending_reply = false;
-      ++st.replies_sent;
-    } else {
-      // No request this frame: update the client's message buffer from
-      // the global state buffer anyway (§3.3 — every client, every
-      // frame; per-buffer lock inside).
-      c.buffer->append(frame_events);
-      platform_.compute(cfg_.costs.per_buffer_update +
-                        cfg_.costs.per_event *
-                            static_cast<int64_t>(frame_events.size()));
-    }
-  }
-  st.breakdown.reply += platform_.now() - t0;
+int Server::evict_most_expensive(ThreadStats& st) {
+  return pipeline_->maintenance().evict_most_expensive(st);
 }
 
 }  // namespace qserv::core

@@ -1,33 +1,32 @@
-// Shared machinery of the sequential and parallel game servers: client
-// registry, request dispatch, world-phase and reply-phase implementations,
-// and instrumentation. The two concrete servers (sequential_server.hpp,
-// parallel_server.hpp) differ only in their main loops — exactly the
-// relationship between the original QuakeWorld server and the paper's
-// pthreads port.
+// Shared shell of the sequential and parallel game servers. The frame
+// work itself lives in the layered engine (frame_pipeline.hpp: explicit
+// Receive/World/Exec/Reply/Maintenance phase objects over the session
+// layer in client_registry.hpp); the satellite subsystems — recovery,
+// resilience, observability — attach through the hook seam in
+// frame_hooks.hpp. Server implements the Engine facade those hooks see,
+// wires everything together at construction, and keeps the public
+// statistics/lifecycle API the harness, tests and benches consume. The two
+// concrete servers (sequential_server.hpp, parallel_server.hpp) differ
+// only in their main loops — exactly the relationship between the original
+// QuakeWorld server and the paper's pthreads port.
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/core/client_registry.hpp"
 #include "src/core/config.hpp"
+#include "src/core/frame_hooks.hpp"
 #include "src/core/frame_stats.hpp"
 #include "src/core/global_state.hpp"
-#include "src/core/lock_manager.hpp"
-#include "src/net/netchan.hpp"
 #include "src/net/virtual_udp.hpp"
-#include "src/resilience/governor.hpp"
-#include "src/resilience/token_bucket.hpp"
-#include "src/resilience/watchdog.hpp"
 #include "src/sim/world.hpp"
 
 namespace qserv::obs {
-class HistogramMetric;
 class MetricsRegistry;
+class ServerObs;
 class Tracer;
 }
 
@@ -35,20 +34,27 @@ namespace qserv::recovery {
 class BlackBox;
 class CheckpointManager;
 class FlightRecorder;
-struct CheckpointData;
-enum class DropReason : uint8_t;
+class ServerRecovery;
 enum class LoadError : uint8_t;
+}
+
+namespace qserv::resilience {
+class FrameGovernor;
+class ServerResilience;
+class WorkerWatchdog;
 }
 
 namespace qserv::core {
 
+class FramePipeline;
 class InvariantChecker;
+class LockManager;
 
-class Server {
+class Server : public Engine {
  public:
   Server(vt::Platform& platform, net::VirtualNetwork& net,
          const spatial::GameMap& map, ServerConfig cfg);
-  virtual ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -72,10 +78,11 @@ class Server {
   const FrameLockStats& frame_lock_stats() const { return frame_lock_stats_; }
   Breakdown total_breakdown() const;
   LockStats total_lock_stats() const;
-  uint64_t frames() const { return frames_; }
+  uint64_t frames() const override;
   uint64_t total_replies() const;
   uint64_t total_requests() const;
-  // Zeroes all measurement state (warmup boundary).
+  // Zeroes all measurement state (warmup boundary), including the per-run
+  // session counters and each registered hook's run state.
   void reset_stats();
 
   // Records (frame, moves) per thread for §5.2's dynamic-imbalance
@@ -104,33 +111,37 @@ class Server {
   // default) the hot path pays one branch per would-be span.
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
-  obs::Tracer* tracer() const { return tracer_; }
+  obs::Tracer* tracer() const override { return tracer_; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
   // Dynamic-assignment client migrations performed so far.
-  uint64_t reassignments() const { return reassignments_; }
+  uint64_t reassignments() const { return registry_.counters.reassignments; }
 
   // Clients reaped so far for exceeding client_timeout.
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const { return registry_.counters.evictions; }
   // Connects refused with kServerFull so far.
-  uint64_t rejected_connects() const { return rejected_connects_; }
+  uint64_t rejected_connects() const {
+    return registry_.counters.rejected_connects;
+  }
 
   // --- resilience subsystem (src/resilience/) ---
   // Frame-budget governor; always constructed (it also feeds the rolling
   // p95 that admission control reads) but only steps the ladder when
   // cfg.resilience.governor is on.
-  const resilience::FrameGovernor& governor() const { return *governor_; }
+  const resilience::FrameGovernor& governor() const;
   // Worker watchdog; null on the sequential server, inert (enabled() ==
   // false) when cfg.resilience.watchdog_timeout is zero.
-  const resilience::WorkerWatchdog* watchdog() const {
-    return watchdog_.get();
-  }
+  const resilience::WorkerWatchdog* watchdog() const { return watchdog_; }
   // Connects refused with kServerBusy (admission control).
-  uint64_t rejected_busy() const { return rejected_busy_; }
+  uint64_t rejected_busy() const { return registry_.counters.rejected_busy; }
   // Clients migrated off stalled workers by the watchdog.
-  uint64_t stall_reassignments() const { return stall_reassignments_; }
+  uint64_t stall_reassignments() const {
+    return registry_.counters.stall_reassignments;
+  }
   // Clients evicted by the governor's last-resort rung.
-  uint64_t governor_evictions() const { return governor_evictions_; }
+  uint64_t governor_evictions() const {
+    return registry_.counters.governor_evictions;
+  }
   // Thread-stall faults actually served by worker threads (chaos runs).
   uint64_t stalls_injected() const {
     return stalls_injected_.load(std::memory_order_relaxed);
@@ -148,11 +159,9 @@ class Server {
   uint64_t invariant_violations() const;
 
   // --- crash recovery (src/recovery/; null unless cfg.recovery.enabled) ---
-  const recovery::FlightRecorder* recorder() const { return recorder_.get(); }
-  const recovery::CheckpointManager* checkpoints() const {
-    return checkpoints_.get();
-  }
-  const recovery::BlackBox* blackbox() const { return blackbox_.get(); }
+  const recovery::FlightRecorder* recorder() const;
+  const recovery::CheckpointManager* checkpoints() const;
+  const recovery::BlackBox* blackbox() const;
   // Warm restart: installs a decoded checkpoint — world, client registry
   // with netchan sequences, remembered evictions, frame/order counters —
   // into this freshly constructed server. Call after construction, before
@@ -160,232 +169,86 @@ class Server {
   // ports (channel state survives) or re-adopt their slot by name when
   // they reconnect from a fresh port.
   recovery::LoadError restore_from(const std::vector<uint8_t>& image);
-  bool restored() const { return restored_; }
+  bool restored() const { return registry_.restored(); }
   // Checkpointed clients re-adopted through a reconnect (by port or name).
-  uint64_t resumed_clients() const { return resumed_clients_; }
+  uint64_t resumed_clients() const {
+    return registry_.counters.resumed_clients;
+  }
   // Writes a black-box dump (latest checkpoint, journal tail, trace,
   // meta) now; returns the dump directory or "" (disabled / I/O failure).
-  std::string dump_blackbox(const std::string& label, const std::string& why);
+  std::string dump_blackbox(const std::string& label,
+                            const std::string& why) override;
 
-  const sim::World& world() const { return world_; }
+  const sim::World& world() const override { return world_; }
   sim::World& world() { return world_; }
-  const ServerConfig& config() const { return cfg_; }
+  const ServerConfig& config() const override { return cfg_; }
   LockManager& lock_manager() { return *lock_manager_; }
   const LockManager& lock_manager() const { return *lock_manager_; }
-  int connected_clients() const;
+  // The session layer (slot lifecycle, port map, per-run counters).
+  ClientRegistry& registry() override { return registry_; }
+  const ClientRegistry& registry() const { return registry_; }
+  int connected_clients() const override { return registry_.connected(); }
+
+  // --- Engine facade (hook seam; see frame_hooks.hpp) ---
+  vt::Platform& platform() override { return platform_; }
+  uint64_t draw_order() override;
+  uint64_t order_count() const override;
+  vt::TimePoint last_world_t0() const override;
+  vt::Duration last_world_dt() const override;
+  int migrate_clients_from(int stalled_tid, ThreadStats& st) override;
+  int evict_most_expensive(ThreadStats& st) override;
 
  protected:
-  struct Client {
-    bool in_use = false;
-    uint32_t entity_id = 0;
-    uint16_t remote_port = 0;
-    std::string name;
-    int owner_thread = 0;
-    bool notify_port = false;  // next snapshot carries assigned_port
-    // Connect accepted, entity not yet spawned: creation is deferred to
-    // the master's between-frames window so entity lifecycle never races
-    // request processing (and replays in serialization order). Until the
-    // spawn, the slot has no entity, channel or reply buffer.
-    bool pending_spawn = false;
-    int connect_tid = 0;  // receiving thread (block-assignment owner)
-    // Disconnect seen mid-drain; entity removal is deferred to the same
-    // window for the same reason.
-    bool pending_disconnect = false;
-    // Restored from a checkpoint and not yet heard from on a live socket;
-    // a connect from a fresh port may re-adopt this slot by name.
-    bool awaiting_resume = false;
-    uint32_t last_seq = 0;          // latest move sequence processed
-    int64_t last_move_time_ns = 0;  // echoed back in the reply
-    // When the server last heard anything from this client (liveness
-    // clock for client_timeout reaping). Written by the thread draining
-    // the client's datagrams while an idle thread may concurrently poll
-    // reap_due(), so all access goes through std::atomic_ref.
-    int64_t last_heard_ns = 0;
-    bool pending_reply = false;     // sent a request this frame
-    std::unique_ptr<net::NetChannel> chan;
-    std::unique_ptr<ReplyBuffer> buffer;
-    // Delta-snapshot support (owner thread only): recently sent snapshot
-    // entity lists keyed by server frame, and the newest frame the client
-    // reports having reconstructed.
-    struct SentSnapshot {
-      uint32_t server_frame = 0;
-      std::vector<net::EntityUpdate> entities;
-    };
-    std::deque<SentSnapshot> history;
-    uint32_t client_baseline_frame = 0;
-    // Per-client move-rate limiter (configured at connect from
-    // cfg.resilience). Atomic inside: during a stall migration two
-    // threads can briefly drain the same client.
-    resilience::TokenBucket bucket;
-    // Moves executed since the governor's last expensive-client scan
-    // (owner thread writes, master window reads/clears — ordered by the
-    // frame-sync mutex).
-    uint32_t moves_since_scan = 0;
-  };
-
-  // --- pieces shared by both main loops ---
-  // Runs the world-physics phase (master/sequential only) and stamps the
-  // elapsed time into st.breakdown.world.
-  void do_world_phase(ThreadStats& st);
-
-  // Drains socket `tid`, dispatching every ready datagram. `lm` null means
-  // lock-free execution (sequential server). Returns moves processed.
-  int drain_requests(int tid, ThreadStats& st, bool use_locks);
-
-  // Reply phase for the clients owned by `tid`. When `include_unowned`,
-  // also updates the reply buffers of clients whose owner threads did not
-  // participate this frame (master duty, §3.3). `participants` is a
-  // bitmask of participating threads.
-  void do_replies(int tid, ThreadStats& st, bool include_unowned,
-                  uint64_t participants_mask);
-
-  // --- request handlers ---
-  void handle_connect(int tid, const net::Datagram& d,
-                      const net::ConnectMsg& msg, ThreadStats& st);
-  void handle_move(int tid, Client& client, const net::MoveCmd& cmd,
-                   ThreadStats& st, bool use_locks);
-  void handle_disconnect(Client& client, ThreadStats& st);
-
-  Client* client_by_port(uint16_t port);
-
-  // Thread that should own a player at `origin` under region assignment.
-  int owner_for_region(const Vec3& origin) const;
-
-  // Re-partitions all clients by their current region (master-only, runs
-  // between frames). Returns how many clients moved.
-  int reassign_clients();
-
   // True when client_timeout is enabled and some connected client has
   // been silent past it — the cue for a maintenance frame when the
   // server is otherwise idle.
-  bool reap_due() const;
-
-  // Reaps every timed-out client: sends kEvicted, removes the entity
-  // from the world and areanode tree (under list locks via `st`), frees
-  // the slot. Master-only, between frames. Returns clients evicted.
-  int reap_timed_out_clients(ThreadStats& st);
-
-  // Teardown of one client slot, reject-first: the reason goes out on the
-  // still-live channel *before* any state is dropped, so the peer always
-  // learns its fate. Caller holds clients_mu_; master-only for the world
-  // mutation. Shared by timeout reaping and governor eviction.
-  void evict_client_locked(Client& c, net::RejectReason reason,
-                           ThreadStats& st);
-
-  // Governor rung 4: evicts the client that executed the most moves since
-  // the previous scan (paced by cfg.resilience.evict_interval). Resets
-  // every client's scan counter. Master-only, between frames.
-  int evict_most_expensive(ThreadStats& st);
-
-  // Moves every client owned by `stalled_tid` to live (non-stalled,
-  // started) workers round-robin, rebinding netchans and flagging
-  // notify_port so the next snapshot carries the new port. Master-only,
-  // between frames. Returns clients migrated.
-  int reassign_clients_from(int stalled_tid, ThreadStats& st);
+  bool reap_due() const { return registry_.reap_due(); }
 
   // True when the watchdog exists and sees a stale heartbeat — the cue
   // for a maintenance frame on an otherwise idle server (mirrors
   // reap_due()).
   bool watchdog_due(int self_tid) const;
 
-  // Master-window helper: feeds the governor one finished frame and
-  // applies any rung that acts from the master window (expensive-client
-  // eviction). Returns the post-step level.
-  int governor_frame_end(vt::TimePoint frame_start, ThreadStats& st);
-
-  // Runs the cross-structure audit when cfg.check_invariants is set.
-  // Master-only, between frames. A run that finds violations triggers a
-  // black-box dump (when recovery is enabled).
-  void run_invariant_check();
-
-  // --- crash-recovery hooks (all inert when cfg.recovery.enabled is off) ---
-  // Master window: spawns entities for pending connects (sending the
-  // deferred ConnectAck) and removes entities of pending disconnects,
-  // journaling each with a serialization index.
-  void complete_pending_lifecycle(ThreadStats& st);
-  // Master window, after all frame mutations: digests the world, seals
-  // the frame's journal records, and takes the periodic checkpoint.
-  void recovery_frame_end();
-  // Snapshot of the full recoverable state (master window only).
-  recovery::CheckpointData make_checkpoint(uint64_t digest);
-  // Re-adopts a checkpointed slot on a live connect: fresh channel and
-  // reply buffer, cleared delta baselines, liveness now. Caller holds
-  // clients_mu_ and has set remote_port / the port map.
-  void resume_client_locked(Client& c);
-  // Stages a forensic drop record (no serialization index).
-  void journal_drop(int tid, uint16_t port, recovery::DropReason why);
-  // Remembers an evicted client's port (caller holds clients_mu_) /
-  // consumes one remembered entry so the port is answered kEvicted once.
-  void remember_evicted(uint16_t port);
-  bool consume_remembered_eviction(uint16_t port);
+  // Appends to `st.frame_trace` under the configured cap (§5.2 trace).
+  void record_frame_trace(ThreadStats& st, uint64_t frame_id, int moves);
 
   vt::Platform& platform_;
   net::VirtualNetwork& net_;
   ServerConfig cfg_;
   sim::World world_;
   GlobalStateBuffer global_events_;
+  ClientRegistry registry_;
   std::unique_ptr<LockManager> lock_manager_;
 
-  std::vector<std::unique_ptr<net::Socket>> sockets_;     // one per thread
-  std::vector<std::unique_ptr<net::Selector>> selectors_; // one per thread
-
-  std::unique_ptr<vt::Mutex> clients_mu_;  // slot allocation / ownership moves
-  std::vector<Client> clients_;            // fixed capacity max_clients
-  std::unordered_map<uint16_t, int> client_slot_by_port_;
+  std::vector<std::unique_ptr<net::Socket>> sockets_;      // one per thread
+  std::vector<std::unique_ptr<net::Selector>> selectors_;  // one per thread
 
   std::vector<ThreadStats> stats_;  // one per thread
   FrameLockStats frame_lock_stats_;
-  uint64_t frames_ = 0;
-  vt::TimePoint last_world_{};  // previous world-phase time (for dt)
-
-  // Records one finished frame into the metrics instruments (frame
-  // duration from `start`, total `moves` executed). No-op when metrics
-  // are detached.
-  void record_frame_metrics(vt::TimePoint start, int moves);
-
-  // Appends to `st.frame_trace` under the configured cap (§5.2 trace).
-  void record_frame_trace(ThreadStats& st, uint64_t frame_id, int moves);
 
   std::atomic<bool> stop_{false};
   bool frame_trace_enabled_ = false;
   obs::Tracer* tracer_ = nullptr;            // non-owning, may be null
   obs::MetricsRegistry* metrics_ = nullptr;  // non-owning, may be null
-  obs::HistogramMetric* frame_duration_ms_ = nullptr;
-  obs::HistogramMetric* moves_per_frame_ = nullptr;
-  uint64_t reassignments_ = 0;
-  vt::TimePoint next_reassign_{};
-  uint64_t evictions_ = 0;          // guarded by clients_mu_
-  uint64_t rejected_connects_ = 0;  // guarded by clients_mu_
-  uint64_t rejected_busy_ = 0;      // guarded by clients_mu_
-  uint64_t stall_reassignments_ = 0;   // master window only
-  uint64_t governor_evictions_ = 0;    // master window only
   std::atomic<uint64_t> stalls_injected_{0};
-  vt::TimePoint next_expensive_evict_{};  // master window only
-  std::unique_ptr<resilience::FrameGovernor> governor_;
-  std::unique_ptr<resilience::WorkerWatchdog> watchdog_;  // parallel only
+  vt::TimePoint next_reassign_{};
+
+  // Raw view of the watchdog owned by resilience_; set by ParallelServer
+  // when it arms one (hot-path heartbeat/check without an extra hop).
+  resilience::WorkerWatchdog* watchdog_ = nullptr;
+
+  // --- the hook seam ---
+  // Resilience always attaches (the governor feeds admission control even
+  // with the ladder off); recovery only when cfg.recovery.enabled —
+  // callback *presence* is part of replay determinism.
+  std::unique_ptr<resilience::ServerResilience> resilience_;
+  std::unique_ptr<recovery::ServerRecovery> recovery_;
+  std::unique_ptr<obs::ServerObs> obs_hook_;
   std::unique_ptr<InvariantChecker> invariants_;  // null unless enabled
+  HookList hooks_;
 
-  // --- crash recovery (null unless cfg.recovery.enabled) ---
-  std::unique_ptr<recovery::FlightRecorder> recorder_;
-  std::unique_ptr<recovery::CheckpointManager> checkpoints_;
-  std::unique_ptr<recovery::BlackBox> blackbox_;
-  // Global serialization-index counter: every world mutation (world-phase
-  // tick, executed move, lifecycle op) takes one; replay applies records
-  // in this order. Moves draw theirs after acquiring their region locks,
-  // so conflicting moves' indexes order exactly as their executions did.
-  std::atomic<uint64_t> order_ctr_{0};
-  std::string map_text_;  // GameMap::serialize(), embedded in checkpoints
-  vt::TimePoint last_world_t0_{};  // world_phase args of the open frame
-  vt::Duration last_world_dt_{};
-  // Ports of evicted clients, remembered so their straggler moves (or a
-  // warm-restarted server they don't know crashed) answer kEvicted once
-  // instead of silence. FIFO-bounded; guarded by clients_mu_.
-  std::deque<uint16_t> remembered_evicted_;
-  std::unordered_set<uint16_t> remembered_evicted_set_;
-  uint64_t resumed_clients_ = 0;  // guarded by clients_mu_
-  bool restored_ = false;
-
-  friend class InvariantChecker;
+  // The layered frame engine; built last, over everything above.
+  std::unique_ptr<FramePipeline> pipeline_;
 };
 
 }  // namespace qserv::core

@@ -6,12 +6,15 @@
 #include <memory>
 #include <mutex>
 
+#include "src/core/lock_manager.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"
 #include "src/obs/collect.hpp"
 #include "src/obs/trace.hpp"
 #include "src/recovery/blackbox.hpp"
 #include "src/recovery/replay.hpp"
+#include "src/resilience/governor.hpp"
+#include "src/resilience/watchdog.hpp"
 #include "src/spatial/map_gen.hpp"
 #include "src/util/check.hpp"
 #include "src/util/rng.hpp"

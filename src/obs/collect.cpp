@@ -7,6 +7,8 @@
 #include "src/net/fault_scheduler.hpp"
 #include "src/net/virtual_udp.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/resilience/governor.hpp"
+#include "src/resilience/watchdog.hpp"
 
 namespace qserv::obs {
 

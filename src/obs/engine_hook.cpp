@@ -1,0 +1,26 @@
+#include "src/obs/engine_hook.hpp"
+
+#include "src/obs/metrics.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::obs {
+
+void ServerObs::attach(MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    frame_duration_ms_ = &metrics->histogram("server.frame_duration_ms", 1e-3);
+    moves_per_frame_ = &metrics->histogram("server.moves_per_frame", 0.5);
+  } else {
+    frame_duration_ms_ = nullptr;
+    moves_per_frame_ = nullptr;
+  }
+}
+
+void ServerObs::on_frame_end(vt::TimePoint frame_start, int frame_moves,
+                             core::ThreadStats& /*st*/) {
+  if (frame_duration_ms_ == nullptr) return;
+  frame_duration_ms_->observe(
+      (engine_.platform().now() - frame_start).millis());
+  moves_per_frame_->observe(static_cast<double>(frame_moves));
+}
+
+}  // namespace qserv::obs

@@ -1,0 +1,33 @@
+// The observability subsystem's attachment to the frame engine: a
+// FrameHook that feeds the whole-frame histograms. Tracing stays inline in
+// the phases (spans need precise start/stop around each phase body); this
+// hook covers only the end-of-frame metric points.
+#pragma once
+
+#include "src/core/frame_hooks.hpp"
+
+namespace qserv::obs {
+
+class MetricsRegistry;
+class HistogramMetric;
+
+class ServerObs final : public core::FrameHook {
+ public:
+  explicit ServerObs(core::Engine& engine) : engine_(engine) {}
+
+  ServerObs(const ServerObs&) = delete;
+  ServerObs& operator=(const ServerObs&) = delete;
+
+  // Re-points the histogram handles; nullptr detaches.
+  void attach(MetricsRegistry* metrics);
+
+  void on_frame_end(vt::TimePoint frame_start, int frame_moves,
+                    core::ThreadStats& st) override;
+
+ private:
+  core::Engine& engine_;
+  HistogramMetric* frame_duration_ms_ = nullptr;
+  HistogramMetric* moves_per_frame_ = nullptr;
+};
+
+}  // namespace qserv::obs

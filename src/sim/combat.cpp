@@ -40,12 +40,15 @@ namespace {
 Entity* nearest_player_on_ray(World& world, const Entity& shooter,
                               const Vec3& start, const Vec3& delta,
                               float max_fraction, NodeListLocks* locks,
-                              AttackResult& res) {
+                              AttackResult& res, MoveScratch* scratch) {
   // The ray's axis-aligned bounds, padded by the player box extents so
   // boxes merely clipped by the ray are gathered too.
   const Aabb ray_bounds =
       Aabb{start, start}.swept(delta * max_fraction).expanded(20.0f);
-  std::vector<uint32_t> candidates;
+  std::vector<uint32_t> local_candidates;
+  std::vector<uint32_t>& candidates =
+      scratch != nullptr ? scratch->candidates : local_candidates;
+  candidates.clear();
   GatherStats gs;
   world.gather(ray_bounds, candidates, locks, &gs);
   res.entities_scanned += gs.entities_scanned;
@@ -70,7 +73,7 @@ Entity* nearest_player_on_ray(World& world, const Entity& shooter,
 
 AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
                           vt::TimePoint now, NodeListLocks* locks,
-                          EventSink* events) {
+                          EventSink* events, MoveScratch* scratch) {
   AttackResult res;
   if (now < shooter.next_attack || shooter.health <= 0) return res;
   shooter.next_attack = now + kAttackCooldown;
@@ -87,7 +90,7 @@ AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
   world.charge(world.costs().per_brush_trace * tr.brushes_tested);
 
   Entity* victim = nearest_player_on_ray(world, shooter, start, delta,
-                                         tr.fraction, locks, res);
+                                         tr.fraction, locks, res, scratch);
   if (victim != nullptr) {
     res.hit_player = true;
     res.victim = victim->id;
@@ -100,7 +103,8 @@ AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
 
 AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
                            vt::TimePoint now, NodeListLocks* locks,
-                           EventSink* events, uint64_t order) {
+                           EventSink* events, uint64_t order,
+                           MoveScratch* scratch) {
   AttackResult res;
   if (now < shooter.next_attack || shooter.health <= 0 ||
       shooter.grenades <= 0)
@@ -121,7 +125,7 @@ AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
   world.charge(world.costs().per_brush_trace * tr.brushes_tested);
 
   Entity* victim = nearest_player_on_ray(world, shooter, start, delta,
-                                         tr.fraction, locks, res);
+                                         tr.fraction, locks, res, scratch);
   if (victim != nullptr) {
     // Direct hit within the request-time segment: full damage, detonate.
     res.hit_player = true;

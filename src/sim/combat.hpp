@@ -12,6 +12,7 @@
 // policy before invoking these.
 #pragma once
 
+#include "src/sim/scratch.hpp"
 #include "src/sim/world.hpp"
 
 namespace qserv::sim {
@@ -25,16 +26,18 @@ struct AttackResult {
 };
 
 // Instant-hit shot along the shooter's view direction with the equipped
-// weapon (blaster or railgun).
+// weapon (blaster or railgun). `scratch`, when given, provides the reusable
+// ray-gather buffer.
 AttackResult fire_hitscan(World& world, Entity& shooter, float pitch_deg,
                           vt::TimePoint now, NodeListLocks* locks,
-                          EventSink* events);
+                          EventSink* events, MoveScratch* scratch = nullptr);
 
 // Grenade toss along the view direction. Consumes one grenade. `order`
 // tags the queued projectile with the throwing move's serialization index.
 AttackResult throw_grenade(World& world, Entity& shooter, float pitch_deg,
                            vt::TimePoint now, NodeListLocks* locks,
-                           EventSink* events, uint64_t order = 0);
+                           EventSink* events, uint64_t order = 0,
+                           MoveScratch* scratch = nullptr);
 
 // Radius damage at `pos` attributed to `owner`; used by grenades both at
 // request time (early detonation) and in the world phase.

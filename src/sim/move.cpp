@@ -73,7 +73,8 @@ Aabb move_bounds(const Entity& player, const net::MoveCmd& cmd) {
 
 MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
                        vt::TimePoint now, NodeListLocks* locks,
-                       EventSink* events, uint64_t order) {
+                       EventSink* events, uint64_t order,
+                       MoveScratch* scratch) {
   MoveStats stats;
   world.charge(world.costs().move_base);
   if (!player.alive()) return stats;
@@ -82,9 +83,13 @@ MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
   const float dt = static_cast<float>(cmd.msec) * 1e-3f;
 
   // Gather everything the move may interact with (the paper's object
-  // list for the move), from the locked region.
+  // list for the move), from the locked region. gather() appends, so the
+  // reused scratch buffer is cleared first.
   GatherStats gs;
-  std::vector<uint32_t> nearby;
+  std::vector<uint32_t> local_nearby;
+  std::vector<uint32_t>& nearby =
+      scratch != nullptr ? scratch->nearby : local_nearby;
+  nearby.clear();
   world.gather(move_bounds(player, cmd), nearby, locks, &gs);
   stats.nodes_visited += gs.nodes_visited;
   stats.entities_scanned += gs.entities_scanned;
@@ -172,15 +177,15 @@ MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
 
   // --- long-range actions (caller holds the long-range locks) ---
   if ((cmd.buttons & net::kButtonAttack) != 0) {
-    const auto r =
-        fire_hitscan(world, player, cmd.pitch_deg, now, locks, events);
+    const auto r = fire_hitscan(world, player, cmd.pitch_deg, now, locks,
+                                events, scratch);
     stats.fired_hitscan = r.fired;
     stats.hit_player |= r.hit_player;
     stats.brushes_tested += r.brushes_tested;
     stats.entities_scanned += r.entities_scanned;
   } else if ((cmd.buttons & net::kButtonThrow) != 0) {
-    const auto r =
-        throw_grenade(world, player, cmd.pitch_deg, now, locks, events, order);
+    const auto r = throw_grenade(world, player, cmd.pitch_deg, now, locks,
+                                 events, order, scratch);
     stats.threw_grenade = r.fired;
     stats.hit_player |= r.hit_player;
     stats.brushes_tested += r.brushes_tested;

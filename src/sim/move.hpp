@@ -5,6 +5,7 @@
 #pragma once
 
 #include "src/net/protocol.hpp"
+#include "src/sim/scratch.hpp"
 #include "src/sim/world.hpp"
 
 namespace qserv::sim {
@@ -36,8 +37,10 @@ struct MoveStats {
 // relinked into the areanode tree afterwards. `order` is the move's
 // serialization index; it tags any projectile this move queues so the
 // world phase can materialize projectiles in a replayable order.
+// `scratch`, when given, provides reusable gather buffers (hot path).
 MoveStats execute_move(World& world, Entity& player, const net::MoveCmd& cmd,
                        vt::TimePoint now, NodeListLocks* locks,
-                       EventSink* events, uint64_t order = 0);
+                       EventSink* events, uint64_t order = 0,
+                       MoveScratch* scratch = nullptr);
 
 }  // namespace qserv::sim

@@ -1,0 +1,20 @@
+// Reusable gather scratch for request execution. A move gathers candidate
+// entities two ways — the short-range interaction list and the long-range
+// attack ray/blast candidates — and both gathers previously allocated a
+// fresh vector per move. The server's exec phase owns one MoveScratch per
+// worker thread and threads it through execute_move(), so steady-state
+// frames reuse the grown capacity instead of re-allocating. Passing
+// nullptr (tests, replay, bots) falls back to per-call locals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qserv::sim {
+
+struct MoveScratch {
+  std::vector<uint32_t> nearby;      // execute_move's interaction gather
+  std::vector<uint32_t> candidates;  // hitscan/grenade ray gather
+};
+
+}  // namespace qserv::sim

@@ -10,7 +10,12 @@ SnapshotStats build_snapshot(const World& world, const Entity& player,
                              const std::vector<net::GameEvent>& events,
                              net::Snapshot& out, bool thin_far) {
   SnapshotStats stats;
-  out = net::Snapshot{};
+  // Field-wise reset instead of `out = net::Snapshot{}`: a snapshot built
+  // into a reused buffer keeps its entity/event capacity across frames.
+  out.assigned_port = 0;
+  out.baseline_frame = 0;
+  out.entities.clear();
+  out.events.clear();
   out.server_frame = server_frame;
   out.ack_sequence = ack_sequence;
   out.client_time_echo_ns = client_time_echo_ns;

@@ -1,0 +1,207 @@
+// Unit tests for the session layer (core/client_registry.hpp): slot reuse
+// must not leak the previous occupant's delta baselines, evicted-port
+// memory must answer exactly one kEvicted per port, migration must hand
+// ownership (and the live channel) to the new thread, and the per-run
+// counters must reset at the warmup boundary without losing the lifetime
+// ones. Plus a Server-level regression test that reset_stats() actually
+// reaches those counters — pre-refactor, reassignments survived the
+// warmup boundary and leaked warmup work into the measurement window.
+#include <gtest/gtest.h>
+
+#include "src/core/client_registry.hpp"
+#include "src/core/sequential_server.hpp"
+#include "src/net/virtual_udp.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv::core {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    cfg.max_clients = 4;
+    cfg.recovery.enabled = true;  // evicted-port memory is gated on this
+  }
+
+  ClientRegistry& registry() {
+    if (!reg) reg = std::make_unique<ClientRegistry>(platform, cfg);
+    return *reg;
+  }
+
+  vt::SimPlatform platform;
+  ServerConfig cfg;
+  std::unique_ptr<ClientRegistry> reg;
+};
+
+TEST(ClientRegistry, SlotReuseClearsStaleDeltaState) {
+  Fixture f;
+  ClientRegistry& reg = f.registry();
+  vt::LockGuard g(reg.mutex());
+
+  const int slot = reg.find_free_locked();
+  ASSERT_EQ(slot, 0);
+  reg.init_pending_slot_locked(slot, 7001, 0, "first");
+  ClientSlot& c = reg.slot(slot);
+  // Simulate a session that accumulated delta baselines and sequencing.
+  c.pending_spawn = false;
+  c.last_seq = 941;
+  c.client_baseline_frame = 1204;
+  c.history.push_back({1204, {}});
+  c.moves_since_scan = 9;
+
+  reg.unbind_port_locked(c.remote_port);
+  reg.release_slot_locked(c);
+  EXPECT_FALSE(c.in_use);
+  EXPECT_TRUE(c.history.empty());
+
+  // The freed slot is found again and must come up clean: the new client
+  // has reconstructed nothing, so any inherited baseline would make the
+  // server send deltas against a snapshot the peer never saw.
+  ASSERT_EQ(reg.find_free_locked(), slot);
+  reg.init_pending_slot_locked(slot, 7002, 1, "second");
+  EXPECT_TRUE(c.in_use);
+  EXPECT_TRUE(c.pending_spawn);
+  EXPECT_EQ(c.remote_port, 7002);
+  EXPECT_EQ(c.name, "second");
+  EXPECT_EQ(c.connect_tid, 1);
+  EXPECT_EQ(c.last_seq, 0u);
+  EXPECT_EQ(c.client_baseline_frame, 0u);
+  EXPECT_TRUE(c.history.empty());
+  EXPECT_EQ(c.moves_since_scan, 0u);
+  EXPECT_EQ(reg.index_of_port_locked(7002), slot);
+  EXPECT_EQ(reg.index_of_port_locked(7001), -1);
+}
+
+TEST(ClientRegistry, EvictedPortAnswersExactlyOnce) {
+  Fixture f;
+  ClientRegistry& reg = f.registry();
+  {
+    vt::LockGuard g(reg.mutex());
+    reg.remember_evicted_locked(7001);
+    reg.remember_evicted_locked(7001);  // idempotent while remembered
+    ASSERT_EQ(reg.remembered_ports_locked().size(), 1u);
+  }
+  // One kEvicted per port: a straggler streaming moves must not turn the
+  // memory into a reject storm.
+  EXPECT_TRUE(reg.consume_remembered_eviction(7001));
+  EXPECT_FALSE(reg.consume_remembered_eviction(7001));
+  EXPECT_FALSE(reg.consume_remembered_eviction(7999));
+}
+
+TEST(ClientRegistry, EvictedPortMemoryInertWithoutRecovery) {
+  Fixture f;
+  f.cfg.recovery.enabled = false;
+  ClientRegistry& reg = f.registry();
+  {
+    vt::LockGuard g(reg.mutex());
+    reg.remember_evicted_locked(7001);
+    EXPECT_TRUE(reg.remembered_ports_locked().empty());
+  }
+  EXPECT_FALSE(reg.consume_remembered_eviction(7001));
+}
+
+TEST(ClientRegistry, MigrationHandsOwnershipAndRebindsChannel) {
+  Fixture f;
+  net::VirtualNetwork net(f.platform, {});
+  auto sock0 = net.open(5000);
+  auto sock1 = net.open(5001);
+  ClientRegistry& reg = f.registry();
+  vt::LockGuard g(reg.mutex());
+
+  reg.init_pending_slot_locked(0, 7001, 0, "mover");
+  ClientSlot& c = reg.slot(0);
+  c.pending_spawn = false;
+  c.chan = std::make_unique<net::NetChannel>(*sock0, c.remote_port);
+
+  reg.migrate_slot_locked(c, 1, *sock1);
+  EXPECT_EQ(c.owner_thread, 1);
+  // The next snapshot must re-teach the port even if the client has no
+  // request pending on the new owner.
+  EXPECT_TRUE(c.notify_port);
+  // Same channel object: sequencing state survives the migration so the
+  // peer sees one continuous stream.
+  ASSERT_NE(c.chan, nullptr);
+}
+
+TEST(ClientRegistry, ResumeResetsSequencesAndBaselines) {
+  Fixture f;
+  net::VirtualNetwork net(f.platform, {});
+  auto sock0 = net.open(5000);
+  ClientRegistry& reg = f.registry();
+  vt::LockGuard g(reg.mutex());
+
+  reg.init_pending_slot_locked(0, 7001, 0, "resumer");
+  ClientSlot& c = reg.slot(0);
+  c.pending_spawn = false;
+  c.awaiting_resume = true;
+  c.last_seq = 500;
+  c.client_baseline_frame = 77;
+  c.history.push_back({77, {}});
+
+  reg.resume_slot_locked(c, *sock0);
+  EXPECT_FALSE(c.awaiting_resume);
+  EXPECT_TRUE(c.notify_port);
+  // The reconnected peer restarts its sequences and has reconstructed no
+  // snapshot; stale state would reject all its fresh moves.
+  EXPECT_EQ(c.last_seq, 0u);
+  EXPECT_EQ(c.client_baseline_frame, 0u);
+  EXPECT_TRUE(c.history.empty());
+  ASSERT_NE(c.chan, nullptr);
+  ASSERT_NE(c.buffer, nullptr);
+}
+
+TEST(ClientRegistry, ResetRunCountersKeepsLifetimeOnes) {
+  Fixture f;
+  ClientRegistry& reg = f.registry();
+  reg.counters.evictions = 3;
+  reg.counters.rejected_connects = 2;
+  reg.counters.rejected_busy = 1;
+  reg.counters.reassignments = 14;
+  reg.counters.stall_reassignments = 5;
+  reg.counters.governor_evictions = 1;
+  reg.counters.resumed_clients = 4;
+
+  reg.reset_run_counters();
+  EXPECT_EQ(reg.counters.evictions, 0u);
+  EXPECT_EQ(reg.counters.rejected_connects, 0u);
+  EXPECT_EQ(reg.counters.rejected_busy, 0u);
+  EXPECT_EQ(reg.counters.reassignments, 0u);
+  EXPECT_EQ(reg.counters.stall_reassignments, 0u);
+  EXPECT_EQ(reg.counters.governor_evictions, 0u);
+  // restore/resume happens before the measurement window and is
+  // inspected after it — the warmup boundary must not erase it.
+  EXPECT_EQ(reg.counters.resumed_clients, 4u);
+}
+
+// Regression: reset_stats() (the warmup boundary) must zero the per-run
+// session counters. Before the pipeline refactor, reassignments_ /
+// stall_reassignments_ / evictions_ survived reset_stats, so a
+// measurement window reported warmup-era migrations.
+TEST(ServerResetStats, ZeroesPerRunSessionCounters) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_large_deathmatch(7);
+  SequentialServer server(p, net, map, ServerConfig{});
+
+  ClientRegistry& reg = server.registry();
+  reg.counters.reassignments = 11;
+  reg.counters.stall_reassignments = 7;
+  reg.counters.evictions = 3;
+  reg.counters.rejected_connects = 2;
+  reg.counters.rejected_busy = 2;
+  reg.counters.governor_evictions = 1;
+  reg.counters.resumed_clients = 6;
+  EXPECT_EQ(server.reassignments(), 11u);
+
+  server.reset_stats();
+  EXPECT_EQ(server.reassignments(), 0u);
+  EXPECT_EQ(server.stall_reassignments(), 0u);
+  EXPECT_EQ(server.evictions(), 0u);
+  EXPECT_EQ(server.rejected_connects(), 0u);
+  EXPECT_EQ(server.rejected_busy(), 0u);
+  EXPECT_EQ(server.governor_evictions(), 0u);
+  EXPECT_EQ(server.resumed_clients(), 6u);
+}
+
+}  // namespace
+}  // namespace qserv::core
