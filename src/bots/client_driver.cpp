@@ -16,8 +16,9 @@ ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
   for (int i = 0; i < cfg.players; ++i) {
     Client::Config cc;
     cc.local_port = static_cast<uint16_t>(cfg.first_local_port + i);
-    cc.server_port = server.port_for_client(i, cfg.players);
-    cc.name = "bot-" + std::to_string(i);
+    cc.server_port =
+        cfg.join_port ? cfg.join_port(i) : server.port_for_client(i, cfg.players);
+    cc.name = cfg.name_prefix + std::to_string(i);
     cc.frame_interval = cfg.frame_interval;
     cc.initial_delay = cfg.connect_stagger * static_cast<int64_t>(i);
     cc.bot.seed = rng.next_u64();

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/bots/client.hpp"
@@ -40,6 +42,15 @@ class ClientDriver {
     // Reconnect when the server goes silent for this long (0 = never).
     vt::Duration server_silence_timeout{};
     ChurnConfig churn;
+    // Bot name prefix ("bot-" by default). A multi-shard harness runs one
+    // driver per shard; distinct prefixes keep names globally unique so a
+    // handed-off session can never collide with a neighbor's bot or be
+    // re-adopted by the wrong slot.
+    std::string name_prefix = "bot-";
+    // When set, overrides the server's static block assignment for the
+    // initial join port of client ordinal i (a shard router maps each bot
+    // to its home shard's endpoint).
+    std::function<uint16_t(int)> join_port;
   };
 
   ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,

@@ -156,6 +156,8 @@ void ClientRegistry::reset_run_counters() {
   counters.reassignments = 0;
   counters.stall_reassignments = 0;
   counters.governor_evictions = 0;
+  counters.handoffs_out = 0;
+  counters.handoffs_in = 0;
   // counters.resumed_clients deliberately survives (lifetime counter).
 }
 

@@ -159,6 +159,8 @@ class ClientRegistry {
     uint64_t reassignments = 0;      // region-based migrations
     uint64_t stall_reassignments = 0;  // watchdog migrations
     uint64_t governor_evictions = 0;   // governor rung-4 evictions
+    uint64_t handoffs_out = 0;         // sessions extracted for a neighbor
+    uint64_t handoffs_in = 0;          // sessions adopted from a neighbor
     uint64_t resumed_clients = 0;      // lifetime: checkpoint re-adoptions
   };
   RunCounters counters;

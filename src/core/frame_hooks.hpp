@@ -102,6 +102,11 @@ class FrameHook {
   // Master window, last callback of the frame (metrics point).
   virtual void on_frame_end(vt::TimePoint /*frame_start*/, int /*moves*/,
                             ThreadStats& /*st*/) {}
+  // A worker's select() timed out with no frame due: the engine is idle
+  // but alive. Liveness beacons hang off this (a starved engine parked in
+  // select must not read as a wedged one); implementations must be cheap
+  // and must not draw orders or charge compute — no frame is open.
+  virtual void on_idle_wait(int /*tid*/) {}
   // Warmup boundary (Server::reset_stats).
   virtual void on_reset_stats() {}
 };
@@ -162,6 +167,9 @@ class HookList {
   }
   void frame_end(vt::TimePoint frame_start, int moves, ThreadStats& st) const {
     for (FrameHook* h : frame_) h->on_frame_end(frame_start, moves, st);
+  }
+  void idle_wait(int tid) const {
+    for (FrameHook* h : frame_) h->on_idle_wait(tid);
   }
   void reset_stats() const {
     for (FrameHook* h : frame_) h->on_reset_stats();

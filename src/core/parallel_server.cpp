@@ -56,6 +56,7 @@ vt::Duration ParallelServer::total_inter_wait_frame() const {
 void ParallelServer::worker_loop(int tid) {
   ThreadStats& st = stats_[static_cast<size_t>(tid)];
 
+  active_workers_.fetch_add(1, std::memory_order_acq_rel);
   while (!stop_requested()) {
     if (watchdog_ != nullptr) watchdog_->heartbeat(tid, platform_.now());
 
@@ -91,7 +92,10 @@ void ParallelServer::worker_loop(int tid) {
     // heartbeat is stale, fall through and run a maintenance frame so the
     // master duties below can reap / adjudicate even on an otherwise idle
     // server.
-    if (!ready && !reap_due() && !watchdog_due(tid)) continue;
+    if (!ready && !reap_due() && !watchdog_due(tid)) {
+      hooks_.idle_wait(tid);
+      continue;
+    }
     platform_.compute(cfg_.costs.select_syscall);
 
     bool is_master = false;
@@ -235,6 +239,9 @@ void ParallelServer::worker_loop(int tid) {
       sync_mu_->unlock();
     }
   }
+  // Must stay the last statement touching `this`: once the count hits
+  // zero a shard supervisor may destroy the engine (Shard::quiesced()).
+  active_workers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace qserv::core

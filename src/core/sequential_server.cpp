@@ -23,6 +23,7 @@ void SequentialServer::start() {
 
 void SequentialServer::main_loop() {
   ThreadStats& st = stats_[0];
+  active_workers_.fetch_add(1, std::memory_order_acq_rel);
   while (!stop_requested()) {
     // S: spin in select until a client request arrives.
     const vt::TimePoint idle0 = platform_.now();
@@ -40,6 +41,7 @@ void SequentialServer::main_loop() {
         pipeline_->maintenance().reap_timed_out_clients(st);
         pipeline_->maintenance().run_invariant_check();
       }
+      hooks_.idle_wait(0);
       continue;
     }
     platform_.compute(cfg_.costs.select_syscall);
@@ -70,6 +72,9 @@ void SequentialServer::main_loop() {
     pipeline_->maintenance().run_master_window(0, frame_start, moves, st,
                                                /*harvest_locks=*/false);
   }
+  // Must stay the last statement touching `this`: once the count hits
+  // zero a shard supervisor may destroy the engine (Shard::quiesced()).
+  active_workers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace qserv::core

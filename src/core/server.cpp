@@ -9,8 +9,10 @@
 #include "src/obs/engine_hook.hpp"
 #include "src/obs/trace.hpp"
 #include "src/recovery/checkpoint.hpp"
+#include "src/recovery/digest.hpp"
 #include "src/recovery/engine_hook.hpp"
 #include "src/resilience/engine_hook.hpp"
+#include "src/sim/move.hpp"
 #include "src/util/check.hpp"
 
 namespace qserv::core {
@@ -220,23 +222,171 @@ const recovery::BlackBox* Server::blackbox() const {
 }
 
 recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
+  return restore_from(image, {}, nullptr);
+}
+
+namespace {
+
+struct NullEventSink final : sim::EventSink {
+  void emit(const net::GameEvent&) override {}
+};
+
+}  // namespace
+
+recovery::LoadError Server::restore_from(
+    const std::vector<uint8_t>& image,
+    const std::vector<uint8_t>& journal_image, RestoreStats* stats) {
+  using recovery::LoadError;
   recovery::CheckpointData c;
-  const recovery::LoadError err = recovery::decode_checkpoint(image, c);
-  if (err != recovery::LoadError::kNone) return err;
+  const LoadError err = recovery::decode_checkpoint(image, c);
+  if (err != LoadError::kNone) return err;
+
+  // Decode and validate the journal tail before touching any state: a
+  // bad journal must leave this freshly constructed server untouched so
+  // the caller can fall back to the checkpoint-only restore.
+  recovery::JournalFile jf;
+  std::vector<const recovery::FrameJournal*> tail;
+  if (!journal_image.empty()) {
+    const LoadError jerr = recovery::decode_journal(journal_image, jf);
+    if (jerr != LoadError::kNone) return jerr;
+    uint64_t expected = c.frame + 1;
+    for (const auto& fj : jf.frames) {
+      if (fj.frame <= c.frame) continue;  // ring reaches further back
+      if (fj.frame != expected) return LoadError::kCorrupt;  // gap
+      ++expected;
+      tail.push_back(&fj);
+    }
+  }
+
+  // Detach cost charging for the whole restore: re-executed work already
+  // paid its cost in the original timeline (re-charging would advance
+  // virtual time and diverge from replay.cpp's model), and a shard
+  // supervisor drives this from a platform timer, outside any fiber.
+  struct ChargingGuard {
+    sim::World& w;
+    vt::Platform* saved;
+    explicit ChargingGuard(sim::World& world)
+        : w(world), saved(world.exchange_platform(nullptr)) {}
+    ~ChargingGuard() { w.exchange_platform(saved); }
+  } charging_guard(world_);
 
   world_.reserve_entities(c.entity_storage);
   recovery::restore_world(c, world_);
-  // Map checkpoint-time onto restart-time: every absolute-time entity
-  // field shifts by the same delta, so cooldowns, respawns and projectile
-  // expiries keep their remaining durations.
-  world_.rebase_times(platform_.now() - vt::TimePoint{c.captured_at_ns});
 
-  pipeline_->restore(c.frame, c.next_order);
+  // The registry image evolves through the tail: lifecycle records add
+  // and remove sessions after the checkpoint. kInvalidSlot marks records
+  // born in the tail — they get a free slot index at install time.
+  constexpr uint16_t kInvalidSlot = 0xffff;
+  std::vector<recovery::ClientRecord> clients = c.clients;
+  std::vector<uint16_t> evicted(c.evicted_ports);
+  const auto find_client = [&clients](uint32_t entity) -> int {
+    for (size_t i = 0; i < clients.size(); ++i)
+      if (clients[i].entity_id == entity) return static_cast<int>(i);
+    return -1;
+  };
+
+  // Re-execute the tail against the restored world, in checkpoint-era
+  // time (rebasing happens after, off the last replayed frame), checking
+  // every frame digest. A mismatch means the journal and checkpoint
+  // disagree; this half-replayed server must then be discarded.
+  NullEventSink sink;
+  uint64_t next_order = c.next_order;
+  uint64_t resume_frame = c.frame;
+  int64_t resume_t_ns = c.captured_at_ns;
+  RestoreStats rs;
+  rs.checkpoint_frame = c.frame;
+  for (const recovery::FrameJournal* fj : tail) {
+    for (const auto& rec : fj->records) {
+      switch (rec.kind) {
+        case recovery::RecordKind::kWorldPhase:
+          world_.world_phase(vt::TimePoint{rec.t_ns},
+                             vt::Duration{rec.dt_ns}, sink);
+          break;
+        case recovery::RecordKind::kMoveExec: {
+          sim::Entity* p = world_.get(rec.entity);
+          if (p == nullptr || !p->is_player())
+            return LoadError::kReplayDiverged;
+          sim::execute_move(world_, *p, rec.cmd, vt::TimePoint{rec.t_ns},
+                            nullptr, &sink, rec.order);
+          ++rs.tail_moves;
+          const int ci = find_client(rec.entity);
+          if (ci >= 0) {
+            clients[static_cast<size_t>(ci)].last_seq = rec.cmd.sequence;
+            clients[static_cast<size_t>(ci)].last_move_time_ns = rec.t_ns;
+          }
+          break;
+        }
+        case recovery::RecordKind::kConnectSpawn:
+        case recovery::RecordKind::kHandoffIn: {
+          sim::Entity& e = world_.spawn_player(rec.name);
+          if (e.id != rec.entity) return LoadError::kReplayDiverged;
+          if (rec.kind == recovery::RecordKind::kHandoffIn) {
+            recovery::apply_handoff_state(e, rec.hand);
+            world_.relink(e);
+          }
+          ++rs.tail_lifecycle;
+          recovery::ClientRecord r;
+          r.slot = kInvalidSlot;
+          r.remote_port = rec.port;
+          r.name = rec.name;
+          r.entity_id = rec.entity;
+          r.owner_thread = rec.thread;
+          clients.push_back(std::move(r));
+          break;
+        }
+        case recovery::RecordKind::kDisconnect:
+        case recovery::RecordKind::kEvict:
+        case recovery::RecordKind::kHandoffOut: {
+          if (world_.get(rec.entity) == nullptr)
+            return LoadError::kReplayDiverged;
+          world_.remove_entity(rec.entity);
+          ++rs.tail_lifecycle;
+          const int ci = find_client(rec.entity);
+          if (ci >= 0) clients.erase(clients.begin() + ci);
+          if (rec.kind == recovery::RecordKind::kEvict)
+            evicted.push_back(rec.port);
+          break;
+        }
+        case recovery::RecordKind::kDropped:
+          break;  // forensic only
+      }
+      if (rec.order != recovery::kNoOrder && rec.order >= next_order)
+        next_order = rec.order + 1;
+    }
+    if (recovery::world_digest(world_) != fj->digest)
+      return LoadError::kReplayDiverged;
+    ++rs.tail_frames;
+    resume_frame = fj->frame;
+    resume_t_ns = fj->world_t0_ns + fj->world_dt_ns;
+  }
+  rs.resume_frame = resume_frame;
+  rs.digest_verified = !tail.empty();
+
+  // Map recorded-time onto restart-time: every absolute-time entity
+  // field shifts by the same delta, so cooldowns, respawns and projectile
+  // expiries keep their remaining durations. Anchored at the end of the
+  // last replayed frame (the checkpoint capture time when no tail ran).
+  world_.rebase_times(platform_.now() - vt::TimePoint{resume_t_ns});
+
+  pipeline_->restore(resume_frame, next_order);
+
+  // Replies sent during the tail advanced each channel's out-sequence
+  // past the checkpointed value; a peer that saw them would discard
+  // resumed packets re-using those sequences as old. Skip past the
+  // frames the tail could have sent (plus slack for the loss-burst the
+  // crash itself caused).
+  const uint32_t out_seq_bump =
+      tail.empty() ? 0 : static_cast<uint32_t>(rs.tail_frames) + 8;
 
   vt::LockGuard g(registry_.mutex());
-  for (const auto& r : c.clients) {
-    if (r.slot >= registry_.slots().size()) continue;
-    ClientSlot& cl = registry_.slot(static_cast<int>(r.slot));
+  for (const auto& r : clients) {
+    int slot_index = static_cast<int>(r.slot);
+    if (r.slot == kInvalidSlot) slot_index = registry_.find_free_locked();
+    if (slot_index < 0 ||
+        slot_index >= static_cast<int>(registry_.slots().size()))
+      continue;
+    ClientSlot& cl = registry_.slot(slot_index);
+    if (cl.in_use) continue;
     cl.in_use = true;
     cl.entity_id = r.entity_id;
     cl.remote_port = r.remote_port;
@@ -263,19 +413,95 @@ recovery::LoadError Server::restore_from(const std::vector<uint8_t>& image) {
     cl.awaiting_resume = true;
     cl.chan = std::make_unique<net::NetChannel>(
         *sockets_[static_cast<size_t>(cl.owner_thread)], r.remote_port);
-    cl.chan->restore_state(r.chan_out_seq, r.chan_in_seq, r.chan_in_acked);
+    cl.chan->restore_state(r.chan_out_seq + out_seq_bump, r.chan_in_seq,
+                           r.chan_in_acked);
     cl.buffer = std::make_unique<ReplyBuffer>(platform_);
     cl.history.clear();
     cl.client_baseline_frame = 0;  // forces a full snapshot
     cl.bucket.configure(cfg_.resilience.move_rate_limit,
                         cfg_.resilience.move_burst);
     cl.moves_since_scan = 0;
-    registry_.bind_port_locked(r.remote_port, static_cast<int>(r.slot));
+    registry_.bind_port_locked(r.remote_port, slot_index);
   }
-  for (const uint16_t p : c.evicted_ports)
-    registry_.remember_evicted_locked(p);
+  for (const uint16_t p : evicted) registry_.remember_evicted_locked(p);
   registry_.set_restored();
-  return recovery::LoadError::kNone;
+  if (stats != nullptr) *stats = rs;
+  return LoadError::kNone;
+}
+
+bool Server::extract_session(uint16_t port, SessionTransfer& out) {
+  vt::LockGuard g(registry_.mutex());
+  const int idx = registry_.index_of_port_locked(port);
+  if (idx < 0) return false;
+  ClientSlot& cl = registry_.slot(idx);
+  if (!cl.in_use || cl.pending_spawn || cl.pending_disconnect) return false;
+  sim::Entity* e = world_.get(cl.entity_id);
+  if (e == nullptr) return false;
+  out.name = cl.name;
+  out.remote_port = cl.remote_port;
+  out.last_seq = cl.last_seq;
+  out.last_move_time_ns = cl.last_move_time_ns;
+  if (cl.chan != nullptr) {
+    out.chan_out_seq = cl.chan->out_sequence();
+    out.chan_in_seq = cl.chan->in_sequence();
+    out.chan_in_acked = cl.chan->peer_acked();
+  }
+  out.state = recovery::capture_handoff_state(*e);
+  if (recovery_ != nullptr)
+    recovery_->record_handoff_out(port, cl.entity_id, cl.name);
+  // Master window: workers idle at the barrier, no list locks needed
+  // (same argument as checkpoint capture).
+  world_.remove_entity(cl.entity_id);
+  registry_.unbind_port_locked(port);
+  registry_.release_slot_locked(cl);
+  ++registry_.counters.handoffs_out;
+  return true;
+}
+
+bool Server::adopt_session(const SessionTransfer& t) {
+  vt::LockGuard g(registry_.mutex());
+  // Capacity and port checks come before the spawn: a failed adoption
+  // must not consume world RNG or the replay diverges.
+  if (registry_.index_of_port_locked(t.remote_port) >= 0) return false;
+  const int idx = registry_.find_free_locked();
+  if (idx < 0) return false;
+  sim::Entity& e = world_.spawn_player(t.name);
+  recovery::apply_handoff_state(e, t.state);
+  world_.relink(e);
+  ClientSlot& cl = registry_.slot(idx);
+  cl.in_use = true;
+  cl.entity_id = e.id;
+  cl.remote_port = t.remote_port;
+  cl.name = t.name;
+  cl.owner_thread = idx % std::max(1, cfg_.threads);
+  cl.connect_tid = cl.owner_thread;
+  // The next snapshot re-teaches the peer its new server port; a forced
+  // full snapshot (baseline 0) makes it self-contained.
+  cl.notify_port = true;
+  cl.pending_spawn = false;
+  cl.pending_disconnect = false;
+  cl.awaiting_resume = false;
+  cl.last_seq = t.last_seq;
+  cl.last_move_time_ns = t.last_move_time_ns;
+  std::atomic_ref<int64_t>(cl.last_heard_ns)
+      .store(platform_.now().ns, std::memory_order_relaxed);
+  // Queue a reply even before the peer sends here: the redirect must
+  // reach it proactively or it keeps addressing the old shard.
+  cl.pending_reply = true;
+  cl.chan = std::make_unique<net::NetChannel>(
+      *sockets_[static_cast<size_t>(cl.owner_thread)], t.remote_port);
+  cl.chan->restore_state(t.chan_out_seq, t.chan_in_seq, t.chan_in_acked);
+  cl.buffer = std::make_unique<ReplyBuffer>(platform_);
+  cl.history.clear();
+  cl.client_baseline_frame = 0;
+  cl.bucket.configure(cfg_.resilience.move_rate_limit,
+                      cfg_.resilience.move_burst);
+  cl.moves_since_scan = 0;
+  registry_.bind_port_locked(t.remote_port, idx);
+  if (recovery_ != nullptr)
+    recovery_->record_handoff_in(t.remote_port, e.id, t.name, t.state);
+  ++registry_.counters.handoffs_in;
+  return true;
 }
 
 std::string Server::dump_blackbox(const std::string& label,

@@ -22,6 +22,7 @@
 #include "src/core/frame_stats.hpp"
 #include "src/core/global_state.hpp"
 #include "src/net/virtual_udp.hpp"
+#include "src/recovery/journal.hpp"
 #include "src/sim/world.hpp"
 
 namespace qserv::obs {
@@ -68,6 +69,19 @@ class Server : public Engine {
 
   // Number of worker threads (1 for the sequential server).
   virtual int thread_count() const = 0;
+
+  // Worker fibers currently inside their loops. Reaches 0 only after a
+  // requested stop has fully drained; a shard supervisor polls this for
+  // quiescence before tearing a failed engine down.
+  int active_workers() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+
+  // Registers an external satellite on the hook seam (a shard-layer
+  // FrameHook, a test probe). Call before start(); the pointer must
+  // outlive the server.
+  void add_frame_hook(FrameHook* h) { hooks_.add(h); }
+  void add_lifecycle_observer(LifecycleObserver* o) { hooks_.add(o); }
 
   // The server port a joining client with ordinal `i` of `expected`
   // should initially address (static block assignment, §3.1).
@@ -169,6 +183,29 @@ class Server : public Engine {
   // ports (channel state survives) or re-adopt their slot by name when
   // they reconnect from a fresh port.
   recovery::LoadError restore_from(const std::vector<uint8_t>& image);
+
+  // What a tail-replaying restore actually did (supervisor / bench
+  // reporting).
+  struct RestoreStats {
+    uint64_t checkpoint_frame = 0;
+    uint64_t resume_frame = 0;   // frame counter after the journal tail
+    uint64_t tail_frames = 0;    // journal frames re-executed
+    uint64_t tail_moves = 0;
+    uint64_t tail_lifecycle = 0;
+    bool digest_verified = false;  // every tail frame matched its digest
+  };
+  // Warm restart with journal-tail replay: restores the checkpoint, then
+  // re-executes the journal frames recorded after it — digest-verified
+  // per frame — so the engine resumes at the failure frame instead of
+  // silently dropping post-checkpoint history. Registry deltas in the
+  // tail (spawns, disconnects, evictions, cross-shard handoffs) are
+  // applied to the restored slots. Returns kReplayDiverged on a digest
+  // mismatch, after which this server must be discarded (state is
+  // partially replayed).
+  recovery::LoadError restore_from(const std::vector<uint8_t>& image,
+                                   const std::vector<uint8_t>& journal_image,
+                                   RestoreStats* stats);
+
   bool restored() const { return registry_.restored(); }
   // Checkpointed clients re-adopted through a reconnect (by port or name).
   uint64_t resumed_clients() const {
@@ -178,6 +215,43 @@ class Server : public Engine {
   // meta) now; returns the dump directory or "" (disabled / I/O failure).
   std::string dump_blackbox(const std::string& label,
                             const std::string& why) override;
+
+  // --- cross-shard session handoff (master window / pre-start only) ---
+  // A player session packaged for adoption by a neighboring shard engine:
+  // identity, liveness sequencing, netchan state (the peer must see one
+  // continuous packet stream across the handoff) and the closed
+  // HandoffState gameplay-field list.
+  struct SessionTransfer {
+    std::string name;
+    uint16_t remote_port = 0;
+    uint32_t last_seq = 0;
+    int64_t last_move_time_ns = 0;
+    uint32_t chan_out_seq = 0;
+    uint32_t chan_in_seq = 0;
+    uint32_t chan_in_acked = 0;
+    recovery::HandoffState state;
+  };
+  // Packages the session on `port` and removes it from this engine:
+  // captures the handoff state, journals kHandoffOut, removes the entity
+  // and releases the slot. False when the port has no live settled slot.
+  // Permanently detaches world cost charging on this server. Only for
+  // never-started throwaway engines (the shard supervisor's shed path
+  // restores one purely to extract sessions, from a timer context where
+  // no virtual CPU can be charged).
+  void detach_world_charging() { world_.exchange_platform(nullptr); }
+
+  bool extract_session(uint16_t port, SessionTransfer& out);
+  // Installs a transferred session on this engine: spawns a player named
+  // t.name (consuming the world RNG exactly as journal replay will),
+  // applies the carried state, relinks at the carried origin, binds the
+  // port and flags notify_port + a forced full snapshot so the peer's
+  // next reply re-teaches it the new server port. Journals kHandoffIn.
+  // False when the registry is full or the port is already bound (no
+  // world state is touched in that case — callers may retry elsewhere).
+  bool adopt_session(const SessionTransfer& t);
+  // Sessions handed to / adopted from neighboring shards this run.
+  uint64_t handoffs_out() const { return registry_.counters.handoffs_out; }
+  uint64_t handoffs_in() const { return registry_.counters.handoffs_in; }
 
   const sim::World& world() const override { return world_; }
   sim::World& world() { return world_; }
@@ -227,6 +301,7 @@ class Server : public Engine {
   FrameLockStats frame_lock_stats_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<int> active_workers_{0};
   bool frame_trace_enabled_ = false;
   obs::Tracer* tracer_ = nullptr;            // non-owning, may be null
   obs::MetricsRegistry* metrics_ = nullptr;  // non-owning, may be null

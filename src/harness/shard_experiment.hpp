@@ -1,0 +1,93 @@
+// Multi-shard testbed: one simulated machine hosting a ShardManager fleet
+// plus the full client population, with a fault-schedule seam for crash /
+// stall injection against individual shards. The harvest exposes what the
+// failover bench and the sharding tests assert on: client survival,
+// supervisor actions, per-shard recovery stats, and each live shard's
+// journal digest stream (for cross-run bit-identity checks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/bots/client_driver.hpp"
+#include "src/shard/manager.hpp"
+#include "src/spatial/map.hpp"
+#include "src/vthread/sim_platform.hpp"
+
+namespace qserv::harness {
+
+struct ShardExperimentConfig {
+  shard::Config fleet;  // manager config; fleet.server is the engine template
+  int players = 64;     // total, striped across shards at join
+  vt::Duration warmup = vt::seconds(2);
+  vt::Duration measure = vt::seconds(8);
+  vt::Duration client_frame = vt::millis(33);
+  float bot_aggression = 0.8f;
+  float bot_grenade_ratio = 0.3f;
+  uint64_t seed = 1;
+  vt::Duration client_silence_timeout{};
+  bots::ClientDriver::ChurnConfig churn;
+  // Per-(src,dst)-flow RNG in the virtual network: one shard's traffic
+  // cannot perturb another shard's loss/jitter draws, which is what makes
+  // an unaffected shard's digest stream comparable across runs.
+  bool deterministic_flows = true;
+  // Network fault episodes (loss bursts, partitions), as in experiment.hpp.
+  std::function<void(net::VirtualNetwork&)> configure_network;
+  // Fleet fault schedule: called after the manager is built and before
+  // anything starts; use platform.call_after to crash/stall shards mid-run.
+  std::function<void(vt::Platform&, shard::ShardManager&)> schedule_faults;
+  // Machine model. Sharded runs host shards*threads server fibers, so the
+  // default is wider than the paper's quad testbed.
+  vt::SimPlatform::MachineConfig machine{.cores = 8, .ht_per_core = 2};
+  std::shared_ptr<const spatial::GameMap> map;
+};
+
+struct ShardExperimentResult {
+  // Client side.
+  int connected = 0;  // clients holding a live session at the end
+  double response_rate = 0.0;
+  double response_ms_mean = 0.0;
+  double response_ms_p95 = 0.0;
+  uint64_t client_moves_sent = 0;
+  uint64_t client_replies = 0;
+  uint64_t client_sessions = 0;
+  uint64_t silence_reconnects = 0;
+
+  // Fleet side.
+  int shard_connected = 0;  // registry-side sum over live shards
+  uint64_t handoffs_out = 0;
+  uint64_t handoffs_in = 0;
+  uint64_t supervisor_ticks = 0;
+
+  struct PerShard {
+    shard::ShardState state = shard::ShardState::kHealthy;
+    bool down = false;
+    int restores = 0;
+    uint64_t escalations = 0;
+    double last_pause_ms = 0.0;
+    bool last_used_tail = false;
+    core::Server::RestoreStats last_stats{};
+    recovery::LoadError last_error{};
+    uint64_t shed_sessions = 0;
+    uint64_t frames = 0;
+    int connected = 0;
+    uint64_t handoffs_out = 0;
+    uint64_t handoffs_in = 0;
+    uint64_t invariant_violations = 0;
+    // (frame, digest) pairs decoded from the shard's journal ring — the
+    // cross-run bit-identity evidence for unaffected shards.
+    std::vector<std::pair<uint64_t, uint64_t>> journal_digests;
+  };
+  std::vector<PerShard> shards;
+
+  uint64_t sim_events = 0;
+  double host_seconds = 0.0;
+};
+
+ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg);
+
+}  // namespace qserv::harness

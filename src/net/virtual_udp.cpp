@@ -50,7 +50,18 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
     vt::LockGuard g(*mu_);
     ++packets_sent_;
     bytes_sent_ += payload.size();
-    if (cfg_.loss > 0.0f && rng_.chance(cfg_.loss)) {
+    // deterministic_flows: draws for this packet are a pure function of
+    // (seed, src, dst, flow packet index) — other flows' traffic cannot
+    // shift them.
+    Rng flow_rng(0);
+    Rng* rng = &rng_;
+    if (cfg_.deterministic_flows) {
+      const uint32_t key = (static_cast<uint32_t>(src) << 16) | dst;
+      flow_rng = Rng(derive_seed(derive_seed(cfg_.seed, key),
+                                 flow_counters_[key]++));
+      rng = &flow_rng;
+    }
+    if (cfg_.loss > 0.0f && rng->chance(cfg_.loss)) {
       ++packets_dropped_;
       return false;
     }
@@ -70,7 +81,7 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
     target = it->second;
     vt::Duration delay = cfg_.latency;
     if (cfg_.jitter.ns > 0) {
-      const float sampled = rng_.normalish(static_cast<float>(cfg_.latency.ns),
+      const float sampled = rng->normalish(static_cast<float>(cfg_.latency.ns),
                                            static_cast<float>(cfg_.jitter.ns));
       delay.ns = std::max<int64_t>(0, static_cast<int64_t>(sampled));
     }
@@ -80,8 +91,14 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
     d.payload = std::move(payload);
     d.sent_at = platform_.now();
     d.deliver_at = d.sent_at + delay;
+    // Deliver while still holding the network lock: Socket::~Socket
+    // blocks in unregister() on the same lock, so the target cannot be
+    // destroyed out from under us — a supervised shard restore tears
+    // down a live engine's sockets while peers are still sending.
+    // Lock order stays acyclic: net -> socket -> (released) -> selector
+    // core; nothing acquires the network lock while holding either.
+    target->deliver(std::move(d));
   }
-  target->deliver(std::move(d));
   return true;
 }
 
@@ -95,7 +112,7 @@ bool Socket::send(uint16_t dst, std::vector<uint8_t> payload) {
 }
 
 void Socket::deliver(Datagram d) {
-  Selector* to_notify = nullptr;
+  std::shared_ptr<SelectorCore> to_notify;
   {
     vt::LockGuard g(*mu_);
     if (queue_.size() >= net_.cfg_.socket_buffer) {
@@ -106,12 +123,16 @@ void Socket::deliver(Datagram d) {
     }
     queue_.emplace(std::make_pair(d.deliver_at.ns, arrival_seq_++),
                    std::move(d));
-    to_notify = selector_;
+    to_notify = notify_;
   }
   // Notify outside the socket lock: the selector's wait path locks
   // selector-then-socket, so locking socket-then-selector here would
-  // deadlock on the real platform.
-  if (to_notify != nullptr) to_notify->notify();
+  // deadlock on the real platform. The shared_ptr keeps the selector's
+  // mutex/condvar alive even if the selector itself is being destroyed.
+  if (to_notify != nullptr) {
+    vt::LockGuard g(*to_notify->mu);
+    to_notify->cv->broadcast();
+  }
 }
 
 bool Socket::try_recv(Datagram& out) {
@@ -141,14 +162,16 @@ size_t Socket::queued() const {
 }
 
 Selector::Selector(vt::Platform& platform)
-    : platform_(platform),
-      mu_(platform.make_mutex("selector")),
-      cv_(platform.make_condvar()) {}
+    : platform_(platform), core_(std::make_shared<SelectorCore>()) {
+  core_->mu = platform.make_mutex("selector");
+  core_->cv = platform.make_condvar();
+}
 
 Selector::~Selector() {
   for (Socket* s : sockets_) {
     vt::LockGuard g(*s->mu_);
     s->selector_ = nullptr;
+    s->notify_.reset();
   }
 }
 
@@ -156,26 +179,28 @@ void Selector::add(Socket& s) {
   vt::LockGuard g(*s.mu_);
   QSERV_CHECK_MSG(s.selector_ == nullptr, "socket already has a selector");
   s.selector_ = this;
+  s.notify_ = core_;
   sockets_.push_back(&s);
 }
 
 void Selector::remove(Socket& s) {
   // Selector lock first, then socket lock — the same order the wait path
-  // uses (wait_until holds mu_ while querying each socket).
+  // uses (wait_until holds the core mutex while querying each socket).
   {
-    vt::LockGuard g(*mu_);
+    vt::LockGuard g(*core_->mu);
     std::erase(sockets_, &s);
   }
   vt::LockGuard g(*s.mu_);
   QSERV_CHECK_MSG(s.selector_ == this, "removing socket from wrong selector");
   s.selector_ = nullptr;
+  s.notify_.reset();
 }
 
 bool Selector::wait_until(vt::TimePoint deadline) {
-  vt::LockGuard g(*mu_);
+  vt::LockGuard g(*core_->mu);
   for (;;) {
-    if (poked_) {
-      poked_ = false;
+    if (core_->poked) {
+      core_->poked = false;
       return false;
     }
     vt::TimePoint earliest = vt::TimePoint::max();
@@ -186,19 +211,14 @@ bool Selector::wait_until(vt::TimePoint deadline) {
     if (deadline <= now) return false;
     // Sleep until either new traffic arrives (signal) or the earlier of
     // (queued-packet delivery time, caller deadline).
-    cv_->wait_until(*mu_, std::min(deadline, earliest));
+    core_->cv->wait_until(*core_->mu, std::min(deadline, earliest));
   }
 }
 
 void Selector::poke() {
-  vt::LockGuard g(*mu_);
-  poked_ = true;
-  cv_->broadcast();
-}
-
-void Selector::notify() {
-  vt::LockGuard g(*mu_);
-  cv_->broadcast();
+  vt::LockGuard g(*core_->mu);
+  core_->poked = true;
+  core_->cv->broadcast();
 }
 
 }  // namespace qserv::net

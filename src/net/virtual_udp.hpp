@@ -39,6 +39,18 @@ struct Datagram {
 class Socket;
 class Selector;
 
+// The notification half of a Selector, shared (via shared_ptr) with every
+// socket it watches. A delivering thread copies the shared_ptr under the
+// socket lock and broadcasts after releasing it, so the mutex/condvar stay
+// alive even if the selector — or the whole engine that owns it — is torn
+// down concurrently (a supervised shard restore destroys a live engine
+// while peers are still sending to its ports).
+struct SelectorCore {
+  std::unique_ptr<vt::Mutex> mu;
+  std::unique_ptr<vt::CondVar> cv;
+  bool poked = false;  // guarded by mu
+};
+
 class VirtualNetwork {
  public:
   struct Config {
@@ -50,6 +62,13 @@ class VirtualNetwork {
     // bounds a saturated server's request backlog.
     size_t socket_buffer = 128;
     uint64_t seed = 1;
+    // When set, loss and jitter draws come from a stateless hash of
+    // (seed, src, dst, per-flow packet counter) instead of the shared
+    // network RNG. Traffic on one flow then cannot perturb the draws
+    // another flow sees — required for cross-run digest comparisons on a
+    // multi-shard network, where one shard's extra packets must not
+    // change its neighbors' delivery pattern.
+    bool deterministic_flows = false;
   };
 
   VirtualNetwork(vt::Platform& platform, Config cfg);
@@ -93,6 +112,8 @@ class VirtualNetwork {
   std::map<uint16_t, Socket*> ports_;
   std::unique_ptr<FaultScheduler> faults_;  // null until faults() is called
   Rng rng_;
+  // Per-(src,dst) packet counters for deterministic_flows (guarded by mu_).
+  std::map<uint32_t, uint64_t> flow_counters_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   std::atomic<uint64_t> packets_overflow_{0};
@@ -146,7 +167,10 @@ class Socket {
   std::multimap<std::pair<int64_t, uint64_t>, Datagram> queue_;
   uint64_t arrival_seq_ = 0;
   uint64_t received_ = 0;
-  Selector* selector_ = nullptr;  // at most one watcher
+  Selector* selector_ = nullptr;  // at most one watcher (bookkeeping only)
+  // Kept alongside selector_ (both guarded by mu_): deliver() notifies
+  // through this so the wakeup survives concurrent selector teardown.
+  std::shared_ptr<SelectorCore> notify_;
 };
 
 // select(2) emulation over a fixed set of sockets. One selector per
@@ -176,13 +200,9 @@ class Selector {
  private:
   friend class Socket;
 
-  void notify();  // called by sockets on delivery
-
   vt::Platform& platform_;
-  std::unique_ptr<vt::Mutex> mu_;
-  std::unique_ptr<vt::CondVar> cv_;
+  std::shared_ptr<SelectorCore> core_;
   std::vector<Socket*> sockets_;
-  bool poked_ = false;
 };
 
 }  // namespace qserv::net

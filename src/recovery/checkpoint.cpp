@@ -97,6 +97,7 @@ const char* load_error_name(LoadError e) {
     case LoadError::kBadMagic: return "bad-magic";
     case LoadError::kBadVersion: return "bad-version";
     case LoadError::kCorrupt: return "corrupt";
+    case LoadError::kReplayDiverged: return "replay-diverged";
   }
   return "?";
 }
@@ -272,10 +273,13 @@ void restore_world(const CheckpointData& c, sim::World& w) {
 
 size_t CheckpointManager::store(const CheckpointData& c) {
   const auto t0 = std::chrono::steady_clock::now();
-  const int next = current_ == 0 ? 1 : 0;
+  // Encode fully into the unpublished buffer first; the release-store
+  // below is the single publication point (see the class comment's
+  // swap-order audit).
+  const int next = current_.load(std::memory_order_relaxed) == 0 ? 1 : 0;
   buf_[next] = encode_checkpoint(c);
   frame_[next] = c.frame;
-  current_ = next;
+  current_.store(next, std::memory_order_release);
   const auto t1 = std::chrono::steady_clock::now();
   last_pause_ns_ =
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -30,10 +31,11 @@ inline constexpr uint32_t kCheckpointVersion = 1;         // qserv-ckpt-v1
 
 enum class LoadError : uint8_t {
   kNone = 0,
-  kTruncated,    // ran out of bytes mid-field
-  kBadMagic,     // not a checkpoint file
-  kBadVersion,   // format version we don't speak
-  kCorrupt,      // internal inconsistency (count exceeds bounds, ...)
+  kTruncated,       // ran out of bytes mid-field
+  kBadMagic,        // not a checkpoint file
+  kBadVersion,      // format version we don't speak
+  kCorrupt,         // internal inconsistency (count exceeds bounds, ...)
+  kReplayDiverged,  // journal-tail replay digest mismatch during restore
 };
 const char* load_error_name(LoadError e);
 
@@ -97,15 +99,27 @@ void restore_world(const CheckpointData& c, sim::World& w);
 // buffer NOT currently published, then atomically publishes it, so
 // latest() (and the signal handler's raw pointer) always see a complete
 // image. Tracks the serialize-pause budget the acceptance criteria bound.
+//
+// Swap-order audit (why a stall or crash mid-store can never tear the
+// published image): store(N) writes buf_[next] while current_ still names
+// the buffer store(N-1) published — the one every reader (latest(), the
+// signal handler's republished pointer, a shard supervisor peeking at a
+// quarantined engine) holds. Only after encode_checkpoint() fully
+// returned does the atomic release-store of current_ flip readers over;
+// a thread-stall fault injected anywhere inside store(), or a crash that
+// fires the signal dumper mid-encode, leaves current_ pointing at the
+// previous complete image. buf_[current] itself is not rewritten until
+// two stores later, by which point current_ (and the signal dump
+// pointer, republished every checkpoint) has moved off it.
 class CheckpointManager {
  public:
   // Encodes and publishes; returns the encoded size. Host-clock encode
   // time is recorded as the "pause" the master window spent serializing.
   size_t store(const CheckpointData& c);
 
-  bool has() const { return current_ >= 0; }
-  const std::vector<uint8_t>& latest() const { return buf_[current_ > 0]; }
-  uint64_t latest_frame() const { return frame_[current_ > 0]; }
+  bool has() const { return cur() >= 0; }
+  const std::vector<uint8_t>& latest() const { return buf_[cur() > 0]; }
+  uint64_t latest_frame() const { return frame_[cur() > 0]; }
 
   uint64_t count() const { return count_; }
   size_t last_bytes() const { return has() ? latest().size() : 0; }
@@ -113,9 +127,13 @@ class CheckpointManager {
   int64_t max_pause_ns() const { return max_pause_ns_; }
 
  private:
+  int cur() const { return current_.load(std::memory_order_acquire); }
+
   std::vector<uint8_t> buf_[2];
   uint64_t frame_[2] = {0, 0};
-  int current_ = -1;  // -1 none, else 0/1
+  // -1 none, else 0/1. Atomic: a supervisor thread may read latest()
+  // while the master window publishes the next image.
+  std::atomic<int> current_{-1};
   uint64_t count_ = 0;
   int64_t last_pause_ns_ = 0;
   int64_t max_pause_ns_ = 0;

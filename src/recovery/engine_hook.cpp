@@ -127,6 +127,32 @@ void ServerRecovery::on_client_evicted(int owner, uint16_t port,
   recorder_.record(static_cast<uint32_t>(owner), rec);
 }
 
+void ServerRecovery::record_handoff_out(uint16_t port, uint32_t entity,
+                                        const std::string& name) {
+  JournalRecord rec;
+  rec.kind = RecordKind::kHandoffOut;
+  rec.port = port;
+  rec.entity = entity;
+  rec.order = engine_.draw_order();
+  rec.t_ns = engine_.platform().now().ns;
+  rec.name = name;
+  recorder_.record(0, rec);
+}
+
+void ServerRecovery::record_handoff_in(uint16_t port, uint32_t entity,
+                                       const std::string& name,
+                                       const HandoffState& hs) {
+  JournalRecord rec;
+  rec.kind = RecordKind::kHandoffIn;
+  rec.port = port;
+  rec.entity = entity;
+  rec.order = engine_.draw_order();
+  rec.t_ns = engine_.platform().now().ns;
+  rec.name = name;
+  rec.hand = hs;
+  recorder_.record(0, rec);
+}
+
 CheckpointData ServerRecovery::make_checkpoint(uint64_t digest) {
   const core::ServerConfig& cfg = engine_.config();
   CheckpointData c;

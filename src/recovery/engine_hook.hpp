@@ -38,6 +38,14 @@ class ServerRecovery final : public core::FrameHook,
   // meta) now; returns the dump directory or "" on I/O failure.
   std::string dump(const std::string& label, const std::string& why);
 
+  // Cross-shard handoff journaling (master window only; the shard layer
+  // calls these around extract_session/adopt_session so replay can
+  // re-execute the migration deterministically).
+  void record_handoff_out(uint16_t port, uint32_t entity,
+                          const std::string& name);
+  void record_handoff_in(uint16_t port, uint32_t entity,
+                         const std::string& name, const HandoffState& hs);
+
   // --- FrameHook ---
   void on_world_tick(int tid, vt::TimePoint t0, vt::Duration dt) override;
   void on_move_executed(int tid, uint16_t port, uint32_t entity,

@@ -32,10 +32,23 @@ void encode_record(net::ByteWriter& w, const JournalRecord& r) {
     w.f32(r.cmd.side);
     w.f32(r.cmd.up);
     w.u8(r.cmd.buttons);
-  } else if (r.kind == RecordKind::kConnectSpawn) {
+  } else if (r.kind == RecordKind::kConnectSpawn ||
+             r.kind == RecordKind::kHandoffOut) {
     w.str(r.name);
   } else if (r.kind == RecordKind::kWorldPhase) {
     w.i64(r.dt_ns);
+  } else if (r.kind == RecordKind::kHandoffIn) {
+    w.str(r.name);
+    w.vec3(r.hand.origin);
+    w.vec3(r.hand.velocity);
+    w.f32(r.hand.yaw_deg);
+    w.i32(r.hand.health);
+    w.i32(r.hand.armor);
+    w.i32(r.hand.frags);
+    w.i32(r.hand.grenades);
+    w.u8(r.hand.weapon);
+    w.i64(r.hand.next_attack_ns);
+    w.u32(r.hand.deaths);
   }
 }
 
@@ -58,11 +71,25 @@ bool decode_record(net::ByteReader& r, JournalRecord& out) {
     out.cmd.side = r.f32();
     out.cmd.up = r.f32();
     out.cmd.buttons = r.u8();
-  } else if (out.kind == RecordKind::kConnectSpawn) {
+  } else if (out.kind == RecordKind::kConnectSpawn ||
+             out.kind == RecordKind::kHandoffOut) {
     out.name = r.str();
     if (out.name.size() > kMaxNameLen) return false;
   } else if (out.kind == RecordKind::kWorldPhase) {
     out.dt_ns = r.i64();
+  } else if (out.kind == RecordKind::kHandoffIn) {
+    out.name = r.str();
+    if (out.name.size() > kMaxNameLen) return false;
+    out.hand.origin = r.vec3();
+    out.hand.velocity = r.vec3();
+    out.hand.yaw_deg = r.f32();
+    out.hand.health = r.i32();
+    out.hand.armor = r.i32();
+    out.hand.frags = r.i32();
+    out.hand.grenades = r.i32();
+    out.hand.weapon = r.u8();
+    out.hand.next_attack_ns = r.i64();
+    out.hand.deaths = r.u32();
   }
   return r.ok();
 }
@@ -81,8 +108,38 @@ const char* record_kind_name(RecordKind k) {
     case RecordKind::kEvict: return "evict";
     case RecordKind::kDropped: return "dropped";
     case RecordKind::kWorldPhase: return "world-phase";
+    case RecordKind::kHandoffOut: return "handoff-out";
+    case RecordKind::kHandoffIn: return "handoff-in";
   }
   return "?";
+}
+
+HandoffState capture_handoff_state(const sim::Entity& e) {
+  HandoffState hs;
+  hs.origin = e.origin;
+  hs.velocity = e.velocity;
+  hs.yaw_deg = e.yaw_deg;
+  hs.health = e.health;
+  hs.armor = e.armor;
+  hs.frags = e.frags;
+  hs.grenades = e.grenades;
+  hs.weapon = static_cast<uint8_t>(e.weapon);
+  hs.next_attack_ns = e.next_attack.ns;
+  hs.deaths = e.deaths;
+  return hs;
+}
+
+void apply_handoff_state(sim::Entity& e, const HandoffState& hs) {
+  e.origin = hs.origin;
+  e.velocity = hs.velocity;
+  e.yaw_deg = hs.yaw_deg;
+  e.health = hs.health;
+  e.armor = hs.armor;
+  e.frags = hs.frags;
+  e.grenades = hs.grenades;
+  e.weapon = static_cast<sim::Weapon>(hs.weapon);
+  e.next_attack = vt::TimePoint{hs.next_attack_ns};
+  e.deaths = hs.deaths;
 }
 
 const char* drop_reason_name(DropReason r) {

@@ -31,7 +31,7 @@
 namespace qserv::recovery {
 
 inline constexpr uint32_t kJournalMagic = 0x6c6e726a;  // "jrnl"
-inline constexpr uint32_t kJournalVersion = 1;         // qserv-jrnl-v1
+inline constexpr uint32_t kJournalVersion = 2;         // qserv-jrnl-v2
 
 // Records with no serialization index (forensic-only) carry this; they
 // sort after every executed record within the frame.
@@ -48,7 +48,36 @@ enum class RecordKind : uint8_t {
   // it correctly even with lifecycle ops applied between frames (the
   // sequential server's idle-path reap).
   kWorldPhase = 6,
+  // Cross-shard session handoff (v2): the entity left for / arrived from
+  // a neighboring engine in the master window. kHandoffIn carries the
+  // full HandoffState so replay can re-materialize the player exactly.
+  kHandoffOut = 7,
+  kHandoffIn = 8,
 };
+
+// The gameplay-relevant player state a cross-shard handoff carries. This
+// is deliberately a closed list: both the live adoption path and journal
+// replay apply exactly these fields over a fresh spawn_player() (see
+// apply_handoff_state), so any field missing here keeps its spawn default
+// on BOTH paths and per-frame digests stay bit-identical.
+struct HandoffState {
+  Vec3 origin;
+  Vec3 velocity;
+  float yaw_deg = 0.0f;
+  int32_t health = 0;
+  int32_t armor = 0;
+  int32_t frags = 0;
+  int32_t grenades = 0;
+  uint8_t weapon = 0;
+  int64_t next_attack_ns = 0;
+  uint32_t deaths = 0;
+};
+
+// Captures the handoff payload from a live player entity.
+HandoffState capture_handoff_state(const sim::Entity& e);
+// Applies the payload over a freshly spawned player (live adoption and
+// replay both call this; see HandoffState). Does not relink.
+void apply_handoff_state(sim::Entity& e, const HandoffState& hs);
 
 // Why a datagram did not reach the world (forensics; never replayed).
 enum class DropReason : uint8_t {
@@ -81,7 +110,8 @@ struct JournalRecord {
   int64_t t_ns = 0;      // timestamp the operation executed with
   int64_t dt_ns = 0;     // kWorldPhase: the frame's dt
   net::MoveCmd cmd;      // kMoveExec payload
-  std::string name;      // kConnectSpawn payload
+  std::string name;      // kConnectSpawn / kHandoff* payload
+  HandoffState hand;     // kHandoffIn payload
 };
 
 struct FrameJournal {

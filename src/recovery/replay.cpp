@@ -143,7 +143,8 @@ ReplayResult replay_verify(const CheckpointData& ckpt,
           break;
         }
         case RecordKind::kDisconnect:
-        case RecordKind::kEvict: {
+        case RecordKind::kEvict:
+        case RecordKind::kHandoffOut: {
           if (world.get(rec.entity) == nullptr) {
             res.diverged = true;
             res.divergent_frame = fj.frame;
@@ -154,6 +155,25 @@ ReplayResult replay_verify(const CheckpointData& ckpt,
           }
           world.remove_entity(rec.entity);
           ++res.lifecycle_applied;
+          break;
+        }
+        case RecordKind::kHandoffIn: {
+          // Mirrors the live adoption path exactly: fresh spawn (consumes
+          // the world RNG identically), then the closed HandoffState field
+          // list, then relink at the carried origin.
+          sim::Entity& e = world.spawn_player(rec.name);
+          ++res.lifecycle_applied;
+          if (e.id != rec.entity) {
+            res.diverged = true;
+            res.divergent_frame = fj.frame;
+            res.divergent_entity = rec.entity;
+            res.detail = format(
+                "handoff-in allocated entity %u, live allocated %u", e.id,
+                rec.entity);
+            return res;
+          }
+          apply_handoff_state(e, rec.hand);
+          world.relink(e);
           break;
         }
         case RecordKind::kDropped:

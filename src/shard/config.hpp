@@ -1,0 +1,58 @@
+// Multi-shard engine configuration. One process hosts N independent
+// ClientRegistry+FramePipeline engines ("shards"), each owning an X-axis
+// slab of the map, each with its own port block, RNG stream, checkpoint /
+// journal namespace and failure domain. The knobs here size the fleet and
+// tune the supervisor's escalation policy; everything engine-level nests
+// in `server`, which the manager clones per shard with the derived
+// fields (base_port, seed, dump_dir) overridden.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/config.hpp"
+#include "src/util/rng.hpp"
+#include "src/vthread/time.hpp"
+
+namespace qserv::shard {
+
+struct Config {
+  // Fleet shape. Shard i's engine listens on
+  // base_port + i*port_stride .. + (threads-1); the stride bounds how
+  // many worker ports one shard may claim.
+  int shards = 4;
+  uint16_t base_port = 27500;
+  uint16_t port_stride = 64;
+
+  // Cross-shard session handoff. A player whose entity crosses its home
+  // slab's boundary by more than `boundary_margin` world units is
+  // extracted in the master window and mailed to the neighbor owning its
+  // position (hysteresis: the margin keeps a player oscillating on the
+  // line from ping-ponging between engines every frame). Set the margin
+  // wider than the map to pin sessions to their join shard (digest
+  // isolation benches).
+  bool handoff_enabled = true;
+  float boundary_margin = 24.0f;
+
+  // Supervisor cadence and escalation policy. A shard whose frame
+  // counter stops advancing for `heartbeat_timeout` while it still has
+  // connected clients — or that reports invariant violations, or whose
+  // crash flag is raised — is quarantined and restored from its last
+  // checkpoint + journal tail. After `max_restores` restorations (or a
+  // restore failure) the shard is shed instead: its sessions are handed
+  // to neighbor shards and its engine stays down.
+  vt::Duration supervise_interval = vt::millis(10);
+  vt::Duration heartbeat_timeout = vt::millis(100);
+  int max_restores = 2;
+
+  // Per-engine template. The manager overrides base_port, seed
+  // (derive_seed(seed, streams::kShardBase + i)) and recovery.dump_dir
+  // (suffix "/shard-<i>") per shard; every other field applies as-is.
+  core::ServerConfig server{};
+
+  // Root seed of the whole fleet (also the virtual network's, by harness
+  // convention).
+  uint64_t seed = 1;
+};
+
+}  // namespace qserv::shard

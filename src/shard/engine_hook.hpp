@@ -1,0 +1,49 @@
+// The shard layer's attachment to one engine generation: a FrameHook that
+// (a) publishes a heartbeat — frame counter, master-window clock,
+// connected count, invariant violations — as atomics the supervisor may
+// read from any thread, (b) drains the shard's inbound handoff mailbox in
+// the master window (the only single-threaded point of the frame), and
+// (c) detects sessions whose entities wandered past the shard's slab and
+// extracts them toward their new home. One hook per engine generation; a
+// rebuilt engine gets a fresh hook.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/frame_hooks.hpp"
+#include "src/core/server.hpp"
+
+namespace qserv::shard {
+
+class ShardManager;
+
+class ShardEngineHook final : public core::FrameHook {
+ public:
+  ShardEngineHook(ShardManager& mgr, int index, core::Server& server);
+
+  // --- FrameHook (engine threads) ---
+  void on_master_window(int tid, vt::TimePoint frame_start,
+                        core::ThreadStats& st) override;
+  void on_frame_end(vt::TimePoint frame_start, int moves,
+                    core::ThreadStats& st) override;
+  void on_idle_wait(int tid) override;
+
+ private:
+  void adopt_inbound(int64_t now_ns);
+  void migrate_outbound();
+  void rearm_redirects();
+
+  ShardManager& mgr_;
+  int index_;
+  core::Server& server_;
+  // Adoptions refused (registry momentarily full) retry next window.
+  std::vector<core::Server::SessionTransfer> retry_;
+  // Ports adopted at time t whose peers have not yet been heard from on
+  // this engine; the redirect snapshot re-arms every window until then
+  // (notify_port is one-shot and the teaching snapshot may be lost).
+  std::vector<std::pair<uint16_t, int64_t>> pending_redirects_;
+};
+
+}  // namespace qserv::shard

@@ -1,0 +1,45 @@
+// Cross-shard handoff mailbox: the only way session state moves between
+// engines. The source shard's master window posts a SessionTransfer; the
+// destination shard's master window drains its mailbox and adopts. Both
+// ends are master windows — single-threaded per engine — so the mutex
+// only arbitrates *between* engines (and the supervisor's shed path).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/server.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::shard {
+
+class HandoffMailbox {
+ public:
+  explicit HandoffMailbox(vt::Platform& platform)
+      : mu_(platform.make_mutex("shard-mailbox")) {}
+
+  void post(core::Server::SessionTransfer t) {
+    vt::LockGuard g(*mu_);
+    items_.push_back(std::move(t));
+  }
+
+  // Takes everything currently queued.
+  std::vector<core::Server::SessionTransfer> drain() {
+    vt::LockGuard g(*mu_);
+    std::vector<core::Server::SessionTransfer> out;
+    out.swap(items_);
+    return out;
+  }
+
+  bool empty() const {
+    vt::LockGuard g(*mu_);
+    return items_.empty();
+  }
+
+ private:
+  std::unique_ptr<vt::Mutex> mu_;
+  std::vector<core::Server::SessionTransfer> items_;
+};
+
+}  // namespace qserv::shard

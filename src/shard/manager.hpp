@@ -1,0 +1,74 @@
+// Multi-shard engine: N independent ClientRegistry+FramePipeline engines
+// in one process, each owning an X-slab of the map (ShardRouter), wired
+// together by handoff mailboxes and watched by a ShardSupervisor. Each
+// shard gets its own port block, derived RNG seed, and recovery namespace
+// — a crash in one shard's failure domain never touches another's state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/shard/config.hpp"
+#include "src/shard/mailbox.hpp"
+#include "src/shard/router.hpp"
+#include "src/shard/shard.hpp"
+#include "src/shard/supervisor.hpp"
+
+namespace qserv::shard {
+
+class ShardManager {
+ public:
+  ShardManager(vt::Platform& platform, net::VirtualNetwork& net,
+               const spatial::GameMap& map, Config cfg);
+  ~ShardManager();
+
+  ShardManager(const ShardManager&) = delete;
+  ShardManager& operator=(const ShardManager&) = delete;
+
+  // Starts every shard engine, then arms the supervisor.
+  void start();
+  // Disarms the supervisor first (so a late tick cannot resurrect a
+  // stopping engine), then stops the shards.
+  void request_stop();
+
+  const Config& config() const { return cfg_; }
+  const ShardRouter& router() const { return router_; }
+  vt::Platform& platform() { return platform_; }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Shard& shard(int i) { return *shards_[i]; }
+  const Shard& shard(int i) const { return *shards_[i]; }
+  HandoffMailbox& mailbox(int i) { return *mailboxes_[i]; }
+  ShardSupervisor& supervisor() { return *supervisor_; }
+  const ShardSupervisor& supervisor() const { return *supervisor_; }
+
+  // Initial join endpoint for client ordinal `i` of `expected` total:
+  // clients stripe across shards, then block-assign within the shard's
+  // worker threads (the §3.1 static assignment, per shard).
+  uint16_t join_port(int ordinal, int expected_players) const;
+
+  // Queues a session for adoption by `target`'s next master window. A
+  // down target forwards to the next live shard; with no live shard the
+  // session is dropped (returns false).
+  bool post_handoff(int target, core::Server::SessionTransfer t);
+
+  // Convenience fault injection: crash shard `i`'s engine.
+  void crash_shard(int i) { shards_[i]->inject_crash(); }
+
+  // Connected clients summed over live shards. Quiescent-state read —
+  // call only while the shards are stopped (pre-start / post-stop).
+  int total_connected() const;
+
+ private:
+  vt::Platform& platform_;
+  net::VirtualNetwork& net_;
+  const spatial::GameMap& map_;
+  Config cfg_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<HandoffMailbox>> mailboxes_;
+  std::unique_ptr<ShardSupervisor> supervisor_;
+};
+
+}  // namespace qserv::shard

@@ -1,0 +1,40 @@
+#include "src/shard/router.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace qserv::shard {
+
+ShardRouter::ShardRouter(const Aabb& bounds, int shards, float margin)
+    : lo_(bounds.mins.x),
+      width_((bounds.maxs.x - bounds.mins.x) / static_cast<float>(shards)),
+      shards_(shards),
+      margin_(margin) {
+  QSERV_CHECK(shards >= 1);
+  QSERV_CHECK(width_ > 0.0f);
+  QSERV_CHECK(margin >= 0.0f);
+}
+
+int ShardRouter::shard_for(const Vec3& p) const {
+  const int i = static_cast<int>((p.x - lo_) / width_);
+  return std::clamp(i, 0, shards_ - 1);
+}
+
+int ShardRouter::home_for(int current, const Vec3& p) const {
+  if (current < 0 || current >= shards_) return shard_for(p);
+  // Inside the slab widened by the margin: stay put.
+  if (p.x >= slab_lo(current) - margin_ && p.x <= slab_hi(current) + margin_)
+    return current;
+  return shard_for(p);
+}
+
+float ShardRouter::slab_lo(int shard) const {
+  return lo_ + width_ * static_cast<float>(shard);
+}
+
+float ShardRouter::slab_hi(int shard) const {
+  return lo_ + width_ * static_cast<float>(shard + 1);
+}
+
+}  // namespace qserv::shard

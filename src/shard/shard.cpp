@@ -1,0 +1,166 @@
+#include "src/shard/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/recovery/journal.hpp"
+#include "src/shard/manager.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::shard {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Shard::Shard(vt::Platform& platform, net::VirtualNetwork& net,
+             const spatial::GameMap& map, ShardManager& mgr,
+             core::ServerConfig cfg, int index)
+    : platform_(platform),
+      net_(net),
+      map_(map),
+      mgr_(mgr),
+      cfg_(std::move(cfg)),
+      index_(index) {
+  build();
+}
+
+Shard::~Shard() = default;
+
+void Shard::build() {
+  server_ =
+      std::make_unique<core::ParallelServer>(platform_, net_, map_, cfg_);
+  hook_ = std::make_unique<ShardEngineHook>(mgr_, index_, *server_);
+  server_->add_frame_hook(hook_.get());
+  crashed_.store(false, std::memory_order_release);
+  // Fresh generation, fresh grace period: the supervisor's stall timer
+  // must not count silence accrued by the previous generation.
+  beat_frames_.store(0, std::memory_order_release);
+  beat_clients_.store(0, std::memory_order_release);
+  beat_invariants_.store(0, std::memory_order_release);
+  beat_at_ns_.store(platform_.now().ns, std::memory_order_release);
+}
+
+void Shard::start() {
+  QSERV_CHECK(server_ != nullptr);
+  server_->start();
+}
+
+void Shard::request_stop() {
+  if (server_ != nullptr) server_->request_stop();
+}
+
+void Shard::inject_crash() {
+  crashed_.store(true, std::memory_order_release);
+  if (server_ != nullptr) server_->request_stop();
+}
+
+void Shard::publish_heartbeat(uint64_t frames, int64_t now_ns, int clients,
+                              uint64_t invariant_violations) {
+  beat_frames_.store(frames, std::memory_order_release);
+  beat_clients_.store(clients, std::memory_order_release);
+  beat_invariants_.store(invariant_violations, std::memory_order_release);
+  beat_at_ns_.store(now_ns, std::memory_order_release);
+}
+
+std::pair<std::vector<uint8_t>, std::vector<uint8_t>>
+Shard::capture_images() {
+  // Only overwrite the stash when this generation actually checkpointed:
+  // a failed-restore generation (fresh, empty) must not clobber the dead
+  // generation's images, which the shed path still needs.
+  if (server_ != nullptr && server_->checkpoints() != nullptr &&
+      server_->checkpoints()->has()) {
+    cap_ckpt_ = server_->checkpoints()->latest();
+    cap_jrnl_ = server_->recorder()->encode();
+  }
+  return {cap_ckpt_, cap_jrnl_};
+}
+
+Shard::RestoreOutcome Shard::rebuild_and_restore() {
+  QSERV_CHECK(quiesced());
+  RestoreOutcome out;
+  auto [image, journal] = capture_images();
+  out.had_checkpoint = !image.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  server_.reset();
+  hook_.reset();
+  build();
+  if (!image.empty()) {
+    core::Server::RestoreStats stats{};
+    recovery::LoadError err = server_->restore_from(image, journal, &stats);
+    out.error = err;
+    out.stats = stats;
+    if (err == recovery::LoadError::kReplayDiverged) {
+      // The journal tail is unusable but the checkpoint itself is intact:
+      // fall back to checkpoint-only on yet another fresh engine (the
+      // diverged one has already mutated its world).
+      server_.reset();
+      hook_.reset();
+      build();
+      err = server_->restore_from(image);
+      out.used_tail = false;
+    } else if (err == recovery::LoadError::kNone) {
+      out.used_tail = stats.tail_frames > 0;
+    }
+    if (err != recovery::LoadError::kNone) {
+      if (out.error == recovery::LoadError::kNone) out.error = err;
+      out.pause_ms = ms_since(t0);
+      return out;  // not started; supervisor sheds
+    }
+  }
+  // No checkpoint ever taken: come back empty and let clients reconnect.
+  server_->start();
+  out.pause_ms = ms_since(t0);
+  out.ok = true;
+  ++restores_;
+  return out;
+}
+
+std::vector<core::Server::SessionTransfer> Shard::shed() {
+  QSERV_CHECK(quiesced());
+  capture_images();
+  std::vector<core::Server::SessionTransfer> out;
+  server_.reset();
+  hook_.reset();
+  if (!cap_ckpt_.empty()) {
+    // Throwaway engine: restore the dead generation's state just far
+    // enough to extract every session, then tear it down. Never started,
+    // so extract_session runs single-threaded by construction.
+    build();
+    recovery::LoadError err =
+        server_->restore_from(cap_ckpt_, cap_jrnl_, nullptr);
+    if (err == recovery::LoadError::kReplayDiverged) {
+      server_.reset();
+      hook_.reset();
+      build();
+      err = server_->restore_from(cap_ckpt_);
+    }
+    if (err == recovery::LoadError::kNone) {
+      server_->detach_world_charging();
+      std::vector<uint16_t> ports;
+      {
+        core::ClientRegistry& reg = server_->registry();
+        vt::LockGuard g(reg.mutex());
+        ports.reserve(reg.port_map().size());
+        for (const auto& [port, idx] : reg.port_map()) ports.push_back(port);
+      }
+      std::sort(ports.begin(), ports.end());  // deterministic handoff order
+      for (uint16_t port : ports) {
+        core::Server::SessionTransfer t;
+        if (server_->extract_session(port, t)) out.push_back(std::move(t));
+      }
+    }
+    server_.reset();
+    hook_.reset();
+  }
+  down_.store(true, std::memory_order_release);
+  return out;
+}
+
+}  // namespace qserv::shard

@@ -1,0 +1,141 @@
+// One shard: a failure domain wrapping one ParallelServer *generation*.
+// The Shard object itself is permanent for the run; the engine inside it
+// is rebuilt by the supervisor after a crash — checkpoint + journal tail
+// are captured from the dead generation, a fresh engine is constructed on
+// the same ports/seed, restored, and started. Heartbeat state lives here
+// (not in the engine) as atomics, because the supervisor reads it from
+// outside the engine's threads while the master window publishes it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/parallel_server.hpp"
+#include "src/recovery/checkpoint.hpp"
+#include "src/shard/engine_hook.hpp"
+
+namespace qserv::shard {
+
+class ShardManager;
+
+class Shard {
+ public:
+  Shard(vt::Platform& platform, net::VirtualNetwork& net,
+        const spatial::GameMap& map, ShardManager& mgr,
+        core::ServerConfig cfg, int index);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Constructs a fresh engine generation + hook (not started). Called by
+  // the manager at setup and by rebuild_and_restore() after a failure.
+  void build();
+  void start();
+  void request_stop();
+
+  int index() const { return index_; }
+  core::ParallelServer* server() { return server_.get(); }
+  const core::ParallelServer* server() const { return server_.get(); }
+  const core::ServerConfig& engine_config() const { return cfg_; }
+
+  // A shed shard stays down: no engine, sessions relocated.
+  bool down() const { return down_.load(std::memory_order_acquire); }
+
+  // --- fault injection ---
+  // Models a shard crash: raises the crash flag (the supervisor's
+  // escalation cue) and halts the engine's loops. State reachable
+  // afterwards is only what recovery persisted — the supervisor restores
+  // from checkpoint + journal, never from the dead engine's live world.
+  void inject_crash();
+  bool crash_flagged() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  // --- heartbeat (hook publishes from the master window) ---
+  void publish_heartbeat(uint64_t frames, int64_t now_ns, int clients,
+                         uint64_t invariant_violations);
+  // Liveness-only beat from a worker's idle select() timeout: a starved
+  // engine (network partition, no traffic) runs no frames at all, but it
+  // is alive — only the timestamp refreshes, the frame/client/invariant
+  // fields keep their last frame-end values.
+  void publish_idle_beat(int64_t now_ns) {
+    beat_at_ns_.store(now_ns, std::memory_order_release);
+  }
+  uint64_t beat_frames() const {
+    return beat_frames_.load(std::memory_order_acquire);
+  }
+  int64_t beat_at_ns() const {
+    return beat_at_ns_.load(std::memory_order_acquire);
+  }
+  int beat_clients() const {
+    return beat_clients_.load(std::memory_order_acquire);
+  }
+  uint64_t beat_invariants() const {
+    return beat_invariants_.load(std::memory_order_acquire);
+  }
+
+  // True once every worker fiber of the current generation has exited (a
+  // stopped or never-started engine is quiescent).
+  bool quiesced() const {
+    return server_ == nullptr || server_->active_workers() == 0;
+  }
+
+  // Successful supervised restorations of this shard so far.
+  int restores() const { return restores_; }
+
+  struct RestoreOutcome {
+    bool ok = false;
+    // Journal-tail replay succeeded (false = checkpoint-only fallback or
+    // no checkpoint existed yet and the engine came back empty).
+    bool used_tail = false;
+    bool had_checkpoint = false;
+    double pause_ms = 0.0;  // host-clock rebuild+restore cost
+    core::Server::RestoreStats stats{};
+    recovery::LoadError error{};
+  };
+  // Quarantine exit path. Caller must see quiesced(). Captures the dead
+  // generation's checkpoint + journal, rebuilds the engine, restores
+  // (journal tail first, checkpoint-only on kReplayDiverged, fresh-empty
+  // when no checkpoint was ever taken) and starts the new generation.
+  RestoreOutcome rebuild_and_restore();
+
+  // Shed path: recovers the dead generation's sessions into transfers
+  // for neighbor shards (checkpoint + journal tail through a throwaway
+  // restored engine), then marks the shard permanently down. Empty when
+  // no checkpoint existed.
+  std::vector<core::Server::SessionTransfer> shed();
+
+ private:
+  // (checkpoint image, journal image) of the current generation; both
+  // empty when recovery never checkpointed.
+  std::pair<std::vector<uint8_t>, std::vector<uint8_t>> capture_images();
+
+  vt::Platform& platform_;
+  net::VirtualNetwork& net_;
+  const spatial::GameMap& map_;
+  ShardManager& mgr_;
+  core::ServerConfig cfg_;
+  int index_;
+
+  std::unique_ptr<core::ParallelServer> server_;
+  std::unique_ptr<ShardEngineHook> hook_;
+
+  // Stash of the last real capture; survives a failed-restore generation
+  // so the shed path can still reach the dead engine's state.
+  std::vector<uint8_t> cap_ckpt_;
+  std::vector<uint8_t> cap_jrnl_;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> down_{false};
+  std::atomic<uint64_t> beat_frames_{0};
+  std::atomic<int64_t> beat_at_ns_{0};
+  std::atomic<int> beat_clients_{0};
+  std::atomic<uint64_t> beat_invariants_{0};
+  int restores_ = 0;
+};
+
+}  // namespace qserv::shard

@@ -1,0 +1,139 @@
+#include "src/shard/supervisor.hpp"
+
+#include <utility>
+
+#include "src/shard/manager.hpp"
+#include "src/util/check.hpp"
+
+namespace qserv::shard {
+
+const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kHealthy:
+      return "healthy";
+    case ShardState::kQuarantined:
+      return "quarantined";
+    case ShardState::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+ShardSupervisor::ShardSupervisor(vt::Platform& platform, ShardManager& mgr)
+    : platform_(platform), mgr_(mgr), gate_(std::make_shared<TickGate>()) {
+  track_.resize(static_cast<size_t>(mgr_.shards()));
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  stop_.store(true, std::memory_order_release);
+  // Blocks until a concurrently running tick drains, then turns every
+  // still-pending timer callback into a no-op (they keep the gate alive
+  // via shared_ptr, so the late lock itself is safe).
+  std::lock_guard<std::mutex> lk(gate_->mu);
+  gate_->alive = false;
+}
+
+void ShardSupervisor::start() {
+  QSERV_CHECK(!started_);
+  started_ = true;
+  schedule_next();
+}
+
+void ShardSupervisor::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+void ShardSupervisor::schedule_next() {
+  // Self-rescheduling timer: once stopped we must NOT re-arm, or a
+  // simulated platform's run() (which drains the event queue to empty)
+  // never returns.
+  if (stop_.load(std::memory_order_acquire)) return;
+  platform_.call_after(mgr_.config().supervise_interval,
+                       [this, gate = gate_] {
+                         std::lock_guard<std::mutex> lk(gate->mu);
+                         if (!gate->alive) return;
+                         tick();
+                       });
+}
+
+void ShardSupervisor::tick() {
+  if (stop_.load(std::memory_order_acquire)) return;
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now_ns = platform_.now().ns;
+  for (int i = 0; i < mgr_.shards(); ++i) supervise(i, now_ns);
+  schedule_next();
+}
+
+void ShardSupervisor::supervise(int i, int64_t now_ns) {
+  Shard& s = mgr_.shard(i);
+  Report& r = track_[static_cast<size_t>(i)].report;
+  if (s.down()) return;
+  switch (r.state) {
+    case ShardState::kHealthy: {
+      bool escalate = false;
+      if (s.crash_flagged() || s.beat_invariants() > 0) {
+        escalate = true;
+      } else if (now_ns - s.beat_at_ns() >
+                 mgr_.config().heartbeat_timeout.ns) {
+        // Wedged: the beat timestamp refreshes both at frame end and from
+        // every idle select() timeout (FrameHook::on_idle_wait), so a
+        // healthy engine — even one starved of all traffic by a partition
+        // — beats at least every select_timeout. A stale beat means the
+        // loops themselves stopped (worker stuck inside a frame, barrier
+        // hang), which is exactly what quarantine is for.
+        escalate = true;
+      }
+      if (escalate) {
+        s.request_stop();
+        r.state = ShardState::kQuarantined;
+        ++r.escalations;
+      }
+      break;
+    }
+    case ShardState::kQuarantined: {
+      // Wait for every worker fiber to leave its loop before touching
+      // the engine; re-check on the next tick otherwise.
+      if (!s.quiesced()) break;
+      if (s.restores() >= mgr_.config().max_restores) {
+        do_shed(i);
+        break;
+      }
+      Shard::RestoreOutcome out = s.rebuild_and_restore();
+      r.last_pause_ms = out.pause_ms;
+      r.last_used_tail = out.used_tail;
+      r.last_stats = out.stats;
+      r.last_error = out.error;
+      if (!out.ok) {
+        do_shed(i);
+        break;
+      }
+      r.restores = s.restores();
+      r.state = ShardState::kHealthy;
+      break;
+    }
+    case ShardState::kShed:
+      break;
+  }
+}
+
+void ShardSupervisor::do_shed(int i) {
+  Shard& s = mgr_.shard(i);
+  Report& r = track_[static_cast<size_t>(i)].report;
+  std::vector<core::Server::SessionTransfer> transfers = s.shed();
+  r.state = ShardState::kShed;
+  for (core::Server::SessionTransfer& tr : transfers) {
+    int target = -1;
+    for (int k = 0; k < mgr_.shards(); ++k) {
+      const int cand = (shed_cursor_ + k) % mgr_.shards();
+      if (cand != i && !mgr_.shard(cand).down()) {
+        target = cand;
+        break;
+      }
+    }
+    if (target < 0) break;  // no live shard left; sessions are lost
+    shed_cursor_ = (target + 1) % mgr_.shards();
+    if (mgr_.post_handoff(target, std::move(tr))) ++r.shed_sessions;
+  }
+}
+
+}  // namespace qserv::shard

@@ -1,0 +1,94 @@
+// Shard supervisor: a platform timer (not an engine thread) that watches
+// every shard's heartbeat and drives the failure state machine
+//
+//   kHealthy ──crash flag / invariant violation / stalled heartbeat──▶
+//   kQuarantined (engine stopped, waiting for worker quiescence) ──▶
+//     restore budget left:  rebuild + restore  ──▶ kHealthy
+//     budget exhausted or restore failed: shed ──▶ kShed (sessions
+//       relocated round-robin to live shards, shard stays down)
+//
+// The tick reads ONLY the heartbeat atomics a shard's hook publishes in
+// on_frame_end (plus Shard's own atomics) — never the engine's plain
+// fields — so the supervisor is data-race-free against running workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/server.hpp"
+#include "src/recovery/checkpoint.hpp"
+#include "src/vthread/platform.hpp"
+
+namespace qserv::shard {
+
+class ShardManager;
+
+enum class ShardState : uint8_t { kHealthy, kQuarantined, kShed };
+const char* shard_state_name(ShardState s);
+
+class ShardSupervisor {
+ public:
+  ShardSupervisor(vt::Platform& platform, ShardManager& mgr);
+  ~ShardSupervisor();
+
+  // Arms the periodic tick. Call after every shard has started.
+  void start();
+  // Disarms: the current tick (if any) is the last. Safe to call twice.
+  void request_stop();
+
+  // Per-shard supervision record. Plain fields written by the tick; read
+  // them only after the run has stopped (bench/test harvest) or from the
+  // tick itself.
+  struct Report {
+    ShardState state = ShardState::kHealthy;
+    int restores = 0;          // successful supervised restorations
+    uint64_t escalations = 0;  // healthy -> quarantined transitions
+    double last_pause_ms = 0.0;
+    bool last_used_tail = false;
+    core::Server::RestoreStats last_stats{};
+    recovery::LoadError last_error{};
+    uint64_t shed_sessions = 0;  // transfers relocated by the shed path
+  };
+  const Report& report(int shard) const { return track_[shard].report; }
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void tick();
+  void schedule_next();
+  void supervise(int i, int64_t now_ns);
+  void do_shed(int i);
+
+  struct Track {
+    Report report;
+  };
+
+  vt::Platform& platform_;
+  ShardManager& mgr_;
+  std::vector<Track> track_;
+  // Round-robin cursor for spreading shed sessions over live shards.
+  int shed_cursor_ = 0;
+  std::atomic<uint64_t> ticks_{0};
+  bool started_ = false;
+  // Atomic: request_stop() may come from the harness thread while a tick
+  // is in flight on the platform's timer context.
+  std::atomic<bool> stop_{false};
+
+  // Liveness gate shared with every scheduled tick callback. On the real
+  // platform a pending call_after survives join_all() (only *in-flight*
+  // timer callbacks are waited for), so a late tick can fire after this
+  // supervisor — and the whole ShardManager — is gone. The callback
+  // captures the gate by shared_ptr, locks it, and bails out if the
+  // destructor already marked it dead; the destructor's lock also blocks
+  // until any concurrently running tick finishes.
+  struct TickGate {
+    std::mutex mu;
+    bool alive = true;
+  };
+  std::shared_ptr<TickGate> gate_;
+};
+
+}  // namespace qserv::shard

@@ -167,6 +167,16 @@ class World {
   void charge(vt::Duration d) const {
     if (platform_ != nullptr && d.ns > 0) platform_->compute(d);
   }
+  // Swaps the attached platform (null = detach cost charging). Restore
+  // and journal-tail replay re-execute work whose cost already happened
+  // in the original timeline — re-charging would double-count, and the
+  // caller (a shard supervisor's timer) may be outside any schedulable
+  // fiber. Returns the previous platform so a guard can reattach it.
+  vt::Platform* exchange_platform(vt::Platform* p) {
+    vt::Platform* old = platform_;
+    platform_ = p;
+    return old;
+  }
   vt::TimePoint now_or_zero() const {
     return platform_ != nullptr ? platform_->now() : vt::TimePoint{};
   }

@@ -23,6 +23,9 @@ inline constexpr uint64_t kClientDriver = 2;  // bot/lifecycle seeds
 inline constexpr uint64_t kFaults = 3;        // chaos fault scheduler
 inline constexpr uint64_t kWorld = 4;         // world RNG (spawn points)
 inline constexpr uint64_t kRespawn = 5;       // per-death respawn placement
+// Shard i's engine derives its root as derive_seed(seed, kShardBase + i),
+// so sibling engines in one process never share a stream.
+inline constexpr uint64_t kShardBase = 16;
 }  // namespace streams
 
 // SplitMix64-mixes (root, stream) into an independent child seed.

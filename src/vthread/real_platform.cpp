@@ -110,17 +110,26 @@ void RealPlatform::timer_loop() {
 }
 
 void RealPlatform::join_all() {
-  std::vector<std::thread> taken;
-  {
+  // Drain in rounds: a timer callback (e.g. a shard supervisor restoring
+  // a crashed engine) may spawn fresh threads after the first swap, so
+  // keep going until a full round finds nothing new.
+  for (;;) {
+    std::vector<std::thread> taken;
+    {
+      std::lock_guard<std::mutex> g(threads_mu_);
+      taken.swap(threads_);
+    }
+    for (auto& t : taken) t.join();
+    // A timer callback (typically the stop signal) can still be mid-flight
+    // on the timer thread; returning before it finishes would let the
+    // caller destroy the objects the callback is touching.
+    {
+      std::unique_lock<std::mutex> g(timer_mu_);
+      timer_cv_.wait(g, [this] { return timer_callbacks_running_ == 0; });
+    }
     std::lock_guard<std::mutex> g(threads_mu_);
-    taken.swap(threads_);
+    if (threads_.empty()) return;
   }
-  for (auto& t : taken) t.join();
-  // A timer callback (typically the stop signal) can still be mid-flight
-  // on the timer thread; returning before it finishes would let the
-  // caller destroy the objects the callback is touching.
-  std::unique_lock<std::mutex> g(timer_mu_);
-  timer_cv_.wait(g, [this] { return timer_callbacks_running_ == 0; });
 }
 
 std::string RealPlatform::machine_description() const {

@@ -10,8 +10,11 @@
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"
+#include "src/harness/shard_experiment.hpp"
 #include "src/net/fault_scheduler.hpp"
+#include "src/shard/manager.hpp"
 #include "src/spatial/map_gen.hpp"
+#include "src/vthread/real_platform.hpp"
 #include "src/vthread/sim_platform.hpp"
 
 namespace qserv {
@@ -378,6 +381,107 @@ TEST(Chaos, EvictedSlotReuseLeaksNoStaleDeltaHistory) {
   EXPECT_GT(m.full_snapshots, 0u);  // each new session starts from a full
   EXPECT_EQ(m.undecodable_deltas, 0u);
   EXPECT_EQ(server.invariant_violations(), 0u);
+}
+
+// --- sharded fleet under chaos -------------------------------------------
+
+// Four shards, a tight boundary margin so roaming bots keep migrating
+// between engines, a fleet-wide loss burst, and a hard
+// partition cutting every client off from one shard. The fleet must come
+// out with every client holding a session, zero invariant violations, and
+// — critically — zero supervisor escalations: network chaos starves a
+// shard of *requests*, but its frame loop keeps beating, so the stall
+// detector must not mistake packet loss for engine failure.
+TEST(ShardChaos, FourShardFaultSoakKeepsEveryClient) {
+  harness::ShardExperimentConfig cfg;
+  cfg.fleet.shards = 4;
+  cfg.fleet.server.threads = 2;
+  cfg.fleet.server.check_invariants = true;
+  cfg.fleet.server.recovery.enabled = true;
+  cfg.fleet.server.recovery.checkpoint_interval = 32;
+  cfg.fleet.server.client_timeout = vt::seconds(1);
+  cfg.fleet.boundary_margin = 8.0f;  // bots cross slab boundaries
+  cfg.players = 32;
+  cfg.warmup = vt::seconds(1);
+  cfg.measure = vt::seconds(9);
+  cfg.client_silence_timeout = vt::seconds(1);
+  cfg.seed = 29;
+  cfg.configure_network = [](net::VirtualNetwork& net) {
+    // A fleet-wide loss storm...
+    net.faults().add_loss_burst(t0 + vt::seconds(3), vt::millis(1500), 0.6f);
+    // ...then every client (ports 40000+) severed from shard 2's engine
+    // (base_port + 2*port_stride .. +threads-1) for two full seconds —
+    // longer than both the client timeout and the silence timeout.
+    net.faults().add_partition(t0 + vt::seconds(6), vt::seconds(2), 40000,
+                               65535, 27628, 27629);
+  };
+  const auto r = harness::run_shard_experiment(cfg);
+
+  EXPECT_EQ(r.connected, cfg.players);
+  EXPECT_GT(r.handoffs_out, 0u);
+  EXPECT_GT(r.silence_reconnects, 0u);  // the partition forced rejoins
+  for (const auto& ps : r.shards) {
+    EXPECT_FALSE(ps.down);
+    EXPECT_EQ(ps.state, shard::ShardState::kHealthy);
+    EXPECT_EQ(ps.escalations, 0u);  // no false-positive failure detection
+    EXPECT_EQ(ps.invariant_violations, 0u);
+    EXPECT_GT(ps.frames, 0u);
+  }
+}
+
+// The same supervised-recovery story on the REAL platform: two shards on
+// std::thread, live bots migrating across the boundary, a crash injected
+// mid-run, and the supervisor quarantining + restoring the engine while
+// everything else keeps running. This is the configuration the TSan CI
+// job runs — the supervisor timer, worker quiescence gate, heartbeat
+// atomics and mailbox handoffs all race for real here.
+TEST(ShardChaosReal, CrashedShardRecoversUnderRealThreads) {
+  vt::RealPlatform platform;
+  net::VirtualNetwork net(platform, {});
+  const auto map = spatial::make_large_deathmatch(7);
+  shard::Config fleet;
+  fleet.shards = 2;
+  fleet.server.threads = 2;
+  fleet.server.recovery.enabled = true;
+  fleet.server.recovery.checkpoint_interval = 8;
+  fleet.boundary_margin = 8.0f;
+  fleet.supervise_interval = vt::millis(5);
+  fleet.heartbeat_timeout = vt::millis(250);
+  shard::ShardManager mgr(platform, net, map, fleet);
+
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 12;
+  dcfg.frame_interval = vt::millis(10);
+  dcfg.server_silence_timeout = vt::millis(600);  // backstop only
+  dcfg.join_port = [&mgr](int i) { return mgr.join_port(i, 12); };
+  bots::ClientDriver driver(platform, net, map, *mgr.shard(0).server(),
+                            dcfg);
+
+  mgr.start();
+  driver.start();
+  platform.call_after(vt::millis(900), [&] { mgr.crash_shard(1); });
+  platform.call_after(vt::millis(2400), [&] {
+    mgr.request_stop();
+    driver.request_stop();
+  });
+  platform.join_all();
+
+  const auto& rep = mgr.supervisor().report(1);
+  EXPECT_GE(rep.escalations, 1u);
+  EXPECT_EQ(rep.state, shard::ShardState::kHealthy);
+  EXPECT_GE(mgr.shard(1).restores(), 1);
+  int connected = 0;
+  uint64_t replies = 0;
+  for (const auto& c : driver.clients()) {
+    connected += c->connected() ? 1 : 0;
+    replies += c->metrics().replies;
+  }
+  EXPECT_EQ(connected, 12);
+  EXPECT_GT(replies, 100u);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE(mgr.shard(i).down());
+    EXPECT_EQ(mgr.shard(i).server()->invariant_violations(), 0u);
+  }
 }
 
 }  // namespace

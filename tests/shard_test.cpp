@@ -1,0 +1,200 @@
+// Multi-shard engine suite: router geometry, cross-shard session handoff
+// under a live fleet, and the supervisor's failure state machine — crash
+// detection, quarantine, checkpoint+journal-tail restoration with clients
+// resuming in place, restore-budget exhaustion shedding sessions to
+// neighbor shards, and the no-checkpoint rebuild path where clients come
+// back via silence reconnect.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/harness/shard_experiment.hpp"
+#include "src/shard/manager.hpp"
+#include "src/shard/router.hpp"
+#include "src/util/aabb.hpp"
+
+namespace qserv {
+namespace {
+
+// --- router geometry -----------------------------------------------------
+
+Aabb test_bounds() {
+  Aabb b;
+  b.mins = {-1000.0f, -500.0f, 0.0f};
+  b.maxs = {1000.0f, 500.0f, 256.0f};
+  return b;
+}
+
+TEST(ShardRouter, PartitionsXAxisIntoEqualSlabs) {
+  shard::ShardRouter r(test_bounds(), 4, 0.0f);
+  EXPECT_EQ(r.shards(), 4);
+  EXPECT_FLOAT_EQ(r.slab_lo(0), -1000.0f);
+  EXPECT_FLOAT_EQ(r.slab_hi(0), -500.0f);
+  EXPECT_FLOAT_EQ(r.slab_lo(3), 500.0f);
+  EXPECT_FLOAT_EQ(r.slab_hi(3), 1000.0f);
+  EXPECT_EQ(r.shard_for({-999.0f, 0.0f, 0.0f}), 0);
+  EXPECT_EQ(r.shard_for({-499.0f, 400.0f, 10.0f}), 1);
+  EXPECT_EQ(r.shard_for({1.0f, 0.0f, 0.0f}), 2);
+  EXPECT_EQ(r.shard_for({999.0f, 0.0f, 0.0f}), 3);
+}
+
+TEST(ShardRouter, ClampsPositionsOutsideTheMap) {
+  shard::ShardRouter r(test_bounds(), 4, 0.0f);
+  EXPECT_EQ(r.shard_for({-5000.0f, 0.0f, 0.0f}), 0);
+  EXPECT_EQ(r.shard_for({5000.0f, 0.0f, 0.0f}), 3);
+}
+
+TEST(ShardRouter, HomeHysteresisHoldsResidentsNearTheBoundary) {
+  shard::ShardRouter r(test_bounds(), 4, 24.0f);
+  // x = -490 is inside shard 1's slab, 10 units past shard 0's edge:
+  // a shard-0 resident stays home, a fresh join goes to shard 1.
+  EXPECT_EQ(r.home_for(0, {-490.0f, 0.0f, 0.0f}), 0);
+  EXPECT_EQ(r.shard_for({-490.0f, 0.0f, 0.0f}), 1);
+  // Past the margin the resident is reassigned.
+  EXPECT_EQ(r.home_for(0, {-470.0f, 0.0f, 0.0f}), 1);
+  // An unknown current shard falls back to pure geometry.
+  EXPECT_EQ(r.home_for(-1, {-490.0f, 0.0f, 0.0f}), 1);
+}
+
+// --- fleet soaks ---------------------------------------------------------
+
+harness::ShardExperimentConfig base_cfg(int shards, int players) {
+  harness::ShardExperimentConfig cfg;
+  cfg.fleet.shards = shards;
+  cfg.fleet.server.threads = 2;
+  cfg.fleet.server.check_invariants = true;
+  cfg.fleet.server.recovery.enabled = true;
+  cfg.fleet.server.recovery.checkpoint_interval = 32;
+  cfg.players = players;
+  cfg.warmup = vt::seconds(1);
+  cfg.measure = vt::seconds(4);
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ShardFleet, HandoffsFlowAndNoClientIsLost) {
+  auto cfg = base_cfg(2, 24);
+  // Tight margin: roaming bots cross the slab boundary and migrate.
+  cfg.fleet.boundary_margin = 8.0f;
+  const auto r = harness::run_shard_experiment(cfg);
+
+  EXPECT_GT(r.handoffs_out, 0u);
+  // Transfers still sitting in a mailbox at shutdown are bounded by the
+  // fleet size; everything else must have been adopted.
+  EXPECT_GE(r.handoffs_in + 2, r.handoffs_out);
+  EXPECT_EQ(r.connected, cfg.players);
+  EXPECT_GE(r.shard_connected,
+            cfg.players - static_cast<int>(r.handoffs_out - r.handoffs_in));
+  for (const auto& ps : r.shards) {
+    EXPECT_FALSE(ps.down);
+    EXPECT_EQ(ps.state, shard::ShardState::kHealthy);
+    EXPECT_EQ(ps.invariant_violations, 0u);
+    EXPECT_GT(ps.frames, 0u);
+  }
+}
+
+TEST(ShardFleet, CrashedShardIsRestoredWithZeroClientLoss) {
+  auto cfg = base_cfg(4, 32);
+  // Pin sessions to their join shard so the crash is the only variable.
+  cfg.fleet.boundary_margin = 1e9f;
+  // Backstop only: in-place resume must beat this by orders of magnitude.
+  cfg.client_silence_timeout = vt::seconds(2);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(1); });
+  };
+  const auto r = harness::run_shard_experiment(cfg);
+
+  const auto& crashed = r.shards[1];
+  EXPECT_EQ(crashed.escalations, 1u);
+  EXPECT_EQ(crashed.restores, 1);
+  EXPECT_EQ(crashed.state, shard::ShardState::kHealthy);
+  EXPECT_FALSE(crashed.down);
+  EXPECT_EQ(crashed.last_error, recovery::LoadError::kNone);
+  // Sanity bound only: the pause is host-clock, so a parallel ctest run
+  // on a loaded machine inflates it. bench_shard_failover enforces the
+  // real 12.5 ms budget in a dedicated sequential smoke step.
+  EXPECT_LT(crashed.last_pause_ms, 1000.0);
+  // Every client survived, and none needed the reconnect backstop: the
+  // restored engine resumed them in place.
+  EXPECT_EQ(r.connected, cfg.players);
+  EXPECT_EQ(r.shard_connected, cfg.players);
+  EXPECT_EQ(r.silence_reconnects, 0u);
+  for (int i = 0; i < 4; ++i) {
+    if (i == 1) continue;
+    EXPECT_EQ(r.shards[static_cast<size_t>(i)].escalations, 0u) << i;
+  }
+}
+
+TEST(ShardFleet, RestoreBudgetExhaustionShedsSessionsToNeighbors) {
+  auto cfg = base_cfg(2, 16);
+  cfg.fleet.boundary_margin = 1e9f;
+  cfg.fleet.max_restores = 0;  // first failure goes straight to shedding
+  cfg.client_silence_timeout = vt::seconds(2);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(0); });
+  };
+  const auto r = harness::run_shard_experiment(cfg);
+
+  const auto& dead = r.shards[0];
+  EXPECT_EQ(dead.state, shard::ShardState::kShed);
+  EXPECT_TRUE(dead.down);
+  EXPECT_GT(dead.shed_sessions, 0u);
+  // All of shard 0's sessions were adopted by shard 1 and every client
+  // kept its session (redirected, not reconnected).
+  EXPECT_EQ(r.connected, cfg.players);
+  EXPECT_EQ(r.shard_connected, cfg.players);
+  EXPECT_EQ(r.shards[1].state, shard::ShardState::kHealthy);
+  EXPECT_GE(r.shards[1].handoffs_in, dead.shed_sessions);
+}
+
+TEST(ShardFleet, CrashWithoutCheckpointRebuildsEmptyAndClientsRejoin) {
+  auto cfg = base_cfg(2, 12);
+  cfg.fleet.boundary_margin = 1e9f;
+  cfg.fleet.server.recovery.enabled = false;  // nothing to restore from
+  cfg.client_silence_timeout = vt::millis(400);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(0); });
+  };
+  const auto r = harness::run_shard_experiment(cfg);
+
+  const auto& crashed = r.shards[0];
+  EXPECT_EQ(crashed.restores, 1);
+  EXPECT_EQ(crashed.state, shard::ShardState::kHealthy);
+  EXPECT_EQ(crashed.last_stats.tail_frames, 0u);
+  // Sessions could not be restored, so clients noticed the silence and
+  // rejoined the empty engine.
+  EXPECT_GT(r.silence_reconnects, 0u);
+  EXPECT_EQ(r.connected, cfg.players);
+  EXPECT_EQ(r.shard_connected, cfg.players);
+}
+
+TEST(ShardFleet, UnaffectedShardsReplayBitIdenticallyAcrossRuns) {
+  auto cfg = base_cfg(3, 18);
+  cfg.fleet.boundary_margin = 1e9f;
+  const auto baseline = harness::run_shard_experiment(cfg);
+
+  auto crash_cfg = cfg;
+  crash_cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(2); });
+  };
+  const auto crashed = harness::run_shard_experiment(crash_cfg);
+  ASSERT_EQ(crashed.shards[2].restores, 1);
+
+  // Shards 0 and 1 never saw the failure: their per-frame journal digest
+  // streams must match the uncrashed run bit for bit.
+  for (int i = 0; i < 2; ++i) {
+    const auto& a = baseline.shards[static_cast<size_t>(i)].journal_digests;
+    const auto& b = crashed.shards[static_cast<size_t>(i)].journal_digests;
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size()) << "shard " << i;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].first, b[k].first) << "shard " << i << " idx " << k;
+      ASSERT_EQ(a[k].second, b[k].second)
+          << "shard " << i << " frame " << a[k].first;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qserv
