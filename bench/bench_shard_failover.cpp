@@ -19,7 +19,18 @@
 //     master frame, same budget as the checkpoint writer's;
 //   * the restored tail replay is digest-verified to the failure frame;
 //   * fault isolation: the three unaffected shards' per-frame journal
-//     digest streams are bit-identical to the baseline run's.
+//     digest streams are bit-identical to the baseline run's;
+//   * SLO verdict: both runs carry the fleet observability plane, and
+//     every observation window must hold the declarative fleet SLOs
+//     (frame p99, recovery pause, handoff latency, zero lost clients);
+//   * the SLO monitor actually detects: an overloaded 1-thread shard is
+//     run as a canary and MUST breach the 12.5 ms frame-p99 budget.
+//
+// --trace captures a third, handoff-enabled run (shard 1 crashed
+// mid-measure) into one merged Chrome trace: each shard renders as its
+// own process, session handoffs draw as connected flow arrows between
+// shard timelines, and the supervisor's quarantine/restore transitions
+// appear as instant events on the failed shard's track.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -27,6 +38,7 @@
 
 #include "bench_common.hpp"
 #include "src/harness/shard_experiment.hpp"
+#include "src/obs/fleet.hpp"
 #include "src/recovery/checkpoint.hpp"
 #include "src/shard/manager.hpp"
 
@@ -79,6 +91,34 @@ std::string shard_point_json(const char* run, int index,
   return buf;
 }
 
+// One "slo" group point per run: the monitor's verdict plus every
+// breach, structured (qserv-trend and humans both read these).
+std::string slo_point_json(const char* run,
+                           const harness::ShardExperimentResult& r) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("run", run);
+  w.kv("handoff_flows", r.handoff_flows);
+  w.kv("slo_evaluations", r.slo_evaluations);
+  w.kv("slo_ok", r.slo_breaches.empty());
+  w.key("slo_breaches");
+  w.begin_array();
+  for (const obs::SloBreach& b : r.slo_breaches) {
+    w.begin_object();
+    w.kv("slo", b.slo);
+    w.kv("metric", b.metric);
+    w.kv("scope", b.scope);
+    w.kv("observed", b.observed);
+    w.kv("bound", b.bound);
+    w.kv("t_seconds", b.t_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,7 +134,15 @@ int main(int argc, char** argv) {
   };
 
   // ---- baseline: the same fleet, no faults --------------------------
+  // Both guarded runs carry the full observability plane (metrics
+  // federation + SLO monitor, no tracer). It charges no modelled
+  // compute, and both runs carry it identically, so the digest
+  // bit-identity guard still compares like with like.
   auto base_cfg = fleet_config();
+  obs::FleetObs::Config obs_cfg;
+  obs_cfg.expected_clients = base_cfg.players;
+  obs::FleetObs base_obs(nullptr, obs_cfg);
+  base_cfg.fleet_obs = &base_obs;
   std::printf("running baseline fleet (%d shards x %d players)...\n", kShards,
               kPlayersPerShard);
   std::fflush(stdout);
@@ -102,6 +150,8 @@ int main(int argc, char** argv) {
 
   // ---- failover: crash shard 1 mid-measure --------------------------
   auto crash_cfg = fleet_config();
+  obs::FleetObs crash_obs(nullptr, obs_cfg);
+  crash_cfg.fleet_obs = &crash_obs;
   const vt::Duration crash_at =
       crash_cfg.warmup + vt::Duration{crash_cfg.measure.ns / 2};
   crash_cfg.schedule_faults = [crash_at](vt::Platform& p,
@@ -150,7 +200,18 @@ int main(int argc, char** argv) {
     for (int i = 0; i < kShards; ++i)
       out.add_raw("shards",
                   shard_point_json(run, i, rr->shards[static_cast<size_t>(i)]));
+    out.add_raw("slo", slo_point_json(run, *rr));
   }
+
+  Table slo("Fleet SLO verdict (per observation window)");
+  slo.header({"run", "windows", "breaches", "verdict"});
+  for (const auto* rr : {&baseline, &failover})
+    slo.row({rr == &baseline ? "baseline" : "failover",
+             std::to_string(rr->slo_evaluations),
+             std::to_string(rr->slo_breaches.size()),
+             rr->slo_breaches.empty() ? "held" : "BREACHED"});
+  slo.print();
+  std::printf("\n");
 
   // ---- guards --------------------------------------------------------
   const auto& crashed = failover.shards[1];
@@ -217,6 +278,107 @@ int main(int argc, char** argv) {
         "fault isolation held: unaffected shards bit-identical to baseline "
         "across %zu journal frames each\n",
         baseline.shards[0].journal_digests.size());
+
+  // Fleet SLOs: every observation window in both runs must hold — the
+  // crash, recovery and resume all fit inside the declared budgets.
+  for (const auto* rr : {&baseline, &failover}) {
+    const char* run = rr == &baseline ? "baseline" : "failover";
+    for (const obs::SloBreach& b : rr->slo_breaches)
+      fail("FAIL: %s run breached SLO %s (%s %s=%.3f vs bound %.3f at "
+           "t=%.1fs)\n",
+           run, b.slo.c_str(), b.scope.c_str(), b.metric.c_str(), b.observed,
+           b.bound, b.t_seconds);
+    if (rr->slo_breaches.empty() && rr->slo_evaluations > 0)
+      std::printf("%s run held all fleet SLOs across %" PRIu64
+                  " observation windows\n",
+                  run, rr->slo_evaluations);
+  }
+
+  // ---- SLO canary: the monitor must catch a real breach --------------
+  // One shard on one thread at 4x its capacity anchor cannot hold the
+  // 12.5 ms frame budget; if the monitor stays quiet here it is not
+  // observing anything.
+  {
+    harness::ShardExperimentConfig ocfg;
+    ocfg.fleet.shards = 1;
+    ocfg.fleet.server.threads = 1;
+    ocfg.fleet.server.lock_policy = core::LockPolicy::kConservative;
+    ocfg.players = 4 * kPlayersPerShard;
+    ocfg.warmup = vt::seconds(1);
+    ocfg.measure = vt::seconds(2);
+    ocfg.seed = 42;
+    obs::FleetObs::Config canary_cfg;
+    canary_cfg.slos = {obs::SloSpec{.name = "frame_p99",
+                                    .metric = "server.frame_duration_ms",
+                                    .stat = obs::SloSpec::Stat::kP99,
+                                    .cmp = obs::SloSpec::Cmp::kLE,
+                                    .bound = 12.5,
+                                    .min_count = 20}};
+    obs::FleetObs canary_obs(nullptr, canary_cfg);
+    ocfg.fleet_obs = &canary_obs;
+    std::printf("\nrunning SLO canary (1 shard, 1 thread, %d players)...\n",
+                ocfg.players);
+    std::fflush(stdout);
+    const auto overload = harness::run_shard_experiment(ocfg);
+    out.add_raw("slo", slo_point_json("overload-canary", overload));
+    bool caught = false;
+    for (const obs::SloBreach& b : overload.slo_breaches)
+      if (b.slo == "frame_p99") caught = true;
+    if (!caught)
+      fail("FAIL: SLO monitor missed the injected frame-budget breach "
+           "(%zu breaches recorded)\n",
+           overload.slo_breaches.size());
+    else
+      std::printf(
+          "SLO canary: frame-p99 breach detected as expected (%.3f ms "
+          "observed vs 12.5 ms budget)\n",
+          overload.slo_breaches.front().observed);
+  }
+
+  // ---- --trace: merged multi-shard causal trace ----------------------
+  // A third run with handoffs enabled (default boundary margin, so bots
+  // roaming across slab boundaries migrate between engines) and shard 1
+  // crashed mid-measure. The export holds every shard as its own Chrome
+  // process, flow arrows stitching each migration, and the supervisor's
+  // quarantine -> restore instants on shard 1's track.
+  if (!out.options().trace_path.empty()) {
+    auto tcfg = fleet_config();
+    tcfg.fleet.boundary_margin = 24.0f;  // re-enable cross-shard handoff
+    tcfg.warmup = vt::seconds(1);
+    tcfg.measure = vt::seconds(3);
+    const vt::Duration tcrash = tcfg.warmup + vt::Duration{tcfg.measure.ns / 2};
+    tcfg.schedule_faults = [tcrash](vt::Platform& p,
+                                    shard::ShardManager& mgr) {
+      p.call_after(tcrash, [&mgr] { mgr.crash_shard(1); });
+    };
+    obs::Tracer tracer;  // bound to the run's platform by FleetObs::attach
+    obs::FleetObs trace_obs(&tracer, obs_cfg);
+    tcfg.fleet_obs = &trace_obs;
+    std::printf("\ncapturing merged fleet trace (handoffs on, shard 1 "
+                "crashed at t=%.1fs)...\n",
+                static_cast<double>(tcrash.ns) / 1e9);
+    std::fflush(stdout);
+    const auto traced = harness::run_shard_experiment(tcfg);
+    if (traced.handoff_flows == 0)
+      fail("FAIL: trace run produced no session-handoff flows\n");
+    if (traced.shards[1].restores != 1)
+      fail("FAIL: trace run's crashed shard was not restored (restores=%d)\n",
+           traced.shards[1].restores);
+    if (tracer.write_chrome_trace(out.options().trace_path)) {
+      std::printf(
+          "wrote %llu spans across %d tracks (%d shard processes) with "
+          "%" PRIu64
+          " handoff flows to %s\n  (open in chrome://tracing or "
+          "https://ui.perfetto.dev — shard 1's supervisor track carries "
+          "the quarantine/restore instants)\n",
+          static_cast<unsigned long long>(tracer.total_recorded()),
+          tracer.track_count(), kShards, traced.handoff_flows,
+          out.options().trace_path.c_str());
+    } else {
+      fail("FAIL: could not write trace to %s\n",
+           out.options().trace_path.c_str());
+    }
+  }
 
   const int rc = out.finish();
   return failed ? 1 : rc;

@@ -169,17 +169,24 @@ Server::NetchanTotals Server::netchan_totals() const {
 
 void Server::attach_observability(obs::Tracer* tracer,
                                   obs::MetricsRegistry* metrics) {
-  tracer_ = tracer;
-  metrics_ = metrics;
   // Rebind unconditionally: span timestamps must come from *this* server's
   // platform clock, and a tracer reused across runs would otherwise keep a
   // pointer to a destroyed platform.
   if (tracer != nullptr) tracer->bind(platform_);
+  attach_observability(tracer, metrics, 1, "server-thread-");
+}
+
+void Server::attach_observability(obs::Tracer* tracer,
+                                  obs::MetricsRegistry* metrics,
+                                  int trace_pid,
+                                  const std::string& track_prefix) {
+  tracer_ = tracer;
+  metrics_ = metrics;
   for (size_t i = 0; i < stats_.size(); ++i) {
     stats_[i].tracer = tracer;
     stats_[i].trace_track =
         tracer != nullptr
-            ? tracer->make_track("server-thread-" + std::to_string(i))
+            ? tracer->make_track(track_prefix + std::to_string(i), trace_pid)
             : -1;
   }
   lock_manager_->set_metrics(metrics);

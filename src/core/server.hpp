@@ -125,6 +125,14 @@ class Server : public Engine {
   // default) the hot path pays one branch per would-be span.
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
+  // Fleet variant: this engine's worker tracks are registered under the
+  // Chrome process `trace_pid` and named `<track_prefix><thread>`, so N
+  // shard engines coexist in one merged trace export. Does NOT rebind the
+  // tracer's clock (a fleet shares one tracer; under SimPlatform every
+  // shard runs on the same virtual clock, under RealPlatform wall time).
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics, int trace_pid,
+                            const std::string& track_prefix);
   obs::Tracer* tracer() const override { return tracer_; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
@@ -229,6 +237,9 @@ class Server : public Engine {
     uint32_t chan_out_seq = 0;
     uint32_t chan_in_seq = 0;
     uint32_t chan_in_acked = 0;
+    // Causal-trace flow id stitching extract→adopt across shard tracks in
+    // the merged export; 0 = untraced. In-memory only, never journaled.
+    uint64_t flow_id = 0;
     recovery::HandoffState state;
   };
   // Packages the session on `port` and removes it from this engine:

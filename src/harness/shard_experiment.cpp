@@ -1,8 +1,10 @@
 #include "src/harness/shard_experiment.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "src/harness/experiment.hpp"
+#include "src/obs/fleet.hpp"
 #include "src/recovery/journal.hpp"
 #include "src/util/rng.hpp"
 
@@ -24,6 +26,7 @@ ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg) {
   shard::Config fleet = cfg.fleet;
   fleet.seed = cfg.seed;
   shard::ShardManager mgr(platform, network, *map, fleet);
+  if (cfg.fleet_obs != nullptr) cfg.fleet_obs->attach(mgr);
 
   bots::ClientDriver::Config dcfg;
   dcfg.players = cfg.players;
@@ -53,7 +56,21 @@ ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg) {
     }
     driver.begin_measurement();
   });
+  // Periodic SLO observation windows, armed at the warmup boundary. The
+  // callback must not re-arm once stopped or SimPlatform::run() (which
+  // drains the timer queue to empty) would never return.
+  bool stopped = false;
+  if (cfg.fleet_obs != nullptr && cfg.obs_period.ns > 0) {
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, tick] {
+      if (stopped) return;
+      cfg.fleet_obs->evaluate_window();
+      platform.call_after(cfg.obs_period, *tick);
+    };
+    platform.call_after(cfg.warmup + cfg.obs_period, *tick);
+  }
   platform.call_after(cfg.warmup + cfg.measure, [&] {
+    stopped = true;
     mgr.request_stop();
     driver.request_stop();
   });
@@ -105,6 +122,16 @@ ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg) {
           ps.journal_digests.emplace_back(fj.frame, fj.digest);
       }
     }
+  }
+
+  if (cfg.fleet_obs != nullptr) {
+    // Post-stop: harvest the engines' counters into the per-shard
+    // registries, then run one last SLO window over the final state.
+    cfg.fleet_obs->collect_final();
+    cfg.fleet_obs->evaluate_window();
+    out.handoff_flows = mgr.flows_issued();
+    out.slo_evaluations = cfg.fleet_obs->slo().evaluations();
+    out.slo_breaches = cfg.fleet_obs->slo().breaches();
   }
 
   out.sim_events = platform.events_processed();

@@ -14,9 +14,14 @@
 #include <vector>
 
 #include "src/bots/client_driver.hpp"
+#include "src/obs/slo.hpp"
 #include "src/shard/manager.hpp"
 #include "src/spatial/map.hpp"
 #include "src/vthread/sim_platform.hpp"
+
+namespace qserv::obs {
+class FleetObs;
+}
 
 namespace qserv::harness {
 
@@ -44,6 +49,13 @@ struct ShardExperimentConfig {
   // default is wider than the paper's quad testbed.
   vt::SimPlatform::MachineConfig machine{.cores = 8, .ht_per_core = 2};
   std::shared_ptr<const spatial::GameMap> map;
+  // Fleet observability plane, caller-owned (the merged trace and the
+  // federated metrics must outlive the run). When set, the harness
+  // attaches it to the manager before start and drives an SLO evaluation
+  // window every obs_period starting at the warmup boundary (warmup
+  // joins would read as lost clients), plus a final window at shutdown.
+  obs::FleetObs* fleet_obs = nullptr;
+  vt::Duration obs_period = vt::millis(500);
 };
 
 struct ShardExperimentResult {
@@ -83,6 +95,12 @@ struct ShardExperimentResult {
     std::vector<std::pair<uint64_t, uint64_t>> journal_digests;
   };
   std::vector<PerShard> shards;
+
+  // Fleet observability harvest (cfg.fleet_obs configured; zero/empty
+  // otherwise).
+  uint64_t handoff_flows = 0;  // causal flow ids issued fleet-wide
+  uint64_t slo_evaluations = 0;
+  std::vector<obs::SloBreach> slo_breaches;
 
   uint64_t sim_events = 0;
   double host_seconds = 0.0;

@@ -1,0 +1,166 @@
+// Fleet observability plane: one object that watches an entire
+// multi-shard fleet through the shard::FleetObserver seam and turns it
+// into three coherent artifacts —
+//
+//  * one merged Chrome trace: every shard engine renders as its own
+//    Chrome process (pid = shard_pid_base + shard), worker spans under
+//    it, a per-shard handoff track carrying flow-annotated spans (a
+//    session migrating A→B draws as a connected arrow between the two
+//    shards' timelines), and a per-shard supervisor track carrying
+//    instant events for quarantine / restore / tail-replay / shed;
+//
+//  * a federated metrics view: each shard keeps its own MetricsRegistry
+//    (re-attached across supervisor rebuilds, so a restored engine keeps
+//    reporting); fleet_snapshot() prefixes per-shard samples with
+//    "shard<i>." and aggregates them into "fleet.*" (counters summed,
+//    histograms merged bucket-wise) next to the plane's own supervisor /
+//    handoff / recovery counters;
+//
+//  * an SLO verdict: an obs::SloMonitor evaluated per observation window
+//    over every shard's snapshot plus the fleet snapshot, with breaches
+//    kept as structured events and emitted as trace instants.
+//
+// Track-writer discipline (the tracer is wait-free because each track
+// has one writer at a time): worker tracks are written by their engine
+// thread; the handoff track of shard i only from i's master window; the
+// supervisor track of shard i and the SLO track only from platform timer
+// context (ticks are self-rescheduling, so they never overlap
+// themselves). The shed path writes a dead shard's tracks from the
+// supervisor — its engine is quiesced, so the single-writer rule holds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/trace.hpp"
+#include "src/shard/observer.hpp"
+
+namespace qserv::shard {
+class ShardManager;
+}
+
+namespace qserv::obs {
+
+// Merges labeled registries into one federated sample list: every input
+// sample reappears as "<label>.<name>", and shard-crossing aggregates
+// are appended as "fleet.<name>" — counters summed, histograms merged
+// bucket-wise and re-reduced to percentiles (gauges stay per-shard:
+// there is no meaningful sum of last-written values).
+std::vector<MetricSample> federate(
+    const std::vector<std::pair<std::string, const MetricsRegistry*>>&
+        parts);
+
+class FleetObs final : public shard::FleetObserver {
+ public:
+  struct Config {
+    std::vector<SloSpec> slos = SloMonitor::default_fleet_slos();
+    // >0 arms the lost-client accounting (fleet.clients.lost = expected
+    // minus the fleet-wide connected count, floored at zero).
+    int expected_clients = 0;
+    int fleet_pid = 1;       // Chrome pid of the fleet-level tracks
+    int shard_pid_base = 2;  // shard i renders as pid shard_pid_base + i
+  };
+
+  // `tracer` may be null: metrics federation and SLO evaluation still
+  // run, only the timeline artifacts are skipped.
+  explicit FleetObs(Tracer* tracer);
+  FleetObs(Tracer* tracer, Config cfg);
+  ~FleetObs() override;
+
+  FleetObs(const FleetObs&) = delete;
+  FleetObs& operator=(const FleetObs&) = delete;
+
+  // Binds to a fleet: registers as the manager's observer, names the
+  // trace processes, and attaches tracer + per-shard registry to every
+  // engine. Call after the ShardManager is built and before start();
+  // this object must outlive the manager's run.
+  void attach(shard::ShardManager& mgr);
+
+  // --- shard::FleetObserver (see observer.hpp for calling contexts) ---
+  void on_engine_built(int shard, core::ParallelServer& server) override;
+  void on_escalation(int shard, const char* why) override;
+  void on_restore(int shard, bool ok, bool used_tail, uint64_t tail_frames,
+                  double pause_ms) override;
+  void on_shed(int shard, uint64_t sessions) override;
+  void on_handoff_out(int src, int dst, uint64_t flow) override;
+  void on_shed_handoff(int src, int dst, uint64_t flow) override;
+  void on_handoff_in(int dst, uint64_t flow) override;
+
+  // One observation window: refreshes the fleet gauges that derive from
+  // heartbeat atomics (connected / lost clients), then runs the SLO
+  // monitor over every shard snapshot and the fleet snapshot. Mid-run
+  // safe (reads only atomics and live instruments); call from platform
+  // timer context, post-warmup, and once after the run stops.
+  void evaluate_window();
+
+  // Post-run harvest: collect_server() into each live shard's registry
+  // (frames, requests, lock hot list) — plain engine reads, so only call
+  // once the fleet has stopped.
+  void collect_final();
+
+  // Federated sample list: "shard<i>.*" + "fleet.*" (see federate()).
+  std::vector<MetricSample> fleet_snapshot() const;
+  std::string fleet_json() const;  // qserv-metrics-v1
+
+  MetricsRegistry& shard_metrics(int i) { return *shard_regs_[i]; }
+  MetricsRegistry& fleet_metrics() { return fleet_reg_; }
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo() const { return slo_; }
+  Tracer* tracer() const { return tracer_; }
+  int shard_pid(int shard) const { return cfg_.shard_pid_base + shard; }
+  // Handoffs begun whose adoption has not been observed yet.
+  size_t flows_in_flight() const;
+
+ private:
+  void attach_engine(int shard, core::ParallelServer& server);
+  int64_t now_ns() const;
+  void note_flow_begin(int src_track, const char* span_name, int dst,
+                       uint64_t flow);
+
+  Tracer* tracer_;
+  Config cfg_;
+  shard::ShardManager* mgr_ = nullptr;
+
+  std::vector<std::unique_ptr<MetricsRegistry>> shard_regs_;
+  MetricsRegistry fleet_reg_;
+  SloMonitor slo_;
+
+  // Trace geometry (all -1 / empty when tracer_ == null).
+  std::vector<int> handoff_track_;     // written by shard's master window
+  std::vector<int> supervisor_track_;  // written by supervisor ticks
+  std::vector<int> generation_;        // engine generations seen per shard
+  int slo_track_ = -1;
+
+  // Cached fleet instruments (stable pointers into fleet_reg_).
+  Counter* handoffs_out_ = nullptr;
+  Counter* handoffs_in_ = nullptr;
+  Counter* escalations_ = nullptr;
+  Counter* restores_ = nullptr;
+  Counter* tail_replays_ = nullptr;
+  Counter* sheds_ = nullptr;
+  Counter* shed_sessions_ = nullptr;
+  Gauge* last_pause_ms_ = nullptr;
+  Gauge* connected_ = nullptr;
+  Gauge* lost_ = nullptr;
+  HistogramMetric* handoff_latency_ms_ = nullptr;
+
+  // Lost-client accounting state (see evaluate_window): latched until
+  // the fleet has been seen fully connected once, debounced across two
+  // consecutive windows.
+  bool saw_full_fleet_ = false;
+  int prev_raw_lost_ = 0;
+
+  // flow id -> extraction time; inserted by any master window (or the
+  // supervisor's shed), erased at adoption, hence the mutex.
+  mutable std::mutex flows_mu_;
+  std::unordered_map<uint64_t, int64_t> flow_begin_ns_;
+};
+
+}  // namespace qserv::obs

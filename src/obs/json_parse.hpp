@@ -1,0 +1,57 @@
+// Minimal recursive-descent JSON parser (DOM into JsonValue). The repo
+// emits JSON through obs::JsonWriter; this is the matching reader, added
+// for tools/qserv-trend which must consume committed BENCH_*.json files
+// without external dependencies. Covers the full JSON grammar (objects,
+// arrays, strings with escapes incl. \uXXXX, numbers, true/false/null);
+// rejects trailing garbage; depth-limited against adversarial nesting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qserv::obs {
+
+struct JsonValue {
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  // Dotted-path lookup through nested objects: "response.rate_per_s".
+  const JsonValue* at_path(std::string_view dotted) const;
+
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? str : std::move(fallback);
+  }
+};
+
+// Parses `text` into `out`. On failure returns false and, when `error`
+// is non-null, describes the first problem with its byte offset.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
+
+}  // namespace qserv::obs

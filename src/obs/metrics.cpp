@@ -77,8 +77,20 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+void MetricsRegistry::for_each(
+    const std::function<void(const std::string&, MetricKind, const Counter*,
+                             const Gauge*, const HistogramMetric*)>& fn)
+    const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, e] : entries_)
+    fn(name, e.kind, e.counter.get(), e.gauge.get(), e.histogram.get());
+}
+
 std::string MetricsRegistry::to_json() const {
-  const std::vector<MetricSample> samples = snapshot();
+  return samples_to_json(snapshot());
+}
+
+std::string samples_to_json(const std::vector<MetricSample>& samples) {
   std::string out;
   JsonWriter w(out);
   w.begin_object();

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,15 @@ class MetricsRegistry {
   // All instruments, sorted by name.
   std::vector<MetricSample> snapshot() const;
 
+  // Visits every instrument in name order; exactly one of the three
+  // instrument pointers is non-null, matching `kind`. Instruments are
+  // live — reads race benignly, as in snapshot(). Used by the fleet
+  // federation layer, which needs the raw histograms (percentiles do not
+  // merge; buckets do).
+  void for_each(const std::function<void(const std::string&, MetricKind,
+                                         const Counter*, const Gauge*,
+                                         const HistogramMetric*)>& fn) const;
+
   // {"schema":"qserv-metrics-v1","metrics":[...]}.
   std::string to_json() const;
   bool write_json(const std::string& path) const;
@@ -118,5 +128,10 @@ struct TimedSnapshot {
   double t_seconds = 0.0;  // platform time when taken
   std::vector<MetricSample> samples;
 };
+
+// Serializes a sample list in the qserv-metrics-v1 shape
+// ({"schema":"qserv-metrics-v1","metrics":[...]}); MetricsRegistry::
+// to_json and the fleet federation both emit through this.
+std::string samples_to_json(const std::vector<MetricSample>& samples);
 
 }  // namespace qserv::obs

@@ -50,6 +50,10 @@ void ShardEngineHook::adopt_inbound(int64_t now_ns) {
     incoming.push_back(std::move(t));
   for (core::Server::SessionTransfer& t : incoming) {
     if (server_.adopt_session(t)) {
+      if (t.flow_id != 0) {
+        if (FleetObserver* o = mgr_.observer(); o != nullptr)
+          o->on_handoff_in(index_, t.flow_id);
+      }
       pending_redirects_.emplace_back(t.remote_port, now_ns);
     } else {
       // Registry momentarily full (or port briefly still bound): hold
@@ -84,8 +88,13 @@ void ShardEngineHook::migrate_outbound() {
     // here rather than bouncing it around the fleet.
     if (mgr_.shard(target).down()) continue;
     core::Server::SessionTransfer t;
-    if (server_.extract_session(port, t))
+    if (server_.extract_session(port, t)) {
+      if (FleetObserver* o = mgr_.observer(); o != nullptr) {
+        t.flow_id = mgr_.next_flow_id();
+        o->on_handoff_out(index_, target, t.flow_id);
+      }
       mgr_.post_handoff(target, std::move(t));
+    }
   }
 }
 

@@ -5,12 +5,14 @@
 // — a crash in one shard's failure domain never touches another's state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/shard/config.hpp"
 #include "src/shard/mailbox.hpp"
+#include "src/shard/observer.hpp"
 #include "src/shard/router.hpp"
 #include "src/shard/shard.hpp"
 #include "src/shard/supervisor.hpp"
@@ -56,6 +58,20 @@ class ShardManager {
   // Convenience fault injection: crash shard `i`'s engine.
   void crash_shard(int i) { shards_[i]->inject_crash(); }
 
+  // --- fleet observation (obs::FleetObs) ---
+  // Install before start(); `o` must outlive the fleet. Null = unobserved
+  // (every emission site is one pointer check).
+  void set_observer(FleetObserver* o) { observer_ = o; }
+  FleetObserver* observer() const { return observer_; }
+  // Next causal-trace flow id (1-based; 0 means untraced). Called from
+  // any master window, so the counter is atomic.
+  uint64_t next_flow_id() {
+    return flow_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t flows_issued() const {
+    return flow_ids_.load(std::memory_order_relaxed);
+  }
+
   // Connected clients summed over live shards. Quiescent-state read —
   // call only while the shards are stopped (pre-start / post-stop).
   int total_connected() const;
@@ -69,6 +85,8 @@ class ShardManager {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<HandoffMailbox>> mailboxes_;
   std::unique_ptr<ShardSupervisor> supervisor_;
+  FleetObserver* observer_ = nullptr;
+  std::atomic<uint64_t> flow_ids_{0};
 };
 
 }  // namespace qserv::shard

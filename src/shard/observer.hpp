@@ -1,0 +1,55 @@
+// Fleet observation seam: the shard layer reports its interesting
+// moments — engine generations coming up, supervisor state transitions,
+// cross-shard session handoffs — through this interface without knowing
+// anything about tracers or metric registries. obs::FleetObs implements
+// it; the shard layer stays dependency-free and a fleet without an
+// observer pays one null-check per event.
+//
+// Calling contexts (single-writer discipline for trace tracks hangs off
+// these):
+//  - on_engine_built: supervisor timer context, engine not yet started
+//    (initial generations are attached directly by the plane instead).
+//  - on_escalation / on_restore / on_shed / on_shed_handoff: supervisor
+//    timer context.
+//  - on_handoff_out: source engine's master window.
+//  - on_handoff_in: destination engine's master window.
+#pragma once
+
+#include <cstdint>
+
+namespace qserv::core {
+class ParallelServer;
+}
+
+namespace qserv::shard {
+
+class FleetObserver {
+ public:
+  virtual ~FleetObserver() = default;
+
+  // A supervisor-rebuilt engine generation exists but has not started:
+  // re-attach per-engine instrumentation here or the restored shard goes
+  // dark (no spans, no frame histograms) for the rest of the run.
+  virtual void on_engine_built(int shard, core::ParallelServer& server) = 0;
+
+  // kHealthy -> kQuarantined; `why` is a static string: "crash-flag",
+  // "invariant-violation" or "stale-heartbeat".
+  virtual void on_escalation(int shard, const char* why) = 0;
+  // Quarantine exit through rebuild+restore (ok == false means the
+  // restore failed and the supervisor is about to shed instead).
+  virtual void on_restore(int shard, bool ok, bool used_tail,
+                          uint64_t tail_frames, double pause_ms) = 0;
+  // Quarantine exit through shedding: `sessions` relocated, shard down.
+  virtual void on_shed(int shard, uint64_t sessions) = 0;
+
+  // Session `flow` extracted from `src`, queued toward `dst`.
+  virtual void on_handoff_out(int src, int dst, uint64_t flow) = 0;
+  // Same, but originated by the supervisor's shed path (timer context,
+  // `src`'s engine is quiesced and being dismantled).
+  virtual void on_shed_handoff(int src, int dst, uint64_t flow) = 0;
+  // Session `flow` adopted by `dst` (which may differ from the intended
+  // target when the mailbox forwarded past a down shard).
+  virtual void on_handoff_in(int dst, uint64_t flow) = 0;
+};
+
+}  // namespace qserv::shard

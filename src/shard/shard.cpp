@@ -115,6 +115,11 @@ Shard::RestoreOutcome Shard::rebuild_and_restore() {
     }
   }
   // No checkpoint ever taken: come back empty and let clients reconnect.
+  // Either way this generation is about to go live: give the fleet
+  // observer its pre-start window to re-attach tracer/metrics hooks, or
+  // the restored shard would go dark for the rest of the run.
+  if (FleetObserver* o = mgr_.observer(); o != nullptr)
+    o->on_engine_built(index_, *server_);
   server_->start();
   out.pause_ms = ms_since(t0);
   out.ok = true;

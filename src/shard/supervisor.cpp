@@ -71,8 +71,10 @@ void ShardSupervisor::supervise(int i, int64_t now_ns) {
   switch (r.state) {
     case ShardState::kHealthy: {
       bool escalate = false;
+      const char* why = nullptr;
       if (s.crash_flagged() || s.beat_invariants() > 0) {
         escalate = true;
+        why = s.crash_flagged() ? "crash-flag" : "invariant-violation";
       } else if (now_ns - s.beat_at_ns() >
                  mgr_.config().heartbeat_timeout.ns) {
         // Wedged: the beat timestamp refreshes both at frame end and from
@@ -82,11 +84,14 @@ void ShardSupervisor::supervise(int i, int64_t now_ns) {
         // loops themselves stopped (worker stuck inside a frame, barrier
         // hang), which is exactly what quarantine is for.
         escalate = true;
+        why = "stale-heartbeat";
       }
       if (escalate) {
         s.request_stop();
         r.state = ShardState::kQuarantined;
         ++r.escalations;
+        if (FleetObserver* o = mgr_.observer(); o != nullptr)
+          o->on_escalation(i, why);
       }
       break;
     }
@@ -103,6 +108,9 @@ void ShardSupervisor::supervise(int i, int64_t now_ns) {
       r.last_used_tail = out.used_tail;
       r.last_stats = out.stats;
       r.last_error = out.error;
+      if (FleetObserver* o = mgr_.observer(); o != nullptr)
+        o->on_restore(i, out.ok, out.used_tail, out.stats.tail_frames,
+                      out.pause_ms);
       if (!out.ok) {
         do_shed(i);
         break;
@@ -132,8 +140,14 @@ void ShardSupervisor::do_shed(int i) {
     }
     if (target < 0) break;  // no live shard left; sessions are lost
     shed_cursor_ = (target + 1) % mgr_.shards();
+    if (FleetObserver* o = mgr_.observer(); o != nullptr) {
+      tr.flow_id = mgr_.next_flow_id();
+      o->on_shed_handoff(i, target, tr.flow_id);
+    }
     if (mgr_.post_handoff(target, std::move(tr))) ++r.shed_sessions;
   }
+  if (FleetObserver* o = mgr_.observer(); o != nullptr)
+    o->on_shed(i, r.shed_sessions);
 }
 
 }  // namespace qserv::shard

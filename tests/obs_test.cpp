@@ -15,8 +15,11 @@
 #include "src/harness/experiment.hpp"
 #include "src/harness/json_export.hpp"
 #include "src/obs/collect.hpp"
+#include "src/obs/fleet.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/json_parse.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/slo.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/histogram.hpp"
 #include "src/vthread/real_platform.hpp"
@@ -283,6 +286,110 @@ TEST(TracerTest, ConcurrentSingleWriterTracks) {
 #endif
 }
 
+// ---- fleet-mode tracer: pids, instants, flows, interning --------------
+
+TEST(TracerTest, InstantAndFlowEventsExportWithProcessNames) {
+  vt::SimPlatform platform;
+  obs::Tracer tracer(platform);
+  tracer.set_process_name(2, "shard-0");
+  tracer.set_process_name(3, "shard-1");
+  const int a = tracer.make_track("shard-0/handoff", /*pid=*/2);
+  const int b = tracer.make_track("shard-1/handoff", /*pid=*/3);
+  EXPECT_EQ(tracer.track_pid(a), 2);
+  EXPECT_EQ(tracer.track_pid(b), 3);
+
+  tracer.record_flow_span(a, "handoff-out", 1000, 100, /*frame=*/5,
+                          /*flow=*/7, /*outgoing=*/true);
+  tracer.record_flow_span(b, "handoff-in", 2000, 100, /*frame=*/-1,
+                          /*flow=*/7, /*outgoing=*/false);
+  tracer.record_instant(b, "quarantine:crash-flag");
+
+  const std::string json = tracer.export_chrome_trace();
+  ASSERT_TRUE(JsonChecker(json).valid()) << json;
+
+  // Structural check through the DOM parser: the flow must appear as a
+  // Chrome "s"/"f" pair sharing an id, crossing the two shard pids.
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(json, doc, &err)) << err;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int flow_start = 0, flow_finish = 0, instants = 0, procs = 0;
+  std::vector<double> flow_pids;
+  for (const obs::JsonValue& e : events->items) {
+    const std::string ph = e.find("ph")->string_or("");
+    if (ph == "s" || ph == "f") {
+      EXPECT_EQ(e.find("id")->number_or(-1), 7.0);
+      EXPECT_EQ(e.find("name")->string_or(""), "session-handoff");
+      flow_pids.push_back(e.find("pid")->number_or(-1));
+      (ph == "s" ? flow_start : flow_finish)++;
+    } else if (ph == "i") {
+      EXPECT_EQ(e.find("name")->string_or(""), "quarantine:crash-flag");
+      ++instants;
+    } else if (ph == "M" &&
+               e.find("name")->string_or("") == "process_name") {
+      ++procs;
+    }
+  }
+  EXPECT_EQ(flow_start, 1);
+  EXPECT_EQ(flow_finish, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_GE(procs, 2);
+  ASSERT_EQ(flow_pids.size(), 2u);
+  EXPECT_NE(flow_pids[0], flow_pids[1]);  // the arrow crosses processes
+}
+
+TEST(TracerTest, InternedNamesAreStableAndDeduplicated) {
+  obs::Tracer tracer;
+  const char* a = tracer.intern("slo:frame_p99");
+  const char* b = tracer.intern("slo:frame_p99");
+  EXPECT_EQ(a, b);  // same string, same storage
+  const char* c = tracer.intern("slo:lost_clients");
+  EXPECT_NE(a, c);
+  // Interning more names must not invalidate earlier pointers.
+  for (int i = 0; i < 1000; ++i) tracer.intern("name-" + std::to_string(i));
+  EXPECT_EQ(std::string(a), "slo:frame_p99");
+}
+
+// A supervisor-rebuilt engine registers fresh tracks while the rest of
+// the fleet is recording: registration must be safe against concurrent
+// writers (the track table never reallocates).
+TEST(TracerTest, TrackRegistrationIsSafeUnderConcurrentRecording) {
+  vt::RealPlatform platform;
+  obs::Tracer::Config cfg;
+  cfg.capacity_per_track = 1 << 10;
+  cfg.max_tracks = 256;
+  obs::Tracer tracer(platform, cfg);
+
+  constexpr int kWriters = 3;
+  constexpr int kSpans = 20000;
+  std::vector<int> tracks;
+  for (int i = 0; i < kWriters; ++i)
+    tracks.push_back(tracer.make_track("w" + std::to_string(i)));
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWriters; ++i) {
+    threads.emplace_back([&, i] {
+      for (int s = 0; s < kSpans; ++s)
+        tracer.record(tracks[static_cast<size_t>(i)], "span", s, 1);
+    });
+  }
+  // Meanwhile: register new tracks (and write one event to each), as a
+  // rebuilt shard generation would.
+  threads.emplace_back([&] {
+    for (int g = 0; g < 100; ++g) {
+      const int t = tracer.make_track("g" + std::to_string(g), /*pid=*/g);
+      tracer.record_instant(t, "restore");
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(tracer.track_count(), kWriters + 100);
+  EXPECT_EQ(tracer.total_recorded(),
+            static_cast<uint64_t>(kWriters) * kSpans + 100);
+  EXPECT_EQ(tracer.track_name(tracks[0]), "w0");
+}
+
 // ---- metrics ----------------------------------------------------------
 
 TEST(MetricsTest, RegistryFindsOrCreatesAndSnapshots) {
@@ -320,6 +427,163 @@ TEST(MetricsTest, HistogramPercentilesAreAccurate) {
   EXPECT_NEAR(h.percentile(95), 950.0, 145.0);
   EXPECT_NEAR(h.percentile(99), 990.0, 150.0);
   EXPECT_EQ(h.count(), 1000u);
+}
+
+// ---- metrics federation ----------------------------------------------
+
+TEST(FleetMetricsTest, FederatePrefixesSumsAndMergesBucketwise) {
+  obs::MetricsRegistry a, b;
+  a.counter("server.requests").inc(10);
+  b.counter("server.requests").inc(32);
+  a.gauge("server.clients").set(64.0);
+  b.gauge("server.clients").set(60.0);
+  auto& ha = a.histogram("server.frame_duration_ms", 1e-3);
+  auto& hb = b.histogram("server.frame_duration_ms", 1e-3);
+  for (int i = 0; i < 100; ++i) ha.observe(1.0);
+  for (int i = 0; i < 100; ++i) hb.observe(20.0);
+
+  const auto samples = obs::federate({{"shard0", &a}, {"shard1", &b}});
+  auto find = [&](const std::string& name) -> const obs::MetricSample* {
+    for (const auto& s : samples)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+
+  // Per-shard samples reappear prefixed.
+  ASSERT_NE(find("shard0.server.requests"), nullptr);
+  EXPECT_EQ(find("shard0.server.requests")->value, 10.0);
+  ASSERT_NE(find("shard1.server.clients"), nullptr);
+  EXPECT_EQ(find("shard1.server.clients")->value, 60.0);
+
+  // Counters sum across shards.
+  ASSERT_NE(find("fleet.server.requests"), nullptr);
+  EXPECT_EQ(find("fleet.server.requests")->value, 42.0);
+
+  // Histograms merge at the bucket level: the fleet p99 must see shard1's
+  // slow tail (a mean-of-means or percentile-of-percentiles would not).
+  const auto* fleet_frames = find("fleet.server.frame_duration_ms");
+  ASSERT_NE(fleet_frames, nullptr);
+  EXPECT_EQ(fleet_frames->count, 200u);
+  EXPECT_GT(fleet_frames->p99, 15.0);
+  EXPECT_LT(fleet_frames->p50, 3.0);
+
+  // Gauges are not aggregated — a sum of last-written values means
+  // nothing fleet-wide.
+  EXPECT_EQ(find("fleet.server.clients"), nullptr);
+}
+
+// ---- SLO monitor ------------------------------------------------------
+
+std::vector<obs::MetricSample> slo_samples(double p99, uint64_t count,
+                                           double lost) {
+  obs::MetricSample frames;
+  frames.name = "server.frame_duration_ms";
+  frames.kind = obs::MetricKind::kHistogram;
+  frames.count = count;
+  frames.p99 = p99;
+  obs::MetricSample lost_g;
+  lost_g.name = "fleet.clients.lost";
+  lost_g.kind = obs::MetricKind::kGauge;
+  lost_g.value = lost;
+  return {frames, lost_g};
+}
+
+TEST(SloMonitorTest, DetectsBreachesSkipsAbsentAndUnderfilled) {
+  obs::SloMonitor mon;  // default fleet SLOs
+  // Healthy window: under budget, nothing lost.
+  EXPECT_EQ(mon.evaluate(slo_samples(8.0, 100, 0.0), 1.0, "shard0"), 0);
+  EXPECT_TRUE(mon.ok());
+  // Frame budget breached.
+  EXPECT_EQ(mon.evaluate(slo_samples(14.0, 100, 0.0), 2.0, "shard0"), 1);
+  // Histogram below min_count: percentile noise must not trigger.
+  EXPECT_EQ(mon.evaluate(slo_samples(99.0, 3, 0.0), 3.0, "shard1"), 0);
+  // Lost clients (gauge, exact-zero bound).
+  EXPECT_EQ(mon.evaluate(slo_samples(8.0, 100, 2.0), 4.0, "fleet"), 1);
+  // Empty snapshot: every spec absent, every spec skipped.
+  EXPECT_EQ(mon.evaluate({}, 5.0, "shard2"), 0);
+
+  ASSERT_EQ(mon.breaches().size(), 2u);
+  EXPECT_EQ(mon.breaches()[0].slo, "frame_p99");
+  EXPECT_EQ(mon.breaches()[0].scope, "shard0");
+  EXPECT_EQ(mon.breaches()[0].observed, 14.0);
+  EXPECT_EQ(mon.breaches()[1].slo, "lost_clients");
+  EXPECT_EQ(mon.breaches()[1].scope, "fleet");
+  EXPECT_EQ(mon.evaluations(), 5u);
+  EXPECT_FALSE(mon.ok());
+  EXPECT_EQ(mon.exit_code(), 1);
+
+  const std::string json = mon.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("qserv-slo-v1"), std::string::npos);
+  EXPECT_NE(json.find("lost_clients"), std::string::npos);
+}
+
+TEST(SloMonitorTest, BreachEmitsTraceInstant) {
+  vt::SimPlatform platform;
+  obs::Tracer tracer(platform);
+  const int track = tracer.make_track("fleet/slo");
+  obs::SloMonitor mon;
+  mon.evaluate(slo_samples(14.0, 100, 0.0), 1.0, "shard0", &tracer, track);
+  const auto events = tracer.events(track);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::TraceEvent::Kind::kInstant);
+  EXPECT_EQ(std::string(events[0].name), "slo:frame_p99");
+}
+
+// ---- JSON parser (the qserv-trend reader) -----------------------------
+
+TEST(JsonParseTest, ParsesNestedDocumentsAndPaths) {
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(
+      R"({"schema":"qserv-bench-v1","groups":[{"name":"g",
+          "points":[{"label":"2t/64p","response":{"rate_per_s":1234.5,
+          "connected":64},"ok":true,"note":"a\"bé"}]}]})",
+      doc, &err))
+      << err;
+  const obs::JsonValue* pt = doc.at_path("groups");
+  ASSERT_NE(pt, nullptr);
+  ASSERT_TRUE(pt->is_array());
+  const obs::JsonValue& point = pt->items[0].find("points")->items[0];
+  EXPECT_EQ(point.at_path("response.rate_per_s")->number_or(0), 1234.5);
+  EXPECT_EQ(point.at_path("response.connected")->number_or(0), 64.0);
+  EXPECT_TRUE(point.find("ok")->boolean);
+  EXPECT_EQ(point.find("note")->string_or(""), "a\"b\xc3\xa9");
+  EXPECT_EQ(point.at_path("response.missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  obs::JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::json_parse("{\"a\":1} trailing", v, &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+  EXPECT_FALSE(obs::json_parse("{\"a\":}", v, &err));
+  EXPECT_FALSE(obs::json_parse("[1,2", v, &err));
+  EXPECT_FALSE(obs::json_parse("\"unterminated", v, &err));
+  EXPECT_FALSE(obs::json_parse("01x", v, &err));
+  // Depth bomb: must fail cleanly, not overflow the stack.
+  EXPECT_FALSE(obs::json_parse(std::string(5000, '['), v, &err));
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  // Everything the repo's writer emits must be readable by the parser.
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("name", "spän \"x\"\n");
+  w.kv("neg", -12.75);
+  w.key("arr");
+  w.begin_array();
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(out, v, &err)) << out << " -- " << err;
+  EXPECT_EQ(v.find("name")->string_or(""), "spän \"x\"\n");
+  EXPECT_EQ(v.find("neg")->number_or(0), -12.75);
+  EXPECT_EQ(v.find("arr")->items.size(), 2u);
 }
 
 // ---- end-to-end through the harness ----------------------------------

@@ -6,10 +6,15 @@
 // back via silence reconnect.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/harness/shard_experiment.hpp"
+#include "src/obs/fleet.hpp"
+#include "src/obs/json_parse.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/trace.hpp"
 #include "src/shard/manager.hpp"
 #include "src/shard/router.hpp"
 #include "src/util/aabb.hpp"
@@ -193,6 +198,194 @@ TEST(ShardFleet, UnaffectedShardsReplayBitIdenticallyAcrossRuns) {
       ASSERT_EQ(a[k].second, b[k].second)
           << "shard " << i << " frame " << a[k].first;
     }
+  }
+}
+
+// --- fleet observability plane -------------------------------------------
+
+// Chrome-trace DOM helpers: event list, and the name each (pid,tid) row
+// was given through thread_name metadata.
+struct ParsedTrace {
+  obs::JsonValue doc;
+  const obs::JsonValue* events = nullptr;
+
+  explicit ParsedTrace(const std::string& json) {
+    std::string err;
+    EXPECT_TRUE(obs::json_parse(json, doc, &err)) << err;
+    events = doc.find("traceEvents");
+  }
+  std::string row_name(double pid, double tid) const {
+    for (const obs::JsonValue& e : events->items)
+      if (e.find("ph")->string_or("") == "M" &&
+          e.find("name")->string_or("") == "thread_name" &&
+          e.find("pid")->number_or(-1) == pid &&
+          e.find("tid")->number_or(-1) == tid)
+        return e.at_path("args.name")->string_or("");
+    return {};
+  }
+  int count_instants_on(const std::string& row,
+                        const std::string& name) const {
+    int n = 0;
+    for (const obs::JsonValue& e : events->items)
+      if (e.find("ph")->string_or("") == "i" &&
+          e.find("name")->string_or("") == name &&
+          row_name(e.find("pid")->number_or(-1),
+                   e.find("tid")->number_or(-1)) == row)
+        ++n;
+    return n;
+  }
+};
+
+TEST(ShardFleetObs, HandoffFlowsStitchAcrossShardProcesses) {
+  auto cfg = base_cfg(2, 24);
+  cfg.fleet.boundary_margin = 8.0f;  // migrations on
+  obs::Tracer tracer;
+  obs::FleetObs::Config ocfg;
+  ocfg.expected_clients = cfg.players;
+  obs::FleetObs fleet(&tracer, ocfg);
+  cfg.fleet_obs = &fleet;
+  const auto r = harness::run_shard_experiment(cfg);
+
+  ASSERT_GT(r.handoff_flows, 0u);
+  EXPECT_GE(r.handoff_flows, r.handoffs_out);
+  // Every adopted handoff fed the fleet latency histogram. The plane
+  // counts from fleet start while the engines' counters reset at the
+  // warmup boundary, so the histogram covers at least the measured
+  // adoptions and at most the flows ever issued.
+  const auto samples = fleet.fleet_metrics().snapshot();
+  const obs::MetricSample* lat = nullptr;
+  for (const auto& s : samples)
+    if (s.name == "fleet.handoff.latency_ms") lat = &s;
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->count, r.handoffs_in);
+  EXPECT_LE(lat->count, r.handoff_flows);
+
+  // In the export, each stitched flow is an "s" on the source shard's
+  // process and an "f" on the destination's — different pids.
+  ParsedTrace trace(tracer.export_chrome_trace());
+  ASSERT_NE(trace.events, nullptr);
+  std::vector<std::pair<double, double>> starts, finishes;  // (id, pid)
+  for (const obs::JsonValue& e : trace.events->items) {
+    const std::string ph = e.find("ph")->string_or("");
+    if (ph == "s")
+      starts.emplace_back(e.find("id")->number_or(-1),
+                          e.find("pid")->number_or(-1));
+    else if (ph == "f")
+      finishes.emplace_back(e.find("id")->number_or(-1),
+                            e.find("pid")->number_or(-1));
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_FALSE(finishes.empty());
+  int stitched_across = 0;
+  for (const auto& [id, spid] : starts)
+    for (const auto& [fid, fpid] : finishes)
+      if (fid == id && fpid != spid) ++stitched_across;
+  EXPECT_GT(stitched_across, 0);
+}
+
+TEST(ShardFleetObs, RebuiltEngineKeepsTracingAndReporting) {
+  auto cfg = base_cfg(2, 16);
+  cfg.fleet.boundary_margin = 1e9f;
+  cfg.client_silence_timeout = vt::seconds(2);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(1); });
+  };
+  obs::Tracer tracer;
+  obs::FleetObs::Config ocfg;
+  ocfg.expected_clients = cfg.players;
+  obs::FleetObs fleet(&tracer, ocfg);
+  cfg.fleet_obs = &fleet;
+  const auto r = harness::run_shard_experiment(cfg);
+  ASSERT_EQ(r.shards[1].restores, 1);
+
+  // Regression: the supervisor-rebuilt engine must be re-attached to the
+  // plane. Its generation-1 worker tracks exist and carry spans...
+  int g1_track = -1;
+  for (int t = 0; t < tracer.track_count(); ++t)
+    if (tracer.track_name(t) == "shard-1/g1/t0") g1_track = t;
+  ASSERT_NE(g1_track, -1)
+      << "rebuilt engine was not re-attached to the tracer";
+  EXPECT_GT(tracer.events(g1_track).size(), 0u)
+      << "rebuilt engine recorded no spans after restore";
+  EXPECT_EQ(tracer.track_pid(g1_track), fleet.shard_pid(1));
+
+  // ...and its metrics registry kept counting: the shard's frame counter
+  // (harvested post-run) must cover frames run after the restore.
+  const auto samples = fleet.shard_metrics(1).snapshot();
+  const obs::MetricSample* frames = nullptr;
+  for (const auto& s : samples)
+    if (s.name == "server.frames") frames = &s;
+  ASSERT_NE(frames, nullptr);
+  EXPECT_EQ(frames->value, static_cast<double>(r.shards[1].frames));
+  EXPECT_GT(r.shards[1].frames, 0u);
+}
+
+TEST(ShardFleetObs, SupervisorTransitionsAppearAsInstants) {
+  auto cfg = base_cfg(2, 16);
+  cfg.fleet.boundary_margin = 1e9f;
+  cfg.client_silence_timeout = vt::seconds(2);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(0); });
+  };
+  obs::Tracer tracer;
+  obs::FleetObs fleet(&tracer);
+  cfg.fleet_obs = &fleet;
+  const auto r = harness::run_shard_experiment(cfg);
+  ASSERT_EQ(r.shards[0].restores, 1);
+
+  ParsedTrace trace(tracer.export_chrome_trace());
+  ASSERT_NE(trace.events, nullptr);
+  EXPECT_EQ(trace.count_instants_on("shard-0/supervisor",
+                                    "quarantine:crash-flag"),
+            1);
+  EXPECT_EQ(trace.count_instants_on("shard-0/supervisor", "restore"), 1);
+  EXPECT_EQ(trace.count_instants_on("shard-1/supervisor",
+                                    "quarantine:crash-flag"),
+            0);
+  // Supervisor counters federate into the fleet registry.
+  const auto samples = fleet.fleet_metrics().snapshot();
+  auto value_of = [&](const std::string& name) {
+    for (const auto& s : samples)
+      if (s.name == name) return s.value;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("fleet.supervisor.escalations"), 1.0);
+  EXPECT_EQ(value_of("fleet.supervisor.restores"), 1.0);
+}
+
+TEST(ShardFleetObs, PersistentClientLossBreachesTheSlo) {
+  auto cfg = base_cfg(2, 12);
+  cfg.fleet.boundary_margin = 1e9f;
+  // No checkpoints and no reconnect backstop: the crashed shard comes
+  // back empty and its clients stay gone for the rest of the run.
+  cfg.fleet.server.recovery.enabled = false;
+  cfg.measure = vt::seconds(3);
+  cfg.schedule_faults = [&](vt::Platform& p, shard::ShardManager& mgr) {
+    p.call_after(cfg.warmup + vt::seconds(1), [&mgr] { mgr.crash_shard(0); });
+  };
+  // Only the lost-clients SLO: the recovery-pause spec is host-clock and
+  // would flake under a parallel ctest run.
+  obs::SloSpec lost_spec;
+  lost_spec.name = "lost_clients";
+  lost_spec.metric = "fleet.clients.lost";
+  lost_spec.stat = obs::SloSpec::Stat::kValue;
+  lost_spec.cmp = obs::SloSpec::Cmp::kLE;
+  lost_spec.bound = 0.0;
+  obs::FleetObs::Config ocfg;
+  ocfg.slos = {lost_spec};
+  ocfg.expected_clients = cfg.players;
+  obs::FleetObs fleet(nullptr, ocfg);  // tracer-less plane still monitors
+  cfg.fleet_obs = &fleet;
+  const auto r = harness::run_shard_experiment(cfg);
+
+  ASSERT_EQ(r.shards[0].restores, 1);
+  EXPECT_EQ(r.silence_reconnects, 0u);  // no backstop configured
+  ASSERT_FALSE(r.slo_breaches.empty())
+      << "persistent client loss was not flagged";
+  for (const auto& b : r.slo_breaches) {
+    EXPECT_EQ(b.slo, "lost_clients");
+    EXPECT_EQ(b.scope, "fleet");
+    EXPECT_GT(b.observed, 0.0);
   }
 }
 
