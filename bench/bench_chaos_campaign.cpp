@@ -1,0 +1,193 @@
+// Chaos campaign — does the fleet contain composed failures, not just
+// survive the single-crash showcase?
+//
+// One no-fault baseline plus the standard fault-composition suite
+// (src/chaos/campaign.hpp) against the paper's 4-shard capacity anchor
+// (4 threads x 160 players per shard, 640 players total): single and
+// simultaneous crashes, crash loops against the circuit breaker,
+// corrupt-checkpoint fallback, client partitions, loss storms,
+// crash-mid-handoff and stranded-mailbox reclaim, and the quarantine
+// cap under triple failure. Every scenario is seed-deterministic and
+// scored by an automated verdict:
+//
+//   * zero lost clients at the end of every scenario;
+//   * InvariantChecker clean on every live shard (the audit runs every
+//     frame in all campaign runs);
+//   * recovery pauses inside 12.5 ms — or an explicitly declared SLO
+//     breach, which marks the verdict "degraded" instead of passing
+//     silently;
+//   * every SLO-monitor breach accounted for by the scenario;
+//   * unaffected shards' journal digest streams bit-identical to the
+//     no-fault baseline (blast radius stays inside the failure domain).
+//
+// Exits non-zero if any verdict fails — CI runs this as a smoke check.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "src/chaos/campaign.hpp"
+#include "src/harness/shard_experiment.hpp"
+#include "src/shard/manager.hpp"
+
+using namespace qserv;
+
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kPlayersPerShard = 160;  // paper's 4-thread capacity anchor
+
+harness::ShardExperimentConfig fleet_config() {
+  harness::ShardExperimentConfig cfg;
+  cfg.fleet.shards = kShards;
+  cfg.fleet.server.threads = 4;
+  cfg.fleet.server.lock_policy = core::LockPolicy::kConservative;
+  cfg.fleet.server.recovery.enabled = true;
+  cfg.fleet.server.recovery.checkpoint_interval = 64;
+  cfg.fleet.server.recovery.journal_frames = 256;
+  // The verdict's "invariants clean" guard needs the audit on. It
+  // charges no modelled compute, and every campaign run (baseline
+  // included) carries it, so digest bit-identity still compares like
+  // with like.
+  cfg.fleet.server.check_invariants = true;
+  // Pin sessions to their join shard by default; scenarios that need
+  // roaming (handoff faults) narrow the margin in their tweak and give
+  // up their digest claim.
+  cfg.fleet.boundary_margin = 1e9f;
+  cfg.players = kShards * kPlayersPerShard;
+  cfg.warmup = vt::seconds_d(bench::env_seconds("QSERV_WARMUP_SECONDS", 2.0));
+  cfg.measure = vt::seconds_d(bench::env_seconds("QSERV_MEASURE_SECONDS", 8.0));
+  cfg.client_silence_timeout = vt::seconds(2);
+  cfg.seed = 42;
+  cfg.machine.cores = 16;
+  cfg.machine.ht_per_core = 2;
+  return cfg;
+}
+
+std::string scenario_point_json(const chaos::ScenarioOutcome& o) {
+  const harness::ShardExperimentResult& r = o.result;
+  uint64_t escalations = 0, restores = 0;
+  int sheds = 0;
+  for (const auto& s : r.shards) {
+    escalations += s.escalations;
+    restores += static_cast<uint64_t>(s.restores);
+    if (s.state == shard::ShardState::kShed) ++sheds;
+  }
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("label", o.name);  // qserv-trend keys chaos points by label
+  w.kv("description", o.description);
+  w.kv("pass", o.verdict.pass);
+  w.kv("degraded", o.verdict.degraded);
+  w.kv("connected", static_cast<int64_t>(r.connected));
+  // Keyed metric for qserv-trend: client survival must never decrease.
+  w.key("response");
+  w.begin_object();
+  w.kv("connected", static_cast<int64_t>(r.connected));
+  w.end_object();
+  w.kv("silence_reconnects", r.silence_reconnects);
+  w.kv("escalations", escalations);
+  w.kv("restores", restores);
+  w.kv("sheds", static_cast<int64_t>(sheds));
+  w.kv("handoffs_returned", r.handoffs_returned);
+  w.kv("overflow_sheds", r.overflow_sheds);
+  w.kv("digest_frames_checked", o.digest_frames_checked);
+  w.kv("slo_breaches", static_cast<int64_t>(r.slo_breaches.size()));
+  w.key("allowed_breaches");
+  w.begin_array();
+  for (const std::string& b : o.verdict.allowed_breaches) w.value(b);
+  w.end_array();
+  w.key("failures");
+  w.begin_array();
+  for (const std::string& f : o.verdict.failures) w.value(f);
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOutput out("chaos_campaign", argc, argv);
+  bench::print_header(
+      "Chaos campaign — composed-failure containment verdicts",
+      "robustness extension (deterministic fault scenarios, automated "
+      "verdicts)");
+
+  const auto base = fleet_config();
+  chaos::Campaign::Options copt;
+  copt.verbose = true;
+  chaos::Campaign campaign(base, copt);
+  for (chaos::Scenario& s : chaos::standard_scenarios(base))
+    campaign.add(std::move(s));
+
+  std::printf("campaign: %zu scenarios, %d shards x %d players, seed %" PRIu64
+              "\n\n",
+              campaign.scenarios().size(), kShards, kPlayersPerShard,
+              base.seed);
+  std::fflush(stdout);
+
+  chaos::CampaignResult res = campaign.run();
+
+  // ---- report --------------------------------------------------------
+  std::printf("\n");
+  Table t("Chaos campaign verdicts (each scenario vs the no-fault baseline)");
+  t.header({"scenario", "verdict", "conn", "esc", "rest", "shed", "returns",
+            "digest frames"});
+  for (const chaos::ScenarioOutcome& o : res.outcomes) {
+    uint64_t esc = 0, rest = 0;
+    int sheds = 0;
+    for (const auto& s : o.result.shards) {
+      esc += s.escalations;
+      rest += static_cast<uint64_t>(s.restores);
+      if (s.state == shard::ShardState::kShed) ++sheds;
+    }
+    t.row({o.name,
+           o.verdict.pass ? (o.verdict.degraded ? "pass (degraded)" : "pass")
+                          : "FAIL",
+           std::to_string(o.result.connected), std::to_string(esc),
+           std::to_string(rest), std::to_string(sheds),
+           std::to_string(o.result.handoffs_returned),
+           std::to_string(o.digest_frames_checked)});
+  }
+  t.print();
+  std::printf("\n");
+
+  if (!res.baseline_ok)
+    for (const std::string& f : res.baseline_failures)
+      std::fprintf(stderr, "FAIL: baseline: %s\n", f.c_str());
+  for (const chaos::ScenarioOutcome& o : res.outcomes)
+    for (const std::string& f : o.verdict.failures)
+      std::fprintf(stderr, "FAIL: %s: %s\n", o.name.c_str(), f.c_str());
+
+  // ---- export --------------------------------------------------------
+  {
+    std::string b;
+    obs::JsonWriter w(b);
+    w.begin_object();
+    w.kv("label", "baseline");
+    w.kv("pass", res.baseline_ok);
+    w.kv("connected", static_cast<int64_t>(res.baseline.connected));
+    w.key("response");
+    w.begin_object();
+    w.kv("connected", static_cast<int64_t>(res.baseline.connected));
+    w.end_object();
+    w.kv("slo_breaches",
+         static_cast<int64_t>(res.baseline.slo_breaches.size()));
+    w.end_object();
+    out.add_raw("chaos", b);
+  }
+  for (const chaos::ScenarioOutcome& o : res.outcomes)
+    out.add_raw("chaos", scenario_point_json(o));
+
+  const int failed = res.failed_scenarios();
+  if (failed == 0)
+    std::printf("all %zu scenario verdicts passed (baseline clean)\n",
+                res.outcomes.size());
+  else
+    std::fprintf(stderr, "%d verdict(s) FAILED\n", failed);
+
+  const int rc = out.finish();
+  return failed > 0 ? 1 : rc;
+}

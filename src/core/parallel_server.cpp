@@ -67,7 +67,8 @@ void ParallelServer::worker_loop(int tid) {
     // *inside* a frame would hang the barrier — that failure mode is out
     // of scope; see DESIGN.md §8.)
     if (const net::FaultScheduler* f = net_.faults_or_null()) {
-      const vt::Duration stall = f->stall_remaining(platform_.now(), tid);
+      const vt::Duration stall =
+          f->stall_remaining(platform_.now(), tid, cfg_.base_port);
       if (stall.ns > 0) {
         stalls_injected_.fetch_add(1, std::memory_order_relaxed);
         if (st.tracer != nullptr && st.tracer->enabled())

@@ -242,7 +242,8 @@ struct NullEventSink final : sim::EventSink {
 
 recovery::LoadError Server::restore_from(
     const std::vector<uint8_t>& image,
-    const std::vector<uint8_t>& journal_image, RestoreStats* stats) {
+    const std::vector<uint8_t>& journal_image, RestoreStats* stats,
+    uint32_t extra_out_seq_bump) {
   using recovery::LoadError;
   recovery::CheckpointData c;
   const LoadError err = recovery::decode_checkpoint(image, c);
@@ -383,7 +384,8 @@ recovery::LoadError Server::restore_from(
   // frames the tail could have sent (plus slack for the loss-burst the
   // crash itself caused).
   const uint32_t out_seq_bump =
-      tail.empty() ? 0 : static_cast<uint32_t>(rs.tail_frames) + 8;
+      (tail.empty() ? 0 : static_cast<uint32_t>(rs.tail_frames) + 8) +
+      extra_out_seq_bump;
 
   vt::LockGuard g(registry_.mutex());
   for (const auto& r : clients) {

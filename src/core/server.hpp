@@ -210,9 +210,18 @@ class Server : public Engine {
   // applied to the restored slots. Returns kReplayDiverged on a digest
   // mismatch, after which this server must be discarded (state is
   // partially replayed).
+  //
+  // extra_out_seq_bump: additional out-sequence headroom on every
+  // restored channel, on top of the tail-derived bump. A caller
+  // restoring the SAME images repeatedly (crash loop: each short-lived
+  // generation dies before its first checkpoint, so the stash never
+  // advances) must pass a strictly growing value, or every generation
+  // re-sends sequences a prior generation already burned and the peers
+  // discard its packets — redirects included — as duplicates.
   recovery::LoadError restore_from(const std::vector<uint8_t>& image,
                                    const std::vector<uint8_t>& journal_image,
-                                   RestoreStats* stats);
+                                   RestoreStats* stats,
+                                   uint32_t extra_out_seq_bump = 0);
 
   bool restored() const { return registry_.restored(); }
   // Checkpointed clients re-adopted through a reconnect (by port or name).
@@ -240,6 +249,15 @@ class Server : public Engine {
     // Causal-trace flow id stitching extract→adopt across shard tracks in
     // the merged export; 0 = untraced. In-memory only, never journaled.
     uint64_t flow_id = 0;
+    // Containment metadata (in-memory only, like flow_id): where the
+    // session was extracted from (-1 = unknown, e.g. a shed shard that
+    // is already down), when it entered its current mailbox, and how
+    // often a destination refused adoption — the shard layer's adopt
+    // timeout and retry budget hang off these so a transfer targeted at
+    // a dead shard is returned to its source instead of stranded.
+    int source_shard = -1;
+    int64_t posted_at_ns = 0;
+    int adopt_retries = 0;
     recovery::HandoffState state;
   };
   // Packages the session on `port` and removes it from this engine:

@@ -90,6 +90,8 @@ ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg) {
 
   out.shard_connected = mgr.total_connected();
   out.supervisor_ticks = mgr.supervisor().ticks();
+  out.handoffs_returned = mgr.handoffs_returned();
+  out.overflow_sheds = mgr.overflow_sheds();
   out.shards.resize(static_cast<size_t>(mgr.shards()));
   for (int i = 0; i < mgr.shards(); ++i) {
     ShardExperimentResult::PerShard& ps = out.shards[static_cast<size_t>(i)];
@@ -99,9 +101,13 @@ ShardExperimentResult run_shard_experiment(const ShardExperimentConfig& cfg) {
     ps.escalations = r.escalations;
     ps.last_pause_ms = r.last_pause_ms;
     ps.last_used_tail = r.last_used_tail;
+    ps.last_mode = r.last_mode;
     ps.last_stats = r.last_stats;
     ps.last_error = r.last_error;
     ps.shed_sessions = r.shed_sessions;
+    ps.backoff_waits = r.backoff_waits;
+    ps.breaker_tripped = r.breaker_tripped;
+    ps.shed_reason = r.shed_reason;
     shard::Shard& s = mgr.shard(i);
     ps.down = s.down();
     if (s.down() || s.server() == nullptr) continue;

@@ -74,6 +74,9 @@ struct ShardExperimentResult {
   uint64_t handoffs_out = 0;
   uint64_t handoffs_in = 0;
   uint64_t supervisor_ticks = 0;
+  // Containment accounting (manager-level atomics).
+  uint64_t handoffs_returned = 0;  // stranded transfers bounced to source
+  uint64_t overflow_sheds = 0;     // transfers dropped at a full mailbox
 
   struct PerShard {
     shard::ShardState state = shard::ShardState::kHealthy;
@@ -82,9 +85,13 @@ struct ShardExperimentResult {
     uint64_t escalations = 0;
     double last_pause_ms = 0.0;
     bool last_used_tail = false;
+    shard::RestoreMode last_mode = shard::RestoreMode::kNone;
     core::Server::RestoreStats last_stats{};
     recovery::LoadError last_error{};
     uint64_t shed_sessions = 0;
+    uint64_t backoff_waits = 0;
+    bool breaker_tripped = false;
+    const char* shed_reason = nullptr;  // static string or nullptr
     uint64_t frames = 0;
     int connected = 0;
     uint64_t handoffs_out = 0;

@@ -70,23 +70,35 @@ void FaultScheduler::add_blackhole(vt::TimePoint start, vt::Duration dur,
 
 void FaultScheduler::add_thread_stall(vt::TimePoint start, vt::Duration dur,
                                       int thread) {
+  add_thread_stall(start, dur, thread, 0, 0);
+}
+
+void FaultScheduler::add_thread_stall(vt::TimePoint start, vt::Duration dur,
+                                      int thread, uint16_t port_lo,
+                                      uint16_t port_hi) {
   QSERV_CHECK(thread >= 0 && thread < 64);
+  QSERV_CHECK(port_lo <= port_hi);
   FaultEpisode e;
   e.kind = FaultEpisode::Kind::kThreadStall;
   e.start = start;
   e.end = start + dur;
   e.a_lo = static_cast<uint16_t>(thread);
   e.a_hi = static_cast<uint16_t>(thread);
+  e.b_lo = port_lo;  // scope: engines whose base_port is in [b_lo, b_hi]
+  e.b_hi = port_hi;  // (0, 0) = every engine on the network
   add(e);
 }
 
-vt::Duration FaultScheduler::stall_remaining(vt::TimePoint now,
-                                             int thread) const {
+vt::Duration FaultScheduler::stall_remaining(vt::TimePoint now, int thread,
+                                             uint16_t engine_port) const {
   vt::Duration left{};
   for (const auto& e : episodes_) {
     if (e.kind != FaultEpisode::Kind::kThreadStall) continue;
     if (now < e.start || now >= e.end) continue;
     if (static_cast<int>(e.a_lo) != thread) continue;
+    // Scoped episode: only engines whose base_port falls in the range.
+    const bool unscoped = e.b_lo == 0 && e.b_hi == 0;
+    if (!unscoped && !in_range(engine_port, e.b_lo, e.b_hi)) continue;
     if (e.end - now > left) left = e.end - now;
   }
   return left;

@@ -78,18 +78,27 @@ class FaultScheduler {
   // layer at all: the server's worker loop polls stall_remaining() and
   // spins/sleeps that long, simulating a worker stuck in a long syscall or
   // runaway computation. Lives here so chaos timelines can mix thread
-  // stalls with network episodes on one schedule.
+  // stalls with network episodes on one schedule. The unscoped form stalls
+  // that worker index in EVERY engine sharing the network; the scoped form
+  // reuses the B port range to confine the stall to engines whose
+  // base_port falls in [port_lo, port_hi] — how a multi-shard chaos
+  // timeline wedges one shard's worker without touching its neighbors.
   void add_thread_stall(vt::TimePoint start, vt::Duration dur, int thread);
+  void add_thread_stall(vt::TimePoint start, vt::Duration dur, int thread,
+                        uint16_t port_lo, uint16_t port_hi);
 
   // Applies every episode active at `now` to a src->dst packet, updating
   // the counters. Called by VirtualNetwork under its lock.
   Verdict apply(vt::TimePoint now, uint16_t src, uint16_t dst);
 
   // Time left in a thread-stall episode covering `thread` at `now` (zero
-  // if none). Const — polled by worker threads without the net lock, so
-  // it must not touch counters_ / rng_; the *server* counts the stalls it
-  // actually serves.
-  vt::Duration stall_remaining(vt::TimePoint now, int thread) const;
+  // if none). `engine_port` is the polling engine's base_port, matched
+  // against the episode's scope range (0 = unscoped caller: only
+  // unscoped episodes match). Const — polled by worker threads without
+  // the net lock, so it must not touch counters_ / rng_; the *server*
+  // counts the stalls it actually serves.
+  vt::Duration stall_remaining(vt::TimePoint now, int thread,
+                               uint16_t engine_port = 0) const;
 
   const Counters& counters() const { return counters_; }
   size_t episode_count() const { return episodes_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <string_view>
 
 #include "src/core/parallel_server.hpp"
 #include "src/obs/collect.hpp"
@@ -89,6 +90,10 @@ FleetObs::FleetObs(Tracer* tracer, Config cfg)
   tail_replays_ = &fleet_reg_.counter("fleet.supervisor.tail_replays");
   sheds_ = &fleet_reg_.counter("fleet.supervisor.sheds");
   shed_sessions_ = &fleet_reg_.counter("fleet.supervisor.shed_sessions");
+  fresh_rebuilds_ = &fleet_reg_.counter("fleet.supervisor.fresh_rebuilds");
+  breaker_trips_ = &fleet_reg_.counter("fleet.supervisor.breaker_trips");
+  handoff_returns_ = &fleet_reg_.counter("fleet.handoff.returns");
+  overflow_sheds_ = &fleet_reg_.counter("fleet.handoff.overflow_sheds");
   last_pause_ms_ = &fleet_reg_.gauge("fleet.recovery.last_pause_ms");
   connected_ = &fleet_reg_.gauge("fleet.clients.connected");
   lost_ = &fleet_reg_.gauge("fleet.clients.lost");
@@ -150,9 +155,11 @@ void FleetObs::on_escalation(int shard, const char* why) {
 }
 
 void FleetObs::on_restore(int shard, bool ok, bool used_tail,
-                          uint64_t tail_frames, double pause_ms) {
+                          uint64_t tail_frames, double pause_ms,
+                          const char* mode) {
   if (ok) restores_->inc();
   if (used_tail) tail_replays_->inc();
+  if (std::string_view(mode) == "fresh-rebuild") fresh_rebuilds_->inc();
   last_pause_ms_->set(pause_ms);
   if (tracer_ == nullptr) return;
   const int track = supervisor_track_[static_cast<size_t>(shard)];
@@ -160,16 +167,45 @@ void FleetObs::on_restore(int shard, bool ok, bool used_tail,
     tracer_->record_instant(
         track, tracer_->intern("tail-replay:" + std::to_string(tail_frames) +
                                "f"));
-  tracer_->record_instant(track, ok ? "restore" : "restore-failed");
+  tracer_->record_instant(
+      track, ok ? tracer_->intern(std::string("restore:") + mode)
+                : "restore-failed");
 }
 
-void FleetObs::on_shed(int shard, uint64_t sessions) {
+void FleetObs::on_shed(int shard, uint64_t sessions, const char* why) {
   sheds_->inc();
   shed_sessions_->inc(sessions);
+  if (std::string_view(why) == "crash-loop") breaker_trips_->inc();
   if (tracer_ != nullptr)
     tracer_->record_instant(
         supervisor_track_[static_cast<size_t>(shard)],
-        tracer_->intern("shed:" + std::to_string(sessions)));
+        tracer_->intern(std::string("shed:") + why + ":" +
+                        std::to_string(sessions)));
+}
+
+void FleetObs::on_handoff_returned(int at_shard, int to_shard,
+                                   uint64_t flow, bool supervisor_ctx) {
+  handoff_returns_->inc();
+  if (tracer_ == nullptr) return;
+  // Track choice keeps the single-writer rule: the supervisor's reclaim
+  // writes at_shard's supervisor track, at_shard's own master window
+  // (adopt retry budget) writes its handoff track.
+  const int track = supervisor_ctx
+                        ? supervisor_track_[static_cast<size_t>(at_shard)]
+                        : handoff_track_[static_cast<size_t>(at_shard)];
+  tracer_->record_instant(
+      track, tracer_->intern("handoff-return>shard-" +
+                             std::to_string(to_shard)));
+  (void)flow;  // the re-post traces as a fresh flow span via on_handoff_out
+}
+
+void FleetObs::on_handoff_overflow(int target, uint64_t flow) {
+  overflow_sheds_->inc();
+  // The flow will never be adopted: drop its begin stamp so it does not
+  // read as forever in-flight.
+  std::lock_guard<std::mutex> lock(flows_mu_);
+  flow_begin_ns_.erase(flow);
+  (void)target;
 }
 
 void FleetObs::note_flow_begin(int src_track, const char* span_name,

@@ -87,11 +87,14 @@ class FleetObs final : public shard::FleetObserver {
   void on_engine_built(int shard, core::ParallelServer& server) override;
   void on_escalation(int shard, const char* why) override;
   void on_restore(int shard, bool ok, bool used_tail, uint64_t tail_frames,
-                  double pause_ms) override;
-  void on_shed(int shard, uint64_t sessions) override;
+                  double pause_ms, const char* mode) override;
+  void on_shed(int shard, uint64_t sessions, const char* why) override;
   void on_handoff_out(int src, int dst, uint64_t flow) override;
   void on_shed_handoff(int src, int dst, uint64_t flow) override;
   void on_handoff_in(int dst, uint64_t flow) override;
+  void on_handoff_returned(int at_shard, int to_shard, uint64_t flow,
+                           bool supervisor_ctx) override;
+  void on_handoff_overflow(int target, uint64_t flow) override;
 
   // One observation window: refreshes the fleet gauges that derive from
   // heartbeat atomics (connected / lost clients), then runs the SLO
@@ -146,6 +149,10 @@ class FleetObs final : public shard::FleetObserver {
   Counter* tail_replays_ = nullptr;
   Counter* sheds_ = nullptr;
   Counter* shed_sessions_ = nullptr;
+  Counter* fresh_rebuilds_ = nullptr;
+  Counter* breaker_trips_ = nullptr;
+  Counter* handoff_returns_ = nullptr;
+  Counter* overflow_sheds_ = nullptr;
   Gauge* last_pause_ms_ = nullptr;
   Gauge* connected_ = nullptr;
   Gauge* lost_ = nullptr;

@@ -11,7 +11,11 @@
 // The decode side is hardened like net/protocol.cpp: every count is
 // bounded against the remaining bytes before any resize, magic/version
 // mismatches return typed errors, and a truncated or length-lying file
-// can never crash the loader.
+// can never crash the loader. Beyond the field-level bounds checks the
+// image carries a whole-file content checksum (trailing FNV-1a 64 over
+// every preceding byte): a torn write or flipped bit that would still
+// parse "in bounds" (a position, an RNG word) is rejected as kChecksum
+// before any section is interpreted.
 #pragma once
 
 #include <array>
@@ -36,6 +40,7 @@ enum class LoadError : uint8_t {
   kBadVersion,      // format version we don't speak
   kCorrupt,         // internal inconsistency (count exceeds bounds, ...)
   kReplayDiverged,  // journal-tail replay digest mismatch during restore
+  kChecksum,        // content checksum mismatch (torn write, bit flip)
 };
 const char* load_error_name(LoadError e);
 

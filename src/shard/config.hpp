@@ -45,6 +45,39 @@ struct Config {
   vt::Duration heartbeat_timeout = vt::millis(100);
   int max_restores = 2;
 
+  // --- cascading-failure containment ---
+  // Crash-loop circuit breaker: the first restore of a quarantine is
+  // immediate, the k-th thereafter waits restore_backoff * 2^(k-1)
+  // (clamped to restore_backoff_max) of virtual time. Independently of
+  // the total budget above, crash_loop_max_rebuilds rebuilds inside
+  // crash_loop_window trips the breaker: the shard is shed for good
+  // instead of being restored forever.
+  vt::Duration restore_backoff = vt::millis(25);
+  vt::Duration restore_backoff_max = vt::seconds(2);
+  vt::Duration crash_loop_window = vt::seconds(10);
+  int crash_loop_max_rebuilds = 4;
+
+  // Handoff containment. A shard's inbound mailbox holds at most
+  // mailbox_capacity transfers (0 = unbounded); a post against a full
+  // mailbox is an overflow shed — the session is dropped and counted,
+  // never queued without bound toward a dead destination. Transfers
+  // stranded for adopt_timeout in the mailbox of a quarantined/down
+  // shard are returned to their source shard by the supervisor (0 =
+  // never reclaim). A destination that keeps refusing adoption
+  // (registry full) hands the session back to its source after
+  // handoff_retry_budget retries (0 = retry forever).
+  size_t mailbox_capacity = 1024;
+  vt::Duration adopt_timeout = vt::millis(500);
+  int handoff_retry_budget = 32;
+
+  // Fleet-level quarantine cap: at most max_concurrent_restores rebuilds
+  // per supervisor tick (simultaneous failures recover staggered, never
+  // pausing the whole fleet at once), and when more than quarantine_cap
+  // shards sit in quarantine together the lowest-priority one (fewest
+  // heartbeat clients, then highest index) is shed instead of restored.
+  int max_concurrent_restores = 1;
+  int quarantine_cap = 2;
+
   // Per-engine template. The manager overrides base_port, seed
   // (derive_seed(seed, streams::kShardBase + i)) and recovery.dump_dir
   // (suffix "/shard-<i>") per shard; every other field applies as-is.

@@ -17,8 +17,7 @@ ShardEngineHook::ShardEngineHook(ShardManager& mgr, int index,
 void ShardEngineHook::on_master_window(int /*tid*/,
                                        vt::TimePoint /*frame_start*/,
                                        core::ThreadStats& /*st*/) {
-  const int64_t now_ns = server_.platform().now().ns;
-  adopt_inbound(now_ns);
+  adopt_inbound();
   if (mgr_.config().handoff_enabled) migrate_outbound();
   rearm_redirects();
 }
@@ -41,7 +40,7 @@ void ShardEngineHook::on_idle_wait(int /*tid*/) {
   mgr_.shard(index_).publish_idle_beat(server_.platform().now().ns);
 }
 
-void ShardEngineHook::adopt_inbound(int64_t now_ns) {
+void ShardEngineHook::adopt_inbound() {
   HandoffMailbox& box = mgr_.mailbox(index_);
   if (retry_.empty() && box.empty()) return;
   std::vector<core::Server::SessionTransfer> incoming;
@@ -54,11 +53,31 @@ void ShardEngineHook::adopt_inbound(int64_t now_ns) {
         if (FleetObserver* o = mgr_.observer(); o != nullptr)
           o->on_handoff_in(index_, t.flow_id);
       }
-      pending_redirects_.emplace_back(t.remote_port, now_ns);
-    } else {
+      // Arm the redirect with the POST-adopt clock: adopt_session stamps
+      // the slot's last_heard_ns with now(), which under virtual time may
+      // already be past this window's start, and rearm_redirects drops
+      // entries once heard > armed-at.
+      pending_redirects_.emplace_back(t.remote_port,
+                                      server_.platform().now().ns);
+    } else if (++t.adopt_retries <= mgr_.config().handoff_retry_budget ||
+               t.source_shard < 0 || t.source_shard == index_ ||
+               t.source_shard >= mgr_.shards() ||
+               mgr_.shard(t.source_shard).down()) {
       // Registry momentarily full (or port briefly still bound): hold
       // the session and retry next window rather than lose the client.
       retry_.push_back(std::move(t));
+    } else {
+      // Retry budget exhausted and the source shard is still alive:
+      // bounce the session back where it came from instead of stranding
+      // it in this shard's retry queue forever.
+      const int back = t.source_shard;
+      t.adopt_retries = 0;
+      t.source_shard = index_;
+      mgr_.count_handoff_return();
+      if (FleetObserver* o = mgr_.observer(); o != nullptr)
+        o->on_handoff_returned(index_, back, t.flow_id,
+                               /*supervisor_ctx=*/false);
+      mgr_.post_handoff(back, std::move(t));
     }
   }
 }
@@ -89,6 +108,7 @@ void ShardEngineHook::migrate_outbound() {
     if (mgr_.shard(target).down()) continue;
     core::Server::SessionTransfer t;
     if (server_.extract_session(port, t)) {
+      t.source_shard = index_;  // return address for containment paths
       if (FleetObserver* o = mgr_.observer(); o != nullptr) {
         t.flow_id = mgr_.next_flow_id();
         o->on_handoff_out(index_, target, t.flow_id);

@@ -31,7 +31,7 @@ class ShardEngineHook final : public core::FrameHook {
   void on_idle_wait(int tid) override;
 
  private:
-  void adopt_inbound(int64_t now_ns);
+  void adopt_inbound();
   void migrate_outbound();
   void rearm_redirects();
 

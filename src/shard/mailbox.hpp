@@ -2,7 +2,12 @@
 // engines. The source shard's master window posts a SessionTransfer; the
 // destination shard's master window drains its mailbox and adopts. Both
 // ends are master windows — single-threaded per engine — so the mutex
-// only arbitrates *between* engines (and the supervisor's shed path).
+// only arbitrates *between* engines (and the supervisor's shed/reclaim
+// paths). Depth is bounded: a partitioned or quarantined destination must
+// not let its mailbox grow without limit, so post() refuses once the
+// capacity is reached (the manager counts the refusal as an overflow
+// shed), and the supervisor reclaims entries that sat past the adopt
+// timeout via take_older_than().
 #pragma once
 
 #include <memory>
@@ -16,12 +21,17 @@ namespace qserv::shard {
 
 class HandoffMailbox {
  public:
-  explicit HandoffMailbox(vt::Platform& platform)
-      : mu_(platform.make_mutex("shard-mailbox")) {}
+  // `capacity` == 0 means unbounded.
+  HandoffMailbox(vt::Platform& platform, size_t capacity)
+      : mu_(platform.make_mutex("shard-mailbox")), capacity_(capacity) {}
 
-  void post(core::Server::SessionTransfer t) {
+  // False when the mailbox is at capacity; `t` is left untouched so the
+  // caller can account for (or re-route) the refused transfer.
+  bool post(core::Server::SessionTransfer&& t) {
     vt::LockGuard g(*mu_);
+    if (capacity_ > 0 && items_.size() >= capacity_) return false;
     items_.push_back(std::move(t));
+    return true;
   }
 
   // Takes everything currently queued.
@@ -32,13 +42,36 @@ class HandoffMailbox {
     return out;
   }
 
+  // Takes only the entries posted at or before `cutoff_ns` (queue order
+  // preserved); the supervisor's stale-handoff reclaim.
+  std::vector<core::Server::SessionTransfer> take_older_than(
+      int64_t cutoff_ns) {
+    vt::LockGuard g(*mu_);
+    std::vector<core::Server::SessionTransfer> out;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (it->posted_at_ns <= cutoff_ns) {
+        out.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
   bool empty() const {
     vt::LockGuard g(*mu_);
     return items_.empty();
   }
 
+  size_t size() const {
+    vt::LockGuard g(*mu_);
+    return items_.size();
+  }
+
  private:
   std::unique_ptr<vt::Mutex> mu_;
+  size_t capacity_;
   std::vector<core::Server::SessionTransfer> items_;
 };
 

@@ -37,7 +37,8 @@ ShardManager::ShardManager(vt::Platform& platform, net::VirtualNetwork& net,
                                   : sc.recovery.dump_dir + "/") +
                              "shard-" + std::to_string(i);
     }
-    mailboxes_.push_back(std::make_unique<HandoffMailbox>(platform_));
+    mailboxes_.push_back(
+        std::make_unique<HandoffMailbox>(platform_, cfg_.mailbox_capacity));
     shards_.push_back(
         std::make_unique<Shard>(platform_, net_, map_, *this, sc, i));
   }
@@ -68,13 +69,21 @@ uint16_t ShardManager::join_port(int ordinal, int expected_players) const {
 
 bool ShardManager::post_handoff(int target, core::Server::SessionTransfer t) {
   const int n = shards();
+  t.posted_at_ns = platform_.now().ns;
   for (int k = 0; k < n; ++k) {
     const int cand = (target + k) % n;
-    if (!shards_[static_cast<size_t>(cand)]->down()) {
-      mailboxes_[static_cast<size_t>(cand)]->post(std::move(t));
+    if (shards_[static_cast<size_t>(cand)]->down()) continue;
+    if (mailboxes_[static_cast<size_t>(cand)]->post(std::move(t)))
       return true;
-    }
+    // Mailbox at capacity: an overflow shed. The session is dropped here
+    // rather than forwarded — spilling a backed-up shard's transfers onto
+    // its neighbor would propagate the backlog across the fleet.
+    overflow_sheds_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_ != nullptr)
+      observer_->on_handoff_overflow(cand, t.flow_id);
+    return false;
   }
+  overflow_sheds_.fetch_add(1, std::memory_order_relaxed);
   return false;  // whole fleet down
 }
 

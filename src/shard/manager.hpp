@@ -50,9 +50,11 @@ class ShardManager {
   // worker threads (the §3.1 static assignment, per shard).
   uint16_t join_port(int ordinal, int expected_players) const;
 
-  // Queues a session for adoption by `target`'s next master window. A
-  // down target forwards to the next live shard; with no live shard the
-  // session is dropped (returns false).
+  // Queues a session for adoption by `target`'s next master window,
+  // stamping posted_at_ns for the supervisor's adopt-timeout reclaim. A
+  // down target forwards to the next live shard. Returns false — and
+  // counts an overflow shed — when the candidate's mailbox is at capacity
+  // or no live shard remains (the session is dropped, not stranded).
   bool post_handoff(int target, core::Server::SessionTransfer t);
 
   // Convenience fault injection: crash shard `i`'s engine.
@@ -72,6 +74,22 @@ class ShardManager {
     return flow_ids_.load(std::memory_order_relaxed);
   }
 
+  // --- containment accounting ---
+  // Sessions dropped because every candidate mailbox was at capacity (or
+  // the whole fleet was down): the overflow-shed count.
+  uint64_t overflow_sheds() const {
+    return overflow_sheds_.load(std::memory_order_relaxed);
+  }
+  // Sessions bounced back toward their source shard instead of being left
+  // stranded (supervisor adopt-timeout reclaim + adopt retry-budget
+  // exhaustion). Incremented via count_handoff_return().
+  uint64_t handoffs_returned() const {
+    return handoffs_returned_.load(std::memory_order_relaxed);
+  }
+  void count_handoff_return() {
+    handoffs_returned_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Connected clients summed over live shards. Quiescent-state read —
   // call only while the shards are stopped (pre-start / post-stop).
   int total_connected() const;
@@ -87,6 +105,8 @@ class ShardManager {
   std::unique_ptr<ShardSupervisor> supervisor_;
   FleetObserver* observer_ = nullptr;
   std::atomic<uint64_t> flow_ids_{0};
+  std::atomic<uint64_t> overflow_sheds_{0};
+  std::atomic<uint64_t> handoffs_returned_{0};
 };
 
 }  // namespace qserv::shard

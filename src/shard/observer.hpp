@@ -36,11 +36,18 @@ class FleetObserver {
   // "invariant-violation" or "stale-heartbeat".
   virtual void on_escalation(int shard, const char* why) = 0;
   // Quarantine exit through rebuild+restore (ok == false means the
-  // restore failed and the supervisor is about to shed instead).
+  // restore failed and the supervisor is about to shed instead). `mode`
+  // names the fallback-chain step that produced the new generation:
+  // "tail-replay", "checkpoint-only" or "fresh-rebuild".
   virtual void on_restore(int shard, bool ok, bool used_tail,
-                          uint64_t tail_frames, double pause_ms) = 0;
+                          uint64_t tail_frames, double pause_ms,
+                          const char* mode) = 0;
   // Quarantine exit through shedding: `sessions` relocated, shard down.
-  virtual void on_shed(int shard, uint64_t sessions) = 0;
+  // `why` is a static string: "budget" (max_restores exhausted),
+  // "crash-loop" (circuit breaker tripped), "quarantine-cap" (too many
+  // simultaneous quarantines; lowest-priority shard degraded away) or
+  // "restore-failed".
+  virtual void on_shed(int shard, uint64_t sessions, const char* why) = 0;
 
   // Session `flow` extracted from `src`, queued toward `dst`.
   virtual void on_handoff_out(int src, int dst, uint64_t flow) = 0;
@@ -50,6 +57,23 @@ class FleetObserver {
   // Session `flow` adopted by `dst` (which may differ from the intended
   // target when the mailbox forwarded past a down shard).
   virtual void on_handoff_in(int dst, uint64_t flow) = 0;
+
+  // --- containment events (default no-op: optional to observe) ---
+  // Session `flow`, stranded at `at_shard`, returned toward `to_shard`.
+  // `supervisor_ctx` distinguishes the two callers for track ownership:
+  // true = the supervisor's adopt-timeout reclaim (timer context, writes
+  // at_shard's supervisor track), false = at_shard's own master window
+  // exhausting the adopt retry budget (writes its handoff track).
+  virtual void on_handoff_returned(int at_shard, int to_shard,
+                                   uint64_t flow, bool supervisor_ctx) {
+    (void)at_shard, (void)to_shard, (void)flow, (void)supervisor_ctx;
+  }
+  // A post against `target`'s full mailbox dropped session `flow` (an
+  // overflow shed). May fire from any master window or the supervisor —
+  // metrics only, no trace track is written.
+  virtual void on_handoff_overflow(int target, uint64_t flow) {
+    (void)target, (void)flow;
+  }
 };
 
 }  // namespace qserv::shard

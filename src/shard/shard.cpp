@@ -17,7 +17,28 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Out-sequence headroom per prior restore of this shard. In a crash
+// loop every generation dies before its first checkpoint, so each one
+// restores the SAME stashed images — and without a growing bump each
+// would re-send channel sequences an earlier generation already burned,
+// which peers then discard as duplicates (stranding them: the adoption
+// redirect after a shed rides those sequences too). A generation can
+// only send replies on the stale stash until its own first checkpoint
+// refreshes it (checkpoint_interval frames, default 64), so 512 per
+// generation is comfortably past anything it may have used.
+constexpr uint32_t kSeqBumpPerGeneration = 512;
+
 }  // namespace
+
+const char* restore_mode_name(RestoreMode m) {
+  switch (m) {
+    case RestoreMode::kNone: return "none";
+    case RestoreMode::kTailReplay: return "tail-replay";
+    case RestoreMode::kCheckpointOnly: return "checkpoint-only";
+    case RestoreMode::kFreshRebuild: return "fresh-rebuild";
+  }
+  return "?";
+}
 
 Shard::Shard(vt::Platform& platform, net::VirtualNetwork& net,
              const spatial::GameMap& map, ShardManager& mgr,
@@ -79,6 +100,13 @@ Shard::capture_images() {
     cap_ckpt_ = server_->checkpoints()->latest();
     cap_jrnl_ = server_->recorder()->encode();
   }
+  // Chaos hook: model a torn/corrupted on-disk image by flipping one byte
+  // in the body (past the magic/version header, before the trailing
+  // checksum words, so the content checksum — not kBadMagic — catches it).
+  if (corrupt_next_.exchange(false, std::memory_order_acq_rel) &&
+      cap_ckpt_.size() > 16) {
+    cap_ckpt_[cap_ckpt_.size() / 2] ^= 0x40;
+  }
   return {cap_ckpt_, cap_jrnl_};
 }
 
@@ -91,30 +119,49 @@ Shard::RestoreOutcome Shard::rebuild_and_restore() {
   server_.reset();
   hook_.reset();
   build();
+  const uint32_t seq_bump =
+      static_cast<uint32_t>(restores_) * kSeqBumpPerGeneration;
   if (!image.empty()) {
     core::Server::RestoreStats stats{};
-    recovery::LoadError err = server_->restore_from(image, journal, &stats);
+    recovery::LoadError err =
+        server_->restore_from(image, journal, &stats, seq_bump);
     out.error = err;
     out.stats = stats;
-    if (err == recovery::LoadError::kReplayDiverged) {
+    if (err == recovery::LoadError::kNone) {
+      out.used_tail = stats.tail_frames > 0;
+      out.mode = out.used_tail ? RestoreMode::kTailReplay
+                               : RestoreMode::kCheckpointOnly;
+    } else if (err == recovery::LoadError::kReplayDiverged) {
       // The journal tail is unusable but the checkpoint itself is intact:
       // fall back to checkpoint-only on yet another fresh engine (the
       // diverged one has already mutated its world).
       server_.reset();
       hook_.reset();
       build();
-      err = server_->restore_from(image);
+      err = server_->restore_from(image, {}, nullptr, seq_bump);
       out.used_tail = false;
-    } else if (err == recovery::LoadError::kNone) {
-      out.used_tail = stats.tail_frames > 0;
+      out.mode = RestoreMode::kCheckpointOnly;
     }
     if (err != recovery::LoadError::kNone) {
-      if (out.error == recovery::LoadError::kNone) out.error = err;
-      out.pause_ms = ms_since(t0);
-      return out;  // not started; supervisor sheds
+      // Last rung of the fallback chain: the checkpoint itself is
+      // unusable (checksum mismatch, truncation, corruption — or the
+      // checkpoint-only retry above also failed). Come back empty on a
+      // fresh engine rather than staying down: the silence backstop
+      // reconnects clients and every rejoin is served a forced full
+      // snapshot because the fresh baseline is 0 by construction. The
+      // first error is preserved in out.error for the journal/trace.
+      server_.reset();
+      hook_.reset();
+      build();
+      out.used_tail = false;
+      out.stats = core::Server::RestoreStats{};
+      out.mode = RestoreMode::kFreshRebuild;
     }
+  } else {
+    out.mode = RestoreMode::kFreshRebuild;
   }
-  // No checkpoint ever taken: come back empty and let clients reconnect.
+  // No checkpoint ever taken (or unusable): come back empty and let
+  // clients reconnect.
   // Either way this generation is about to go live: give the fleet
   // observer its pre-start window to re-attach tracer/metrics hooks, or
   // the restored shard would go dark for the rest of the run.
@@ -138,13 +185,15 @@ std::vector<core::Server::SessionTransfer> Shard::shed() {
     // enough to extract every session, then tear it down. Never started,
     // so extract_session runs single-threaded by construction.
     build();
+    const uint32_t seq_bump =
+        static_cast<uint32_t>(restores_) * kSeqBumpPerGeneration;
     recovery::LoadError err =
-        server_->restore_from(cap_ckpt_, cap_jrnl_, nullptr);
+        server_->restore_from(cap_ckpt_, cap_jrnl_, nullptr, seq_bump);
     if (err == recovery::LoadError::kReplayDiverged) {
       server_.reset();
       hook_.reset();
       build();
-      err = server_->restore_from(cap_ckpt_);
+      err = server_->restore_from(cap_ckpt_, {}, nullptr, seq_bump);
     }
     if (err == recovery::LoadError::kNone) {
       server_->detach_world_charging();

@@ -21,6 +21,22 @@ namespace qserv::shard {
 
 class ShardManager;
 
+// Which step of the checkpoint-restore fallback chain produced the new
+// engine generation:
+//   tail-replay      checkpoint + digest-verified journal tail
+//   checkpoint-only  checkpoint restored, tail unusable (diverged/absent)
+//   fresh-rebuild    checkpoint unusable (corrupt/torn) or never taken;
+//                    the engine comes back empty, clients reconnect via
+//                    the silence backstop and every rejoin is served a
+//                    forced full snapshot (baseline 0 by construction)
+enum class RestoreMode : uint8_t {
+  kNone = 0,
+  kTailReplay,
+  kCheckpointOnly,
+  kFreshRebuild,
+};
+const char* restore_mode_name(RestoreMode m);
+
 class Shard {
  public:
   Shard(vt::Platform& platform, net::VirtualNetwork& net,
@@ -53,6 +69,12 @@ class Shard {
   void inject_crash();
   bool crash_flagged() const {
     return crashed_.load(std::memory_order_acquire);
+  }
+  // Chaos hook: flip one byte in the next captured checkpoint image —
+  // models a torn/corrupted on-disk image. The loader's content checksum
+  // rejects it and the restore falls through to a fresh rebuild.
+  void corrupt_next_capture() {
+    corrupt_next_.store(true, std::memory_order_release);
   }
 
   // --- heartbeat (hook publishes from the master window) ---
@@ -93,14 +115,20 @@ class Shard {
     // no checkpoint existed yet and the engine came back empty).
     bool used_tail = false;
     bool had_checkpoint = false;
+    RestoreMode mode = RestoreMode::kNone;
     double pause_ms = 0.0;  // host-clock rebuild+restore cost
     core::Server::RestoreStats stats{};
+    // First error hit walking the fallback chain (kNone when the first
+    // step succeeded); the chain still ends in a live generation.
     recovery::LoadError error{};
   };
   // Quarantine exit path. Caller must see quiesced(). Captures the dead
-  // generation's checkpoint + journal, rebuilds the engine, restores
-  // (journal tail first, checkpoint-only on kReplayDiverged, fresh-empty
-  // when no checkpoint was ever taken) and starts the new generation.
+  // generation's checkpoint + journal, rebuilds the engine and walks the
+  // restore fallback chain — digest-verified tail replay, checkpoint-only
+  // on kReplayDiverged, fresh empty rebuild when the checkpoint itself is
+  // unusable (checksum/corrupt/truncated) or was never taken — then
+  // starts the new generation. Every step is reported through the fleet
+  // observer (on_restore carries the mode) and the supervisor report.
   RestoreOutcome rebuild_and_restore();
 
   // Shed path: recovers the dead generation's sessions into transfers
@@ -130,6 +158,7 @@ class Shard {
   std::vector<uint8_t> cap_jrnl_;
 
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> corrupt_next_{false};
   std::atomic<bool> down_{false};
   std::atomic<uint64_t> beat_frames_{0};
   std::atomic<int64_t> beat_at_ns_{0};

@@ -4,8 +4,23 @@
 //   kHealthy ──crash flag / invariant violation / stalled heartbeat──▶
 //   kQuarantined (engine stopped, waiting for worker quiescence) ──▶
 //     restore budget left:  rebuild + restore  ──▶ kHealthy
-//     budget exhausted or restore failed: shed ──▶ kShed (sessions
-//       relocated round-robin to live shards, shard stays down)
+//     budget exhausted / circuit breaker tripped / quarantine cap
+//       exceeded: shed ──▶ kShed (sessions relocated round-robin to
+//       live shards, shard stays down)
+//
+// Cascading-failure containment layered on the basic machine:
+//  - crash-loop circuit breaker: rebuilds are spaced by exponential
+//    backoff (restore_backoff doubling per restore, clamped), and a
+//    shard that needed >= crash_loop_max_rebuilds rebuilds inside
+//    crash_loop_window is shed instead of rebuilt again.
+//  - quarantine cap: with more than quarantine_cap shards simultaneously
+//    quarantined the lowest-priority one (fewest clients at its last
+//    beat; tie -> highest index) is shed to stop the repair queue from
+//    starving everyone; the rest recover staggered, at most
+//    max_concurrent_restores rebuilds per tick.
+//  - stale-handoff reclaim: after every supervision pass, transfers that
+//    sat in a non-healthy shard's mailbox past adopt_timeout are pulled
+//    back and re-posted toward their source shard, not left stranded.
 //
 // The tick reads ONLY the heartbeat atomics a shard's hook publishes in
 // on_frame_end (plus Shard's own atomics) — never the engine's plain
@@ -20,6 +35,7 @@
 
 #include "src/core/server.hpp"
 #include "src/recovery/checkpoint.hpp"
+#include "src/shard/shard.hpp"
 #include "src/vthread/platform.hpp"
 
 namespace qserv::shard {
@@ -48,9 +64,17 @@ class ShardSupervisor {
     uint64_t escalations = 0;  // healthy -> quarantined transitions
     double last_pause_ms = 0.0;
     bool last_used_tail = false;
+    RestoreMode last_mode = RestoreMode::kNone;
     core::Server::RestoreStats last_stats{};
     recovery::LoadError last_error{};
     uint64_t shed_sessions = 0;  // transfers relocated by the shed path
+    // --- containment accounting ---
+    uint64_t backoff_waits = 0;  // ticks spent quiesced but held back by
+                                 // backoff or the restore stagger
+    bool breaker_tripped = false;  // crash-loop circuit breaker fired
+    // Static string naming why the shard was shed ("budget",
+    // "crash-loop", "quarantine-cap"); nullptr while not kShed.
+    const char* shed_reason = nullptr;
   };
   const Report& report(int shard) const { return track_[shard].report; }
 
@@ -59,11 +83,22 @@ class ShardSupervisor {
  private:
   void tick();
   void schedule_next();
-  void supervise(int i, int64_t now_ns);
-  void do_shed(int i);
+  void supervise(int i, int64_t now_ns, int cap_victim,
+                 int& restores_this_tick);
+  void do_shed(int i, const char* why);
+  // Quarantine-cap victim: the quarantined shard with the fewest clients
+  // at its last beat (tie -> highest index); -1 when the cap holds.
+  int pick_cap_victim() const;
+  // Pulls transfers older than adopt_timeout out of every non-healthy
+  // shard's mailbox and re-posts them toward their source shard.
+  void reclaim_stale_handoffs(int64_t now_ns);
 
   struct Track {
     Report report;
+    // Earliest time the next rebuild may run (exponential backoff).
+    int64_t next_restore_at_ns = 0;
+    // Rebuild timestamps inside the sliding crash-loop window.
+    std::vector<int64_t> rebuild_at_ns;
   };
 
   vt::Platform& platform_;

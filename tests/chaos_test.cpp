@@ -484,5 +484,67 @@ TEST(ShardChaosReal, CrashedShardRecoversUnderRealThreads) {
   }
 }
 
+// Multi-fault soak on the REAL platform: four shards on std::thread,
+// roaming bots, two staggered crashes plus a fleet-wide loss burst while
+// the first recovery is still in flight. This is the heaviest
+// configuration the TSan CI job runs — two supervisor recoveries racing
+// the handoff mailboxes, redirect re-arming, heartbeat atomics and the
+// loss-degraded network all at once.
+TEST(ShardChaosReal, FourShardMultiFaultSoakUnderRealThreads) {
+  vt::RealPlatform platform;
+  net::VirtualNetwork net(platform, {});
+  const auto map = spatial::make_large_deathmatch(7);
+  shard::Config fleet;
+  fleet.shards = 4;
+  fleet.server.threads = 2;
+  fleet.server.recovery.enabled = true;
+  fleet.server.recovery.checkpoint_interval = 8;
+  fleet.boundary_margin = 8.0f;
+  fleet.supervise_interval = vt::millis(5);
+  fleet.heartbeat_timeout = vt::millis(250);
+  fleet.restore_backoff = vt::millis(5);
+  fleet.restore_backoff_max = vt::millis(20);
+  shard::ShardManager mgr(platform, net, map, fleet);
+
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = 16;
+  dcfg.frame_interval = vt::millis(10);
+  dcfg.server_silence_timeout = vt::millis(600);  // backstop only
+  dcfg.join_port = [&mgr](int i) { return mgr.join_port(i, 16); };
+  bots::ClientDriver driver(platform, net, map, *mgr.shard(0).server(),
+                            dcfg);
+
+  net.faults().add_loss_burst(vt::TimePoint::zero() + vt::millis(1100),
+                              vt::millis(400), 0.5f);
+  mgr.start();
+  driver.start();
+  platform.call_after(vt::millis(900), [&] { mgr.crash_shard(1); });
+  platform.call_after(vt::millis(1400), [&] { mgr.crash_shard(3); });
+  platform.call_after(vt::millis(3200), [&] {
+    mgr.request_stop();
+    driver.request_stop();
+  });
+  platform.join_all();
+
+  for (const int i : {1, 3}) {
+    const auto& rep = mgr.supervisor().report(i);
+    EXPECT_GE(rep.escalations, 1u) << i;
+    EXPECT_EQ(rep.state, shard::ShardState::kHealthy) << i;
+    EXPECT_GE(mgr.shard(i).restores(), 1) << i;
+  }
+  int connected = 0;
+  uint64_t replies = 0;
+  for (const auto& c : driver.clients()) {
+    connected += c->connected() ? 1 : 0;
+    replies += c->metrics().replies;
+  }
+  EXPECT_EQ(connected, 16);
+  EXPECT_GT(replies, 100u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(mgr.shard(i).down());
+    EXPECT_EQ(mgr.shard(i).server()->invariant_violations(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace qserv

@@ -179,6 +179,25 @@ TEST(LoaderHardening, JournalTruncationAtEveryByteFailsCleanly) {
   }
 }
 
+// Every single-bit flip past the 8-byte magic/version header — body and
+// trailing checksum words alike — must be rejected by the whole-file
+// content checksum, with the typed kChecksum error (never a crash, never
+// a silently-wrong decode). Flips inside the header are typed separately
+// below.
+TEST(LoaderHardening, EveryFlippedByteIsRejectedByTheContentChecksum) {
+  const auto& bytes = sample_run().checkpoint;
+  ASSERT_GT(bytes.size(), 16u);
+  std::vector<uint8_t> buf;
+  recovery::CheckpointData c;
+  for (size_t at = 8; at < bytes.size(); ++at) {
+    buf = bytes;
+    buf[at] ^= static_cast<uint8_t>(1u << (at % 8));
+    EXPECT_EQ(recovery::decode_checkpoint(buf, c),
+              recovery::LoadError::kChecksum)
+        << "flip at byte " << at;
+  }
+}
+
 TEST(LoaderHardening, MagicAndVersionAreChecked) {
   auto ckpt = sample_run().checkpoint;
   recovery::CheckpointData c;
