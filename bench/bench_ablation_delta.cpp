@@ -3,6 +3,7 @@
 // delta-compresses its updates; this bench quantifies that on our
 // substrate: bytes on the wire and service quality, full vs delta.
 #include "bench_common.hpp"
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/spatial/map_gen.hpp"

@@ -25,6 +25,7 @@
 #include <cinttypes>
 
 #include "bench_common.hpp"
+#include "src/net/virtual_udp.hpp"
 #include "src/net/fault_scheduler.hpp"
 
 using namespace qserv;

@@ -1,0 +1,312 @@
+// Real-socket transport bench + hot-restart acceptance gate.
+//
+// Spawns qserv-serve (ParallelServer over kernel UDP, loopback) as a
+// separate process, drives the paper's 160-player capacity anchor at the
+// 33 ms client cadence from this process over its own RealUdpTransport,
+// and fires SIGUSR2 mid-measurement so the server performs a
+// zero-downtime hot restart under full load.
+//
+// Acceptance (exit non-zero on violation):
+//   - 0 clients lost: every client still connected at the end;
+//   - 0 forced reconnects: no client hit its 2 s server-silence timeout
+//     (silence_reconnects == 0) and none rejoined;
+//   - service gap <= --gap-budget-ms (default 37.5 ms, three 12.5 ms
+//     frame budgets): worst reply-to-reply gap over the nominal tick.
+//
+// Exports a qserv-bench-v1 document whose point carries the transport
+// counter block (both sides of satellite 2: the client-side real
+// transport populates the same instruments the virtual segment does)
+// and `pause_ms` = the measured service gap, so the qserv-trend gate
+// tracks restart continuity like any other pause metric.
+#include <libgen.h>
+#include <signal.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bots/client_driver.hpp"
+#include "src/net/real_udp.hpp"
+#include "src/obs/json.hpp"
+#include "src/spatial/map_gen.hpp"
+#include "src/vthread/real_platform.hpp"
+
+using namespace qserv;
+
+namespace {
+
+struct Options {
+  int players = 160;  // paper's 4-thread capacity anchor
+  int threads = 4;
+  uint16_t base_port = 29500;
+  double warmup_s = 3.0;
+  double measure_s = 8.0;
+  double gap_budget_ms = 37.5;  // three 12.5 ms frame budgets
+  bool restart = true;
+  std::string out = "BENCH_real_transport.json";
+  std::string serve_bin;  // resolved from argv[0] when empty
+  std::string work_dir = "/tmp";
+};
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+int read_pid(const std::string& path) {
+  std::ifstream f(path);
+  int pid = 0;
+  f >> pid;
+  return pid;
+}
+
+pid_t spawn_server(const Options& opt, const std::string& pid_file,
+                   const std::string& ready_file,
+                   const std::string& handoff_sock) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<std::string> args = {
+      opt.serve_bin,
+      "--threads", std::to_string(opt.threads),
+      "--base-port", std::to_string(opt.base_port),
+      "--pid-file", pid_file,
+      "--ready-file", ready_file,
+      "--handoff-sock", handoff_sock,
+  };
+  std::vector<char*> cargs;
+  for (const auto& a : args) cargs.push_back(const_cast<char*>(a.c_str()));
+  cargs.push_back(nullptr);
+  execv(opt.serve_bin.c_str(), cargs.data());
+  fprintf(stderr, "bench_real_transport: cannot exec %s\n",
+          opt.serve_bin.c_str());
+  _exit(127);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--players" && (v = next()))
+      opt.players = atoi(v);
+    else if (a == "--threads" && (v = next()))
+      opt.threads = atoi(v);
+    else if (a == "--base-port" && (v = next()))
+      opt.base_port = static_cast<uint16_t>(atoi(v));
+    else if (a == "--measure-s" && (v = next()))
+      opt.measure_s = atof(v);
+    else if (a == "--warmup-s" && (v = next()))
+      opt.warmup_s = atof(v);
+    else if (a == "--gap-budget-ms" && (v = next()))
+      opt.gap_budget_ms = atof(v);
+    else if (a == "--no-restart")
+      opt.restart = false;
+    else if (a == "--out" && (v = next()))
+      opt.out = v;
+    else if (a == "--serve-bin" && (v = next()))
+      opt.serve_bin = v;
+    else if (a == "--work-dir" && (v = next()))
+      opt.work_dir = v;
+    else {
+      fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (opt.serve_bin.empty()) {
+    // bench binaries live in <build>/bench/, qserv-serve in
+    // <build>/tools/.
+    std::vector<char> self(argv[0], argv[0] + strlen(argv[0]) + 1);
+    opt.serve_bin = std::string(dirname(self.data())) + "/../tools/qserv-serve";
+  }
+  const std::string tag = std::to_string(getpid());
+  const std::string pid_file = opt.work_dir + "/qserv-bench-" + tag + ".pid";
+  const std::string ready_file =
+      opt.work_dir + "/qserv-bench-" + tag + ".ready";
+  const std::string handoff_sock =
+      opt.work_dir + "/qserv-bench-" + tag + ".handoff";
+
+  const pid_t gen0 = spawn_server(opt, pid_file, ready_file, handoff_sock);
+  if (gen0 < 0) return 1;
+  const int64_t ready_deadline = now_ms() + 20'000;
+  while (read_pid(pid_file) == 0 && now_ms() < ready_deadline) sleep_ms(20);
+  int server_pid = read_pid(pid_file);
+  if (server_pid == 0) {
+    fprintf(stderr, "server never became ready\n");
+    kill(gen0, SIGKILL);
+    return 1;
+  }
+
+  // The client farm: same bot/netchan/protocol stack as every Sim bench,
+  // pointed at the out-of-process server through the real transport.
+  vt::RealPlatform platform;
+  const auto map = spatial::make_large_deathmatch(7);  // qserv-serve default
+  net::RealUdpTransport net(platform, {});
+  bots::ClientDriver::Config dcfg;
+  dcfg.players = opt.players;
+  dcfg.first_local_port = static_cast<uint16_t>(opt.base_port + 1000);
+  dcfg.frame_interval = vt::millis(33);
+  dcfg.connect_stagger = vt::millis(5);
+  // A restart gap a client perceives as server death would force a
+  // reconnect here — which the acceptance gate counts as a failure.
+  dcfg.server_silence_timeout = vt::seconds(2);
+  const int threads = opt.threads;
+  const int players = opt.players;
+  const uint16_t base_port = opt.base_port;
+  dcfg.join_port = [threads, players, base_port](int i) {
+    const int t = i * threads / std::max(1, players);
+    return static_cast<uint16_t>(base_port + std::min(t, threads - 1));
+  };
+  bots::ClientDriver driver(platform, net, map, dcfg);
+  driver.start();
+
+  sleep_ms(static_cast<int64_t>(opt.warmup_s * 1000));
+  driver.begin_measurement();
+  const int64_t measure_ms = static_cast<int64_t>(opt.measure_s * 1000);
+
+  bool restarted = false;
+  if (opt.restart) {
+    sleep_ms(measure_ms / 2);
+    const int old_pid = server_pid;
+    kill(old_pid, SIGUSR2);
+    const int64_t restart_deadline = now_ms() + 30'000;
+    while (now_ms() < restart_deadline) {
+      const int p = read_pid(pid_file);
+      if (p != 0 && p != old_pid) {
+        server_pid = p;
+        restarted = true;
+        break;
+      }
+      sleep_ms(10);
+    }
+    if (!restarted) fprintf(stderr, "hot restart never completed\n");
+    sleep_ms(measure_ms - measure_ms / 2);
+  } else {
+    sleep_ms(measure_ms);
+  }
+
+  driver.request_stop();
+  platform.join_all();
+  const auto agg = driver.aggregate(vt::Duration{measure_ms * 1'000'000});
+  const net::TransportCounters tc = net.counters();
+
+  // Tear the server down (gen0 may already be gone after the handoff).
+  kill(server_pid, SIGTERM);
+  if (gen0 > 0) waitpid(gen0, nullptr, 0);
+
+  const double max_gap_ms = static_cast<double>(agg.max_reply_gap_ns) / 1e6;
+  // Replies arrive once per 33 ms server tick; the service gap is the
+  // worst stretch beyond that nominal cadence.
+  const double service_gap_ms = std::max(0.0, max_gap_ms - 33.0);
+
+  printf("real transport: %d players, %" PRIu64 " replies (%.0f/s), "
+         "p95 %.2f ms\n",
+         agg.connected, agg.replies, agg.response_rate, agg.response_ms_p95);
+  printf("restart: %s, max reply gap %.1f ms, service gap %.1f ms "
+         "(budget %.1f)\n",
+         restarted ? "completed" : (opt.restart ? "FAILED" : "skipped"),
+         max_gap_ms, service_gap_ms, opt.gap_budget_ms);
+  printf("continuity: silence_reconnects=%" PRIu64 " rejoins=%" PRIu64
+         " drops_detected=%" PRIu64 " port_collisions=%" PRIu64 "\n",
+         agg.silence_reconnects, agg.rejoins, agg.drops_detected,
+         agg.port_collisions);
+  printf("transport: sent=%" PRIu64 " dropped=%" PRIu64 " overflowed=%" PRIu64
+         " truncated=%" PRIu64 " bytes=%" PRIu64 "\n",
+         tc.packets_sent, tc.packets_dropped, tc.packets_overflowed,
+         tc.packets_truncated, tc.bytes_sent);
+
+  // qserv-bench-v1 export with the transport block; pause_ms carries the
+  // service gap into the trend gate's keyed metrics.
+  std::string json;
+  obs::JsonWriter w(json);
+  w.begin_object();
+  w.kv("schema", "qserv-bench-v1");
+  w.kv("bench", "real_transport");
+  w.key("groups");
+  w.begin_array();
+  w.begin_object();
+  w.kv("name", "loopback");
+  w.key("points");
+  w.begin_array();
+  w.begin_object();
+  w.kv("label", opt.restart ? "hot_restart_160" : "steady_160");
+  w.key("response");
+  w.begin_object();
+  w.kv("rate_per_s", agg.response_rate);
+  w.kv("ms_mean", agg.response_ms_mean);
+  w.kv("ms_p50", agg.response_ms_p50);
+  w.kv("ms_p95", agg.response_ms_p95);
+  w.kv("connected", static_cast<int64_t>(agg.connected));
+  w.end_object();
+  w.kv("pause_ms", service_gap_ms);
+  w.key("transport");
+  w.begin_object();
+  w.kv("players", static_cast<int64_t>(opt.players));
+  w.kv("threads", static_cast<int64_t>(opt.threads));
+  w.kv("restarted", restarted);
+  w.kv("max_reply_gap_ms", max_gap_ms);
+  w.kv("service_gap_ms", service_gap_ms);
+  w.kv("silence_reconnects", agg.silence_reconnects);
+  w.kv("rejoins", agg.rejoins);
+  w.kv("drops_detected", agg.drops_detected);
+  w.kv("port_collisions", agg.port_collisions);
+  w.kv("packets_sent", tc.packets_sent);
+  w.kv("packets_dropped", tc.packets_dropped);
+  w.kv("packets_overflowed", tc.packets_overflowed);
+  w.kv("packets_to_closed_ports", tc.packets_to_closed_ports);
+  w.kv("packets_truncated", tc.packets_truncated);
+  w.kv("bytes_sent", tc.bytes_sent);
+  w.end_object();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  std::ofstream f(opt.out, std::ios::trunc);
+  f << json << "\n";
+  f.close();
+  printf("wrote %s\n", opt.out.c_str());
+  ::unlink(pid_file.c_str());
+  ::unlink(ready_file.c_str());
+
+  bool ok = true;
+  if (agg.connected != opt.players) {
+    fprintf(stderr, "FAIL: %d/%d clients connected at end\n", agg.connected,
+            opt.players);
+    ok = false;
+  }
+  if (agg.silence_reconnects != 0 || agg.rejoins != 0) {
+    fprintf(stderr, "FAIL: forced reconnects (silence=%" PRIu64
+                    " rejoins=%" PRIu64 ")\n",
+            agg.silence_reconnects, agg.rejoins);
+    ok = false;
+  }
+  if (opt.restart && !restarted) {
+    fprintf(stderr, "FAIL: hot restart did not complete\n");
+    ok = false;
+  }
+  if (service_gap_ms > opt.gap_budget_ms) {
+    fprintf(stderr, "FAIL: service gap %.1f ms exceeds budget %.1f ms\n",
+            service_gap_ms, opt.gap_budget_ms);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/recovery/checkpoint.hpp"

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/sequential_server.hpp"
 #include "src/spatial/map_gen.hpp"

@@ -7,6 +7,7 @@
 //   ./quickstart
 #include <cstdio>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/sim/game_rules.hpp"

@@ -1,17 +1,19 @@
 #include "src/bots/client.hpp"
 
+#include <algorithm>
+
 #include "src/util/check.hpp"
 
 namespace qserv::bots {
 
-Client::Client(vt::Platform& platform, net::VirtualNetwork& net,
+Client::Client(vt::Platform& platform, net::Transport& net,
                const spatial::GameMap& map, Config cfg)
     : platform_(platform),
       net_(net),
       cfg_(cfg),
       join_port_(cfg.server_port),
       socket_(net.open(cfg.local_port)),
-      selector_(std::make_unique<net::Selector>(platform)),
+      selector_(net.make_selector()),
       bot_(map, cfg.bot),
       lifecycle_rng_(cfg.lifecycle_seed) {
   selector_->add(*socket_);
@@ -26,12 +28,27 @@ void Client::request_stop() {
 void Client::begin_measurement() {
   recording_ = true;
   metrics_ = Metrics{};
+  last_reply_at_ = {};  // gaps spanning the warmup boundary don't count
 }
 
 void Client::reopen_socket(uint16_t port) {
   selector_->remove(*socket_);
   socket_.reset();  // frees the old port before binding the new one
-  socket_ = net_.open(port);
+  // The fresh port can collide — with another churning client that drew
+  // the same ephemeral port, or (real transport) with a socket the OS
+  // still holds. Probe with the typed open and walk to the next
+  // candidate instead of aborting the whole client.
+  std::unique_ptr<net::Socket> sock;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    net::OpenError err = net::OpenError::kNone;
+    sock = net_.try_open(port, &err);
+    if (sock != nullptr) break;
+    if (recording_) ++metrics_.port_collisions;
+    port = cfg_.fresh_port ? cfg_.fresh_port()
+                           : static_cast<uint16_t>(port + 1);
+  }
+  QSERV_CHECK_MSG(sock != nullptr, "client found no free local port");
+  socket_ = std::move(sock);
   selector_->add(*socket_);
   cfg_.local_port = port;
 }
@@ -180,6 +197,16 @@ void Client::drain_replies() {
     last_snapshot_ = snap;
     if (recording_) {
       ++metrics_.replies;
+      // Reply-gap watermark: the client's view of service continuity.
+      // Only gaps between consecutive replies within one recording
+      // window count (the first reply after begin_measurement seeds the
+      // clock).
+      const vt::TimePoint reply_at = platform_.now();
+      if (last_reply_at_.ns > 0 && reply_at > last_reply_at_) {
+        metrics_.max_reply_gap_ns = std::max(
+            metrics_.max_reply_gap_ns, (reply_at - last_reply_at_).ns);
+      }
+      last_reply_at_ = reply_at;
       metrics_.snapshot_entities.add(static_cast<double>(snap.entities.size()));
       metrics_.events_seen += snap.events.size();
       metrics_.drops_detected += info.dropped_before;

@@ -20,7 +20,7 @@
 #include "src/bots/bot.hpp"
 #include "src/net/netchan.hpp"
 #include "src/net/protocol.hpp"
-#include "src/net/virtual_udp.hpp"
+#include "src/net/transport.hpp"
 #include "src/util/histogram.hpp"
 #include "src/util/rng.hpp"
 
@@ -81,13 +81,18 @@ class Client {
     uint64_t rejected_busy = 0;       // server said kServerBusy (backoff)
     uint64_t connect_retries = 0;     // connect datagrams re-sent
     uint64_t silence_reconnects = 0;  // gave up on a silent server
+    uint64_t port_collisions = 0;     // reopen_socket found the port taken
+    // Longest observed gap between consecutive replies while connected —
+    // the client's view of a service outage (a hot restart must keep
+    // this within a few frame budgets).
+    int64_t max_reply_gap_ns = 0;
     Histogram response_time{1e-4, 1.15, 120};  // seconds
     StatAccumulator snapshot_entities;  // visible entities per snapshot
     int16_t frags = 0;
     int16_t last_health = 0;
   };
 
-  Client(vt::Platform& platform, net::VirtualNetwork& net,
+  Client(vt::Platform& platform, net::Transport& net,
          const spatial::GameMap& map, Config cfg);
 
   // Fiber body; returns when request_stop() has been called, the server
@@ -125,7 +130,7 @@ class Client {
   void reset_session_state();
 
   vt::Platform& platform_;
-  net::VirtualNetwork& net_;
+  net::Transport& net_;
   Config cfg_;
   const uint16_t join_port_;  // the server port connects always target
   std::unique_ptr<net::Socket> socket_;
@@ -147,6 +152,7 @@ class Client {
   // Recording is on from the start; harnesses call begin_measurement()
   // at the warmup boundary to discard warmup samples.
   bool recording_ = true;
+  vt::TimePoint last_reply_at_{};  // reply-gap clock (max_reply_gap_ns)
   uint32_t player_id_ = 0;
   net::Snapshot last_snapshot_;
   Metrics metrics_;

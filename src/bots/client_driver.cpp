@@ -1,12 +1,27 @@
 #include "src/bots/client_driver.hpp"
 
+#include <algorithm>
+
+#include "src/util/check.hpp"
 #include "src/util/histogram.hpp"
 
 namespace qserv::bots {
 
-ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
+ClientDriver::ClientDriver(vt::Platform& platform, net::Transport& net,
                            const spatial::GameMap& map,
                            const core::Server& server, Config cfg)
+    : ClientDriver(platform, net, map, &server, std::move(cfg)) {}
+
+ClientDriver::ClientDriver(vt::Platform& platform, net::Transport& net,
+                           const spatial::GameMap& map, Config cfg)
+    : ClientDriver(platform, net, map, nullptr, std::move(cfg)) {
+  QSERV_CHECK_MSG(cfg_.join_port != nullptr,
+                  "server-less ClientDriver needs cfg.join_port");
+}
+
+ClientDriver::ClientDriver(vt::Platform& platform, net::Transport& net,
+                           const spatial::GameMap& map,
+                           const core::Server* server, Config cfg)
     : platform_(platform),
       cfg_(cfg),
       next_port_(std::make_shared<std::atomic<uint32_t>>(
@@ -16,8 +31,8 @@ ClientDriver::ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
   for (int i = 0; i < cfg.players; ++i) {
     Client::Config cc;
     cc.local_port = static_cast<uint16_t>(cfg.first_local_port + i);
-    cc.server_port =
-        cfg.join_port ? cfg.join_port(i) : server.port_for_client(i, cfg.players);
+    cc.server_port = cfg.join_port ? cfg.join_port(i)
+                                   : server->port_for_client(i, cfg.players);
     cc.name = cfg.name_prefix + std::to_string(i);
     cc.frame_interval = cfg.frame_interval;
     cc.initial_delay = cfg.connect_stagger * static_cast<int64_t>(i);
@@ -77,6 +92,8 @@ ClientDriver::Aggregate ClientDriver::aggregate(vt::Duration window) const {
     out.rejected_busy += m.rejected_busy;
     out.connect_retries += m.connect_retries;
     out.silence_reconnects += m.silence_reconnects;
+    out.port_collisions += m.port_collisions;
+    out.max_reply_gap_ns = std::max(out.max_reply_gap_ns, m.max_reply_gap_ns);
     rt.merge(m.response_time);
   }
   if (window.ns > 0)

@@ -53,9 +53,16 @@ class ClientDriver {
     std::function<uint16_t(int)> join_port;
   };
 
-  ClientDriver(vt::Platform& platform, net::VirtualNetwork& net,
+  ClientDriver(vt::Platform& platform, net::Transport& net,
                const spatial::GameMap& map, const core::Server& server,
                Config cfg);
+
+  // Server-less overload for populations aimed at an out-of-process
+  // server (real transport: the server lives behind qserv-serve, not in
+  // this address space). cfg.join_port must be set — there is no Server
+  // object to ask for the static block assignment.
+  ClientDriver(vt::Platform& platform, net::Transport& net,
+               const spatial::GameMap& map, Config cfg);
 
   // Spawns all client fibers. Call once, before the platform runs.
   void start();
@@ -84,6 +91,9 @@ class ClientDriver {
     uint64_t rejected_busy = 0;
     uint64_t connect_retries = 0;
     uint64_t silence_reconnects = 0;
+    uint64_t port_collisions = 0;
+    // Worst reply gap any client saw (service-continuity watermark).
+    int64_t max_reply_gap_ns = 0;
   };
   // Aggregates metrics over a measurement window of `window` seconds.
   Aggregate aggregate(vt::Duration window) const;
@@ -93,6 +103,10 @@ class ClientDriver {
   }
 
  private:
+  ClientDriver(vt::Platform& platform, net::Transport& net,
+               const spatial::GameMap& map, const core::Server* server,
+               Config cfg);
+
   vt::Platform& platform_;
   Config cfg_;
   // Fresh-port allocator shared by all clients' rejoin paths.

@@ -3,11 +3,12 @@
 #include "src/core/frame_pipeline.hpp"
 #include "src/obs/trace.hpp"
 #include "src/resilience/engine_hook.hpp"
+#include "src/net/fault_scheduler.hpp"
 
 namespace qserv::core {
 
 ParallelServer::ParallelServer(vt::Platform& platform,
-                               net::VirtualNetwork& net,
+                               net::Transport& net,
                                const spatial::GameMap& map, ServerConfig cfg)
     : Server(platform, net, map, cfg),
       sync_mu_(platform.make_mutex("frame-sync")),

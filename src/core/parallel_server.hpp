@@ -18,7 +18,7 @@ namespace qserv::core {
 
 class ParallelServer final : public Server {
  public:
-  ParallelServer(vt::Platform& platform, net::VirtualNetwork& net,
+  ParallelServer(vt::Platform& platform, net::Transport& net,
                  const spatial::GameMap& map, ServerConfig cfg);
 
   void start() override;

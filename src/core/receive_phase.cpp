@@ -211,12 +211,16 @@ void ReceivePhase::handle_connect(int tid, const net::Datagram& d,
       }
     }
     if (slot < 0 && !busy) {
-      if (ctx.cfg.resilience.admission_control &&
-          ctx.governor->admission_overloaded()) {
+      if ((ctx.cfg.resilience.admission_control &&
+           ctx.governor->admission_overloaded()) ||
+          ctx.governor->draining()) {
         // Admission control: the frame loop is already past its budget,
         // so serving the admitted population well beats admitting one
         // more player it cannot simulate. kServerBusy tells the client to
-        // back off and retry, unlike the terminal kServerFull.
+        // back off and retry, unlike the terminal kServerFull. A draining
+        // server (hot restart in progress) answers the same way
+        // unconditionally — "retry later" is literally true, since the
+        // next generation will be serving these ports momentarily.
         busy = true;
         ++reg.counters.rejected_busy;
       } else {

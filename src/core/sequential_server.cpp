@@ -7,7 +7,7 @@
 namespace qserv::core {
 
 SequentialServer::SequentialServer(vt::Platform& platform,
-                                   net::VirtualNetwork& net,
+                                   net::Transport& net,
                                    const spatial::GameMap& map,
                                    ServerConfig cfg)
     : Server(platform, net, map, [&] {

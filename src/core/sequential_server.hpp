@@ -9,7 +9,7 @@ namespace qserv::core {
 
 class SequentialServer final : public Server {
  public:
-  SequentialServer(vt::Platform& platform, net::VirtualNetwork& net,
+  SequentialServer(vt::Platform& platform, net::Transport& net,
                    const spatial::GameMap& map, ServerConfig cfg);
 
   void start() override;

@@ -34,7 +34,7 @@ const char* assign_policy_name(AssignPolicy p) {
   return "?";
 }
 
-Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
+Server::Server(vt::Platform& platform, net::Transport& net,
                const spatial::GameMap& map, ServerConfig cfg)
     : platform_(platform),
       net_(net),
@@ -61,7 +61,7 @@ Server::Server(vt::Platform& platform, net::VirtualNetwork& net,
   stats_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     sockets_.push_back(net.open(static_cast<uint16_t>(cfg.base_port + i)));
-    selectors_.push_back(std::make_unique<net::Selector>(platform));
+    selectors_.push_back(net.make_selector());
     selectors_.back()->add(*sockets_.back());
   }
   // Recovery attaches only when enabled: its callbacks draw serialization
@@ -205,6 +205,20 @@ void Server::record_frame_trace(ThreadStats& st, uint64_t frame_id,
 
 const resilience::FrameGovernor& Server::governor() const {
   return resilience_->governor();
+}
+
+void Server::enter_drain() { resilience_->governor().set_draining(true); }
+
+void Server::leave_drain() { resilience_->governor().set_draining(false); }
+
+bool Server::draining() const { return resilience_->governor().draining(); }
+
+std::vector<uint8_t> Server::encode_checkpoint_now() {
+  QSERV_CHECK_MSG(recovery_ != nullptr,
+                  "encode_checkpoint_now needs cfg.recovery.enabled");
+  QSERV_CHECK_MSG(active_workers() == 0,
+                  "encode_checkpoint_now needs quiesced workers");
+  return recovery_->capture_now_encoded();
 }
 
 bool Server::watchdog_due(int self_tid) const {

@@ -21,7 +21,7 @@
 #include "src/core/frame_hooks.hpp"
 #include "src/core/frame_stats.hpp"
 #include "src/core/global_state.hpp"
-#include "src/net/virtual_udp.hpp"
+#include "src/net/transport.hpp"
 #include "src/recovery/journal.hpp"
 #include "src/sim/world.hpp"
 
@@ -53,7 +53,7 @@ class LockManager;
 
 class Server : public Engine {
  public:
-  Server(vt::Platform& platform, net::VirtualNetwork& net,
+  Server(vt::Platform& platform, net::Transport& net,
          const spatial::GameMap& map, ServerConfig cfg);
   ~Server() override;
 
@@ -151,6 +151,15 @@ class Server : public Engine {
   // p95 that admission control reads) but only steps the ladder when
   // cfg.resilience.governor is on.
   const resilience::FrameGovernor& governor() const;
+  // Graceful drain (hot restart): stop admitting new clients — every
+  // connect gets kServerBusy ("retry later"), which is exactly right,
+  // because in a moment a new generation will be serving on these ports.
+  // Existing sessions keep playing until the handoff checkpoint.
+  void enter_drain();
+  // Reopens admission after an aborted restart (the next generation never
+  // came up, so this one keeps serving).
+  void leave_drain();
+  bool draining() const;
   // Worker watchdog; null on the sequential server, inert (enabled() ==
   // false) when cfg.resilience.watchdog_timeout is zero.
   const resilience::WorkerWatchdog* watchdog() const { return watchdog_; }
@@ -222,6 +231,12 @@ class Server : public Engine {
                                    const std::vector<uint8_t>& journal_image,
                                    RestoreStats* stats,
                                    uint32_t extra_out_seq_bump = 0);
+
+  // Hot-restart handoff capture: the current engine state as a
+  // qserv-ckpt-v1 blob, off the periodic schedule. Requires
+  // cfg.recovery.enabled and quiesced workers (call after request_stop()
+  // has drained active_workers() to zero).
+  std::vector<uint8_t> encode_checkpoint_now();
 
   bool restored() const { return registry_.restored(); }
   // Checkpointed clients re-adopted through a reconnect (by port or name).
@@ -316,7 +331,7 @@ class Server : public Engine {
   void record_frame_trace(ThreadStats& st, uint64_t frame_id, int moves);
 
   vt::Platform& platform_;
-  net::VirtualNetwork& net_;
+  net::Transport& net_;
   ServerConfig cfg_;
   sim::World world_;
   GlobalStateBuffer global_events_;

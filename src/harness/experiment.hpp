@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/bots/client_driver.hpp"
+#include "src/net/virtual_udp.hpp"
 #include "src/core/config.hpp"
 #include "src/core/frame_stats.hpp"
 #include "src/obs/metrics.hpp"

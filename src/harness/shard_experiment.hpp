@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/bots/client_driver.hpp"
+#include "src/net/virtual_udp.hpp"
 #include "src/obs/slo.hpp"
 #include "src/shard/manager.hpp"
 #include "src/spatial/map.hpp"

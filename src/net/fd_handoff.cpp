@@ -1,0 +1,297 @@
+#include "src/net/fd_handoff.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace qserv::net {
+
+namespace {
+
+constexpr char kMagic[8] = {'q', 's', 'r', 'v', 'h', 'a', 'n', 'd'};
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kReadyByte = 0x52;  // 'R'
+// SCM_RIGHTS caps at 253 descriptors per message (SCM_MAX_FD); a server
+// has one listener per worker thread, far below that.
+constexpr size_t kMaxFds = 64;
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool wait_io(int fd, short events, int64_t deadline_ms) {
+  for (;;) {
+    const int64_t left = deadline_ms - now_ms();
+    if (left <= 0) return false;
+    pollfd p{fd, events, 0};
+    const int r = ::poll(&p, 1, static_cast<int>(left > 1000 ? 1000 : left));
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) return false;
+    if (r > 0) return (p.revents & (events | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+bool send_all(int fd, const void* data, size_t len, int64_t deadline_ms) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_io(fd, POLLOUT, deadline_ms)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, size_t len, int64_t deadline_ms) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // peer closed mid-message
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_io(fd, POLLIN, deadline_ms)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t get_u32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | p[1] << 8);
+}
+
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.size() + 1 > sizeof(addr.sun_path)) return false;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HandoffServer
+
+HandoffServer::HandoffServer(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, addr)) return;
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    return;
+  }
+  listen_fd_ = fd;
+}
+
+HandoffServer::~HandoffServer() {
+  if (conn_fd_ >= 0) ::close(conn_fd_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+bool HandoffServer::accept_child(int timeout_ms, uint32_t* generation_out) {
+  if (listen_fd_ < 0) return false;
+  const int64_t deadline = now_ms() + timeout_ms;
+  if (!wait_io(listen_fd_, POLLIN, deadline)) return false;
+  conn_fd_ = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (conn_fd_ < 0) return false;
+  uint8_t hello[sizeof(kMagic) + 4 + 4];
+  if (!recv_all(conn_fd_, hello, sizeof(hello), deadline)) return false;
+  if (memcmp(hello, kMagic, sizeof(kMagic)) != 0) return false;
+  if (get_u32(hello + sizeof(kMagic)) != kVersion) return false;
+  if (generation_out != nullptr)
+    *generation_out = get_u32(hello + sizeof(kMagic) + 4);
+  return true;
+}
+
+bool HandoffServer::send_package(const HandoffPackage& pkg) {
+  if (conn_fd_ < 0 || pkg.sockets.size() > kMaxFds) return false;
+  const int64_t deadline = now_ms() + 30'000;
+
+  // Descriptor message: n_fds + ports, with the fds riding as ancillary
+  // data on this exact message (SCM_RIGHTS must accompany real bytes).
+  std::vector<uint8_t> head;
+  put_u32(head, static_cast<uint32_t>(pkg.sockets.size()));
+  for (const auto& [port, fd] : pkg.sockets) put_u16(head, port);
+
+  std::vector<int> fds;
+  for (const auto& [port, fd] : pkg.sockets) fds.push_back(fd);
+  std::vector<char> ctrl(CMSG_SPACE(fds.size() * sizeof(int)));
+  iovec iov{head.data(), head.size()};
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  if (!fds.empty()) {
+    msg.msg_control = ctrl.data();
+    msg.msg_controllen = ctrl.size();
+    cmsghdr* c = CMSG_FIRSTHDR(&msg);
+    c->cmsg_level = SOL_SOCKET;
+    c->cmsg_type = SCM_RIGHTS;
+    c->cmsg_len = CMSG_LEN(fds.size() * sizeof(int));
+    memcpy(CMSG_DATA(c), fds.data(), fds.size() * sizeof(int));
+  }
+  for (;;) {
+    const ssize_t n = ::sendmsg(conn_fd_, &msg, MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(head.size())) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_io(conn_fd_, POLLOUT, deadline)) return false;
+      continue;
+    }
+    return false;  // partial send of the fd message would split the cmsg
+  }
+
+  std::vector<uint8_t> body;
+  put_u64(body, pkg.checkpoint.size());
+  body.insert(body.end(), pkg.checkpoint.begin(), pkg.checkpoint.end());
+  return send_all(conn_fd_, body.data(), body.size(), deadline);
+}
+
+bool HandoffServer::wait_ready(int timeout_ms) {
+  if (conn_fd_ < 0) return false;
+  uint8_t b = 0;
+  if (!recv_all(conn_fd_, &b, 1, now_ms() + timeout_ms)) return false;
+  return b == kReadyByte;
+}
+
+// ---------------------------------------------------------------------------
+// HandoffClient
+
+HandoffClient::~HandoffClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool HandoffClient::connect_to(const std::string& path, uint32_t generation,
+                               int timeout_ms) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, addr)) return false;
+  const int64_t deadline = now_ms() + timeout_ms;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd_ = fd;
+      break;
+    }
+    ::close(fd);
+    if (now_ms() >= deadline) return false;
+    ::usleep(20'000);
+  }
+  std::vector<uint8_t> hello(kMagic, kMagic + sizeof(kMagic));
+  put_u32(hello, kVersion);
+  put_u32(hello, generation);
+  return send_all(fd_, hello.data(), hello.size(), deadline);
+}
+
+bool HandoffClient::recv_package(HandoffPackage& pkg, int timeout_ms) {
+  if (fd_ < 0) return false;
+  const int64_t deadline = now_ms() + timeout_ms;
+
+  // The descriptor message: read header bytes and ancillary fds together.
+  uint8_t count_buf[4];
+  std::vector<char> ctrl(CMSG_SPACE(kMaxFds * sizeof(int)));
+  std::vector<int> fds;
+  {
+    iovec iov{count_buf, sizeof(count_buf)};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = ctrl.data();
+    msg.msg_controllen = ctrl.size();
+    for (;;) {
+      if (!wait_io(fd_, POLLIN, deadline)) return false;
+      const ssize_t n = ::recvmsg(fd_, &msg, MSG_CMSG_CLOEXEC);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      if (n != static_cast<ssize_t>(sizeof(count_buf))) return false;
+      break;
+    }
+    for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+         c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SCM_RIGHTS) continue;
+      const size_t bytes = c->cmsg_len - CMSG_LEN(0);
+      const size_t count = bytes / sizeof(int);
+      fds.resize(count);
+      memcpy(fds.data(), CMSG_DATA(c), count * sizeof(int));
+    }
+  }
+  const uint32_t n_fds = get_u32(count_buf);
+  if (n_fds > kMaxFds || fds.size() != n_fds) return false;
+
+  std::vector<uint8_t> ports(n_fds * 2);
+  if (n_fds > 0 && !recv_all(fd_, ports.data(), ports.size(), deadline))
+    return false;
+  pkg.sockets.clear();
+  for (uint32_t i = 0; i < n_fds; ++i)
+    pkg.sockets.emplace_back(get_u16(ports.data() + i * 2), fds[i]);
+
+  uint8_t len_buf[8];
+  if (!recv_all(fd_, len_buf, sizeof(len_buf), deadline)) return false;
+  const uint64_t ckpt_len = get_u64(len_buf);
+  if (ckpt_len > (1ull << 32)) return false;
+  pkg.checkpoint.resize(ckpt_len);
+  if (ckpt_len > 0 &&
+      !recv_all(fd_, pkg.checkpoint.data(), ckpt_len, deadline))
+    return false;
+  return true;
+}
+
+bool HandoffClient::send_ready() {
+  if (fd_ < 0) return false;
+  const uint8_t b = kReadyByte;
+  return send_all(fd_, &b, 1, now_ms() + 5'000);
+}
+
+}  // namespace qserv::net

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "src/net/bytestream.hpp"
-#include "src/net/virtual_udp.hpp"
+#include "src/net/transport.hpp"
 
 namespace qserv::net {
 

@@ -1,0 +1,106 @@
+// Real-socket edge: the net::Transport seam over non-blocking AF_INET UDP
+// sockets and epoll. Runs only on RealPlatform (wall-clock threads) — the
+// virtual segment stays authoritative for deterministic Sim runs.
+//
+// Design notes, mirroring the paper's private-port server:
+//  - One listener socket per worker thread, each on its own port
+//    (base_port + tid). SO_REUSEPORT is set on every bind so a future
+//    generation can take a port over without a close/bind gap, and
+//    SO_REUSEADDR so a failure-path rebind after close succeeds.
+//  - Port identity: qserv addresses peers by UDP port, the same model the
+//    virtual network uses. The transport learns `port -> sockaddr` routes
+//    from the source address of every received datagram; sends to a port
+//    with no learned route fall back to (peer_host, port). On loopback —
+//    the supported deployment for this edge — the two are equivalent.
+//  - Receive-buffer accounting: SO_RXQ_OVFL deltas (kernel drops when the
+//    socket receive buffer overflows) feed the same packets_overflowed
+//    counter the virtual socket_buffer bound feeds, so the qserv-bench-v1
+//    network block reads identically on both transports.
+//  - Oversized datagrams are clamped at recvfrom: MSG_TRUNC reports the
+//    true wire length, anything beyond max_datagram is cut and counted in
+//    packets_truncated (always 0 on the virtual transport).
+//  - Hot restart: bound_fds() enumerates live (port, fd) pairs for the
+//    SCM_RIGHTS handoff, and Config::adopted_fds lets the next generation
+//    wrap inherited descriptors instead of binding — datagrams queued in
+//    the kernel socket buffers survive the exec, which is what makes the
+//    restart zero-loss.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/transport.hpp"
+
+namespace qserv::net {
+
+class RealSocket;
+class RealSelector;
+
+class RealUdpTransport final : public Transport {
+ public:
+  struct Config {
+    // Bind address for listeners and fallback destination host for sends
+    // to ports with no learned route. Loopback by default: this edge is
+    // exercised by same-host benches and CI, not an open ingress.
+    std::string host = "127.0.0.1";
+    // Receive clamp: payload bytes beyond this are truncated and counted.
+    // Defaults to the UDP/IPv4 maximum — the virtual segment never
+    // fragments, and a 160-player full snapshot legitimately exceeds a
+    // wire MTU on loopback. Tests shrink it to exercise the clamp.
+    size_t max_datagram = 65507;
+    // SO_RCVBUF / SO_SNDBUF in bytes; 0 keeps the kernel default.
+    int recv_buffer_bytes = 0;
+    int send_buffer_bytes = 0;
+    // Hot-restart adoption: port -> already-bound descriptor received over
+    // the handoff channel. try_open(port) wraps the descriptor instead of
+    // binding a fresh socket.
+    std::map<uint16_t, int> adopted_fds;
+  };
+
+  RealUdpTransport(vt::Platform& platform, Config cfg);
+  ~RealUdpTransport() override;
+
+  std::unique_ptr<Socket> try_open(uint16_t port,
+                                   OpenError* err = nullptr) override;
+  std::unique_ptr<Selector> make_selector() override;
+  vt::Platform& platform() override { return platform_; }
+  TransportCounters counters() const override;
+
+  // Live (port, fd) pairs — the old generation's side of an FD handoff.
+  // Descriptors stay owned by their sockets; SCM_RIGHTS duplicates them
+  // into the receiver, so the sender tears down normally afterwards.
+  std::vector<std::pair<uint16_t, int>> bound_fds() const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  friend class RealSocket;
+
+  void learn_route(uint16_t port, const sockaddr_in& addr);
+  bool lookup_route(uint16_t port, sockaddr_in& out) const;
+  void unregister(uint16_t port, RealSocket* sock);
+
+  vt::Platform& platform_;
+  Config cfg_;
+  in_addr host_addr_{};
+
+  mutable std::mutex mu_;
+  std::map<uint16_t, RealSocket*> ports_;
+  std::map<uint16_t, sockaddr_in> routes_;
+
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> overflowed_{0};
+  std::atomic<uint64_t> to_closed_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> truncated_{0};
+};
+
+}  // namespace qserv::net

@@ -20,12 +20,23 @@ VirtualNetwork::~VirtualNetwork() {
   QSERV_CHECK_MSG(ports_.empty(), "sockets outliving their VirtualNetwork");
 }
 
-std::unique_ptr<Socket> VirtualNetwork::open(uint16_t port) {
+std::unique_ptr<Socket> VirtualNetwork::try_open(uint16_t port,
+                                                 OpenError* err) {
   vt::LockGuard g(*mu_);
-  QSERV_CHECK_MSG(!ports_.contains(port), "port already bound");
-  auto sock = std::unique_ptr<Socket>(new Socket(*this, port));
+  if (ports_.contains(port)) {
+    // A typed error, not an assert: callers that race for ports (a
+    // churning client picking a fresh ephemeral port) retry elsewhere.
+    if (err != nullptr) *err = OpenError::kPortInUse;
+    return nullptr;
+  }
+  auto sock = std::unique_ptr<VirtualSocket>(new VirtualSocket(*this, port));
   ports_[port] = sock.get();
+  if (err != nullptr) *err = OpenError::kNone;
   return sock;
+}
+
+std::unique_ptr<Selector> VirtualNetwork::make_selector() {
+  return std::make_unique<VirtualSelector>(platform_);
 }
 
 FaultScheduler& VirtualNetwork::faults() {
@@ -44,7 +55,7 @@ void VirtualNetwork::unregister(uint16_t port) {
 
 bool VirtualNetwork::route(uint16_t src, uint16_t dst,
                            std::vector<uint8_t> payload) {
-  Socket* target = nullptr;
+  VirtualSocket* target = nullptr;
   Datagram d;
   {
     vt::LockGuard g(*mu_);
@@ -91,7 +102,7 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
     d.payload = std::move(payload);
     d.sent_at = platform_.now();
     d.deliver_at = d.sent_at + delay;
-    // Deliver while still holding the network lock: Socket::~Socket
+    // Deliver while still holding the network lock: ~VirtualSocket
     // blocks in unregister() on the same lock, so the target cannot be
     // destroyed out from under us — a supervised shard restore tears
     // down a live engine's sockets while peers are still sending.
@@ -102,16 +113,16 @@ bool VirtualNetwork::route(uint16_t src, uint16_t dst,
   return true;
 }
 
-Socket::Socket(VirtualNetwork& net, uint16_t port)
+VirtualSocket::VirtualSocket(VirtualNetwork& net, uint16_t port)
     : net_(net), port_(port), mu_(net.platform().make_mutex("socket")) {}
 
-Socket::~Socket() { net_.unregister(port_); }
+VirtualSocket::~VirtualSocket() { net_.unregister(port_); }
 
-bool Socket::send(uint16_t dst, std::vector<uint8_t> payload) {
+bool VirtualSocket::send(uint16_t dst, std::vector<uint8_t> payload) {
   return net_.route(port_, dst, std::move(payload));
 }
 
-void Socket::deliver(Datagram d) {
+void VirtualSocket::deliver(Datagram d) {
   std::shared_ptr<SelectorCore> to_notify;
   {
     vt::LockGuard g(*mu_);
@@ -135,7 +146,7 @@ void Socket::deliver(Datagram d) {
   }
 }
 
-bool Socket::try_recv(Datagram& out) {
+bool VirtualSocket::try_recv(Datagram& out) {
   vt::LockGuard g(*mu_);
   if (queue_.empty()) return false;
   const auto it = queue_.begin();
@@ -146,36 +157,39 @@ bool Socket::try_recv(Datagram& out) {
   return true;
 }
 
-vt::TimePoint Socket::next_ready() const {
+vt::TimePoint VirtualSocket::next_ready() const {
   vt::LockGuard g(*mu_);
   if (queue_.empty()) return vt::TimePoint::max();
   return queue_.begin()->second.deliver_at;
 }
 
-bool Socket::has_ready() const {
+bool VirtualSocket::has_ready() const {
   return next_ready() <= net_.platform().now();
 }
 
-size_t Socket::queued() const {
+size_t VirtualSocket::queued() const {
   vt::LockGuard g(*mu_);
   return queue_.size();
 }
 
-Selector::Selector(vt::Platform& platform)
+VirtualSelector::VirtualSelector(vt::Platform& platform)
     : platform_(platform), core_(std::make_shared<SelectorCore>()) {
   core_->mu = platform.make_mutex("selector");
   core_->cv = platform.make_condvar();
 }
 
-Selector::~Selector() {
-  for (Socket* s : sockets_) {
+VirtualSelector::~VirtualSelector() {
+  for (VirtualSocket* s : sockets_) {
     vt::LockGuard g(*s->mu_);
     s->selector_ = nullptr;
     s->notify_.reset();
   }
 }
 
-void Selector::add(Socket& s) {
+void VirtualSelector::add(Socket& sock) {
+  // Sockets and selectors come from the same transport (transport.hpp
+  // contract), so this cast cannot see a RealSocket.
+  auto& s = static_cast<VirtualSocket&>(sock);
   vt::LockGuard g(*s.mu_);
   QSERV_CHECK_MSG(s.selector_ == nullptr, "socket already has a selector");
   s.selector_ = this;
@@ -183,7 +197,8 @@ void Selector::add(Socket& s) {
   sockets_.push_back(&s);
 }
 
-void Selector::remove(Socket& s) {
+void VirtualSelector::remove(Socket& sock) {
+  auto& s = static_cast<VirtualSocket&>(sock);
   // Selector lock first, then socket lock — the same order the wait path
   // uses (wait_until holds the core mutex while querying each socket).
   {
@@ -196,7 +211,7 @@ void Selector::remove(Socket& s) {
   s.notify_.reset();
 }
 
-bool Selector::wait_until(vt::TimePoint deadline) {
+bool VirtualSelector::wait_until(vt::TimePoint deadline) {
   vt::LockGuard g(*core_->mu);
   for (;;) {
     if (core_->poked) {
@@ -204,7 +219,7 @@ bool Selector::wait_until(vt::TimePoint deadline) {
       return false;
     }
     vt::TimePoint earliest = vt::TimePoint::max();
-    for (Socket* s : sockets_)
+    for (VirtualSocket* s : sockets_)
       earliest = std::min(earliest, s->next_ready());
     const vt::TimePoint now = platform_.now();
     if (earliest <= now) return true;
@@ -215,7 +230,7 @@ bool Selector::wait_until(vt::TimePoint deadline) {
   }
 }
 
-void Selector::poke() {
+void VirtualSelector::poke() {
   vt::LockGuard g(*core_->mu);
   core_->poked = true;
   core_->cv->broadcast();

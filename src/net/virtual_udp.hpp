@@ -1,7 +1,9 @@
 // Virtual UDP: an in-process datagram network with modelled latency,
-// jitter and loss, plus a select(2) emulation (`Selector`). The paper's
-// testbed put the server and the client machines on a dedicated 100 Mbit
-// Ethernet segment; this module substitutes for that segment.
+// jitter and loss, plus a select(2) emulation. The paper's testbed put
+// the server and the client machines on a dedicated 100 Mbit Ethernet
+// segment; this module substitutes for that segment. It is the virtual
+// implementation of the transport seam (transport.hpp); real kernel
+// sockets live in real_udp.hpp.
 //
 // Delivery model: send() timestamps the datagram with
 // `deliver_at = now + latency + jitter` and inserts it into the
@@ -23,21 +25,14 @@
 #include <vector>
 
 #include "src/net/fault_scheduler.hpp"
+#include "src/net/transport.hpp"
 #include "src/util/rng.hpp"
 #include "src/vthread/platform.hpp"
 
 namespace qserv::net {
 
-struct Datagram {
-  uint16_t src_port = 0;
-  uint16_t dst_port = 0;
-  std::vector<uint8_t> payload;
-  vt::TimePoint sent_at{};
-  vt::TimePoint deliver_at{};
-};
-
-class Socket;
-class Selector;
+class VirtualSocket;
+class VirtualSelector;
 
 // The notification half of a Selector, shared (via shared_ptr) with every
 // socket it watches. A delivering thread copies the shared_ptr under the
@@ -51,7 +46,7 @@ struct SelectorCore {
   bool poked = false;  // guarded by mu
 };
 
-class VirtualNetwork {
+class VirtualNetwork final : public Transport {
  public:
   struct Config {
     vt::Duration latency = vt::micros(500);  // one-way, LAN-like
@@ -72,16 +67,14 @@ class VirtualNetwork {
   };
 
   VirtualNetwork(vt::Platform& platform, Config cfg);
-  ~VirtualNetwork();
+  ~VirtualNetwork() override;
 
-  VirtualNetwork(const VirtualNetwork&) = delete;
-  VirtualNetwork& operator=(const VirtualNetwork&) = delete;
+  // Opens a socket bound to `port`; null + kPortInUse if it is taken.
+  std::unique_ptr<Socket> try_open(uint16_t port,
+                                   OpenError* err = nullptr) override;
+  std::unique_ptr<Selector> make_selector() override;
 
-  // Opens a socket bound to `port` (must be unused). Sockets must not
-  // outlive the network.
-  std::unique_ptr<Socket> open(uint16_t port);
-
-  vt::Platform& platform() { return platform_; }
+  vt::Platform& platform() override { return platform_; }
 
   // The fault-injection timeline (created on first use). route() consults
   // it for every packet, so scheduled episodes mutate the delivery model
@@ -90,7 +83,9 @@ class VirtualNetwork {
   FaultScheduler& faults();
   bool has_faults() const { return faults_ != nullptr; }
   // Read-only view for reporting/metrics; null until faults() is called.
-  const FaultScheduler* faults_or_null() const { return faults_.get(); }
+  const FaultScheduler* faults_or_null() const override {
+    return faults_.get();
+  }
 
   // Global counters (racy reads are fine for reporting).
   uint64_t packets_sent() const { return packets_sent_; }
@@ -99,17 +94,27 @@ class VirtualNetwork {
   uint64_t packets_to_closed_ports() const { return packets_dead_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
- private:
-  friend class Socket;
+  TransportCounters counters() const override {
+    TransportCounters c;
+    c.packets_sent = packets_sent_;
+    c.packets_dropped = packets_dropped_;
+    c.packets_overflowed = packets_overflow_;
+    c.packets_to_closed_ports = packets_dead_;
+    c.bytes_sent = bytes_sent_;
+    return c;
+  }
 
-  // Routes one datagram; called by Socket::send with no locks held.
+ private:
+  friend class VirtualSocket;
+
+  // Routes one datagram; called by VirtualSocket::send with no locks held.
   bool route(uint16_t src, uint16_t dst, std::vector<uint8_t> payload);
   void unregister(uint16_t port);
 
   vt::Platform& platform_;
   Config cfg_;
   std::unique_ptr<vt::Mutex> mu_;  // guards ports_ map, rng_, counters
-  std::map<uint16_t, Socket*> ports_;
+  std::map<uint16_t, VirtualSocket*> ports_;
   std::unique_ptr<FaultScheduler> faults_;  // null until faults() is called
   Rng rng_;
   // Per-(src,dst) packet counters for deterministic_flows (guarded by mu_).
@@ -121,31 +126,29 @@ class VirtualNetwork {
   uint64_t bytes_sent_ = 0;
 };
 
-class Socket {
+class VirtualSocket final : public Socket {
  public:
-  ~Socket();
-  Socket(const Socket&) = delete;
-  Socket& operator=(const Socket&) = delete;
+  ~VirtualSocket() override;
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const override { return port_; }
 
   // Sends `payload` to `dst`. Returns false if the packet was dropped by
   // the loss model or the destination port is closed (like UDP, the
   // sender normally cannot tell; the return value exists for tests).
-  bool send(uint16_t dst, std::vector<uint8_t> payload);
+  bool send(uint16_t dst, std::vector<uint8_t> payload) override;
 
   // Non-blocking receive of the next ready datagram (deliver_at <= now).
-  bool try_recv(Datagram& out);
+  bool try_recv(Datagram& out) override;
 
   // Earliest delivery time among queued datagrams; TimePoint::max() if
   // none. "Ready" means next_ready() <= now.
-  vt::TimePoint next_ready() const;
-  bool has_ready() const;
+  vt::TimePoint next_ready() const override;
+  bool has_ready() const override;
 
   // Number of datagrams queued (ready or in flight).
-  size_t queued() const;
+  size_t queued() const override;
 
-  uint64_t received_count() const { return received_; }
+  uint64_t received_count() const override { return received_; }
 
   // send() returning false means loss-model drop or closed port; receive
   // buffer overflow at the destination is invisible to the sender (see
@@ -153,9 +156,9 @@ class Socket {
 
  private:
   friend class VirtualNetwork;
-  friend class Selector;
+  friend class VirtualSelector;
 
-  Socket(VirtualNetwork& net, uint16_t port);
+  VirtualSocket(VirtualNetwork& net, uint16_t port);
 
   void deliver(Datagram d);  // called by the network's route()
 
@@ -167,42 +170,30 @@ class Socket {
   std::multimap<std::pair<int64_t, uint64_t>, Datagram> queue_;
   uint64_t arrival_seq_ = 0;
   uint64_t received_ = 0;
-  Selector* selector_ = nullptr;  // at most one watcher (bookkeeping only)
+  VirtualSelector* selector_ = nullptr;  // at most one watcher (bookkeeping)
   // Kept alongside selector_ (both guarded by mu_): deliver() notifies
   // through this so the wakeup survives concurrent selector teardown.
   std::shared_ptr<SelectorCore> notify_;
 };
 
-// select(2) emulation over a fixed set of sockets. One selector per
-// waiting thread; a socket belongs to at most one selector.
-class Selector {
+// select(2) emulation over a fixed set of virtual sockets. One selector
+// per waiting thread; a socket belongs to at most one selector.
+class VirtualSelector final : public Selector {
  public:
-  explicit Selector(vt::Platform& platform);
-  ~Selector();
-  Selector(const Selector&) = delete;
-  Selector& operator=(const Selector&) = delete;
+  explicit VirtualSelector(vt::Platform& platform);
+  ~VirtualSelector() override;
 
-  // Registers a socket; must happen before any wait.
-  void add(Socket& s);
-
-  // Unregisters a socket so it can be destroyed before the selector —
-  // used when a churning client reopens its socket on a fresh port.
-  void remove(Socket& s);
-
-  // Blocks until any registered socket has a ready datagram or the
-  // deadline passes. Returns true if a datagram is ready. Also returns
-  // (false) when poke() is called, so shutdown can interrupt a wait.
-  bool wait_until(vt::TimePoint deadline);
-
-  // Wakes a blocked wait_until() immediately.
-  void poke();
+  void add(Socket& s) override;
+  void remove(Socket& s) override;
+  bool wait_until(vt::TimePoint deadline) override;
+  void poke() override;
 
  private:
-  friend class Socket;
+  friend class VirtualSocket;
 
   vt::Platform& platform_;
   std::shared_ptr<SelectorCore> core_;
-  std::vector<Socket*> sockets_;
+  std::vector<VirtualSocket*> sockets_;
 };
 
 }  // namespace qserv::net

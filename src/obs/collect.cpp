@@ -5,20 +5,21 @@
 #include "src/core/lock_manager.hpp"
 #include "src/core/server.hpp"
 #include "src/net/fault_scheduler.hpp"
-#include "src/net/virtual_udp.hpp"
+#include "src/net/transport.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/resilience/governor.hpp"
 #include "src/resilience/watchdog.hpp"
 
 namespace qserv::obs {
 
-void collect_network(const net::VirtualNetwork& net, MetricsRegistry& reg) {
-  reg.counter("net.packets_sent").set(net.packets_sent());
-  reg.counter("net.packets_dropped").set(net.packets_dropped());
-  reg.counter("net.packets_overflowed").set(net.packets_overflowed());
-  reg.counter("net.packets_to_closed_ports")
-      .set(net.packets_to_closed_ports());
-  reg.counter("net.bytes_sent").set(net.bytes_sent());
+void collect_network(const net::Transport& net, MetricsRegistry& reg) {
+  const net::TransportCounters c = net.counters();
+  reg.counter("net.packets_sent").set(c.packets_sent);
+  reg.counter("net.packets_dropped").set(c.packets_dropped);
+  reg.counter("net.packets_overflowed").set(c.packets_overflowed);
+  reg.counter("net.packets_to_closed_ports").set(c.packets_to_closed_ports);
+  reg.counter("net.bytes_sent").set(c.bytes_sent);
+  reg.counter("net.packets_truncated").set(c.packets_truncated);
   if (const net::FaultScheduler* faults = net.faults_or_null()) {
     const auto& f = faults->counters();
     reg.counter("fault.burst_drops").set(f.burst_drops);

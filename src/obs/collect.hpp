@@ -12,7 +12,7 @@ namespace qserv::core {
 class Server;
 }
 namespace qserv::net {
-class VirtualNetwork;
+class Transport;
 }
 
 namespace qserv::obs {
@@ -21,7 +21,11 @@ class MetricsRegistry;
 
 // net.* counters (packets, bytes, drops) and, when fault injection is
 // active, fault.* counters (burst/partition/blackhole drops, delays).
-void collect_network(const net::VirtualNetwork& net, MetricsRegistry& reg);
+// Transport-agnostic: the virtual network and the real UDP transport
+// populate the same instruments, so a qserv-bench-v1 network block is
+// identical in shape on both. net.packets_truncated is real-only (the
+// virtual segment never truncates).
+void collect_network(const net::Transport& net, MetricsRegistry& reg);
 
 // server.* counters (frames, requests, replies, connects, evictions,
 // rejected connects, invariant violations, frame-trace drops) and the

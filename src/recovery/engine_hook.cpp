@@ -88,6 +88,11 @@ void ServerRecovery::on_frame_sealed() {
   }
 }
 
+std::vector<uint8_t> ServerRecovery::capture_now_encoded() {
+  const uint64_t digest = world_digest(engine_.world(), nullptr);
+  return encode_checkpoint(make_checkpoint(digest));
+}
+
 void ServerRecovery::on_client_spawned(int owner, uint16_t port,
                                        uint32_t entity,
                                        const std::string& name,

@@ -38,6 +38,12 @@ class ServerRecovery final : public core::FrameHook,
   // meta) now; returns the dump directory or "" on I/O failure.
   std::string dump(const std::string& label, const std::string& why);
 
+  // Hot-restart handoff capture: encodes the engine's current state as a
+  // qserv-ckpt-v1 blob, off the periodic schedule. Call only with every
+  // worker quiesced (after request_stop() drains) — the capture walks
+  // live world and registry state unlocked.
+  std::vector<uint8_t> capture_now_encoded();
+
   // Cross-shard handoff journaling (master window only; the shard layer
   // calls these around extract_session/adopt_session so replay can
   // re-execute the migration deterministically).

@@ -9,7 +9,7 @@
 
 namespace qserv::shard {
 
-ShardManager::ShardManager(vt::Platform& platform, net::VirtualNetwork& net,
+ShardManager::ShardManager(vt::Platform& platform, net::Transport& net,
                            const spatial::GameMap& map, Config cfg)
     : platform_(platform),
       net_(net),

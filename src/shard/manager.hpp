@@ -21,7 +21,7 @@ namespace qserv::shard {
 
 class ShardManager {
  public:
-  ShardManager(vt::Platform& platform, net::VirtualNetwork& net,
+  ShardManager(vt::Platform& platform, net::Transport& net,
                const spatial::GameMap& map, Config cfg);
   ~ShardManager();
 
@@ -96,7 +96,7 @@ class ShardManager {
 
  private:
   vt::Platform& platform_;
-  net::VirtualNetwork& net_;
+  net::Transport& net_;
   const spatial::GameMap& map_;
   Config cfg_;
   ShardRouter router_;

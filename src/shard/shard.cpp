@@ -40,7 +40,7 @@ const char* restore_mode_name(RestoreMode m) {
   return "?";
 }
 
-Shard::Shard(vt::Platform& platform, net::VirtualNetwork& net,
+Shard::Shard(vt::Platform& platform, net::Transport& net,
              const spatial::GameMap& map, ShardManager& mgr,
              core::ServerConfig cfg, int index)
     : platform_(platform),

@@ -39,7 +39,7 @@ const char* restore_mode_name(RestoreMode m);
 
 class Shard {
  public:
-  Shard(vt::Platform& platform, net::VirtualNetwork& net,
+  Shard(vt::Platform& platform, net::Transport& net,
         const spatial::GameMap& map, ShardManager& mgr,
         core::ServerConfig cfg, int index);
   ~Shard();
@@ -143,7 +143,7 @@ class Shard {
   std::pair<std::vector<uint8_t>, std::vector<uint8_t>> capture_images();
 
   vt::Platform& platform_;
-  net::VirtualNetwork& net_;
+  net::Transport& net_;
   const spatial::GameMap& map_;
   ShardManager& mgr_;
   core::ServerConfig cfg_;

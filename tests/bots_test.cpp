@@ -1,6 +1,7 @@
 // Bot behaviour and client endpoint tests.
 #include <gtest/gtest.h>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/bot.hpp"
 #include "src/bots/client.hpp"
 #include "src/sim/entity.hpp"
@@ -164,11 +165,11 @@ TEST(Client, ConnectRetriesUntilServerExists) {
   p.spawn("server", vt::Domain::kServer, [&] {
     p.sleep_for(vt::millis(1200));
     server_sock = net.open(27500);
-    net::Selector sel(p);
-    sel.add(*server_sock);
+    auto sel = net.make_selector();
+    sel->add(*server_sock);
     net::NetChannel chan(*server_sock, 40000);
     while (p.now() < vt::TimePoint{} + vt::seconds(4)) {
-      if (!sel.wait_until(p.now() + vt::millis(50))) continue;
+      if (!sel->wait_until(p.now() + vt::millis(50))) continue;
       net::Datagram d;
       while (server_sock->try_recv(d)) {
         net::NetChannel::Incoming info;
@@ -189,6 +190,65 @@ TEST(Client, ConnectRetriesUntilServerExists) {
   p.run();
   EXPECT_TRUE(client.connected());
   EXPECT_EQ(client.player_id(), 42u);
+}
+
+// Regression: a reconnecting client whose fresh port is already taken
+// must step to the next port (counting the collision) instead of
+// aborting the process, which is what the old hard-checked open did.
+TEST(Client, ReopenRetriesPastOccupiedFreshPort) {
+  vt::SimPlatform p;
+  net::VirtualNetwork net(p, {});
+  const auto map = spatial::make_arena(1024);
+  // Squat on the port the client's first reconnect will want.
+  auto squatter = net.open(41000);
+
+  Client::Config cc;
+  cc.local_port = 40000;
+  cc.server_port = 27500;
+  cc.name = "collide";
+  cc.server_silence_timeout = vt::millis(400);
+  uint16_t next_fresh = 41000;
+  cc.fresh_port = [&next_fresh] { return next_fresh++; };
+  Client client(p, net, map, cc);
+  client.begin_measurement();
+  p.spawn("client", vt::Domain::kClientFarm, [&] { client.run(); });
+
+  // A server that acks every connect, then goes silent — so the client's
+  // silence timeout fires and it reconnects from a fresh (squatted) port.
+  auto server_sock = net.open(27500);
+  uint16_t reconnect_src = 0;
+  p.spawn("server", vt::Domain::kServer, [&] {
+    auto sel = net.make_selector();
+    sel->add(*server_sock);
+    while (p.now() < vt::TimePoint{} + vt::seconds(3)) {
+      if (!sel->wait_until(p.now() + vt::millis(50))) continue;
+      net::Datagram d;
+      while (server_sock->try_recv(d)) {
+        net::NetChannel chan(*server_sock, d.src_port);
+        net::NetChannel::Incoming info;
+        net::ByteReader body(nullptr, 0);
+        if (!chan.accept(d, info, body)) continue;
+        net::ClientMsgType t;
+        if (!decode_client_type(body, t)) continue;
+        if (t != net::ClientMsgType::kConnect) continue;
+        if (d.src_port != 40000) {
+          reconnect_src = d.src_port;  // the reconnect arrived
+          continue;                    // stay silent: one reconnect is enough
+        }
+        net::ConnectAck ack;
+        ack.player_id = 7;
+        ack.assigned_port = 27500;
+        chan.send(net::encode(ack));
+      }
+    }
+    client.request_stop();
+  });
+  p.run();
+
+  EXPECT_GE(client.metrics().silence_reconnects, 1u);
+  EXPECT_GE(client.metrics().port_collisions, 1u);
+  // The squatter kept its port; the client stepped past it to 41001.
+  EXPECT_EQ(reconnect_src, 41001);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // server/client baseline negotiation, and loss robustness.
 #include <gtest/gtest.h>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"

@@ -3,6 +3,7 @@
 // socket buffers, and overload.
 #include <gtest/gtest.h>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"

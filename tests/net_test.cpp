@@ -147,6 +147,22 @@ VirtualNetwork::Config lossless() {
   return c;
 }
 
+TEST(VirtualUdp, OpenCollisionIsTypedNotFatal) {
+  vt::SimPlatform p;
+  VirtualNetwork net(p, lossless());
+  auto first = net.open(700);
+  OpenError err = OpenError::kNone;
+  auto second = net.try_open(700, &err);
+  EXPECT_EQ(second, nullptr);
+  EXPECT_EQ(err, OpenError::kPortInUse);
+  // Releasing the first socket frees the port.
+  first.reset();
+  auto third = net.try_open(700, &err);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(err, OpenError::kNone);
+  EXPECT_EQ(third->port(), 700);
+}
+
 TEST(VirtualUdp, DeliversAfterLatency) {
   vt::SimPlatform p;
   VirtualNetwork net(p, lossless());
@@ -155,9 +171,9 @@ TEST(VirtualUdp, DeliversAfterLatency) {
   TimePoint got{};
   std::vector<uint8_t> payload;
   p.spawn("rx", Domain::kServer, [&] {
-    Selector sel(p);
-    sel.add(*b);
-    ASSERT_TRUE(sel.wait_until(TimePoint{} + millis(100)));
+    auto sel = net.make_selector();
+    sel->add(*b);
+    ASSERT_TRUE(sel->wait_until(TimePoint{} + millis(100)));
     Datagram d;
     ASSERT_TRUE(b->try_recv(d));
     got = p.now();
@@ -196,9 +212,9 @@ TEST(VirtualUdp, SelectorTimesOutWithoutTraffic) {
   auto s = net.open(5);
   TimePoint woke{};
   p.spawn("t", Domain::kServer, [&] {
-    Selector sel(p);
-    sel.add(*s);
-    EXPECT_FALSE(sel.wait_until(TimePoint{} + millis(7)));
+    auto sel = net.make_selector();
+    sel->add(*s);
+    EXPECT_FALSE(sel->wait_until(TimePoint{} + millis(7)));
     woke = p.now();
   });
   p.run();
@@ -213,10 +229,10 @@ TEST(VirtualUdp, SelectorWaitsAcrossMultipleSockets) {
   auto tx = net.open(13);
   int got_on = 0;
   p.spawn("rx", Domain::kServer, [&] {
-    Selector sel(p);
-    sel.add(*s1);
-    sel.add(*s2);
-    ASSERT_TRUE(sel.wait_until(TimePoint{} + millis(100)));
+    auto sel = net.make_selector();
+    sel->add(*s1);
+    sel->add(*s2);
+    ASSERT_TRUE(sel->wait_until(TimePoint{} + millis(100)));
     Datagram d;
     if (s2->try_recv(d)) got_on = 2;
     if (s1->try_recv(d)) got_on = 1;
@@ -233,14 +249,14 @@ TEST(VirtualUdp, PokeInterruptsWait) {
   vt::SimPlatform p;
   VirtualNetwork net(p, lossless());
   auto s = net.open(20);
-  Selector sel(p);
-  sel.add(*s);
+  auto sel = net.make_selector();
+  sel->add(*s);
   TimePoint woke{};
   p.spawn("rx", Domain::kServer, [&] {
-    EXPECT_FALSE(sel.wait_until(TimePoint{} + vt::seconds(10)));
+    EXPECT_FALSE(sel->wait_until(TimePoint{} + vt::seconds(10)));
     woke = p.now();
   });
-  p.call_after(millis(5), [&] { sel.poke(); });
+  p.call_after(millis(5), [&] { sel->poke(); });
   p.run();
   EXPECT_EQ(woke.ns, millis(5).ns);
 }

@@ -322,11 +322,11 @@ TEST(ServerFuzz, GarbageDatagramsDoNotKillTheServer) {
   auto server_sock = net.open(27500);
   int parsed = 0, rejected = 0;
   p.spawn("reader", vt::Domain::kServer, [&] {
-    Selector sel(p);
-    sel.add(*server_sock);
+    auto sel = net.make_selector();
+    sel->add(*server_sock);
     NetChannel chan(*server_sock, 9999);
     while (p.now() < vt::TimePoint{} + vt::seconds(2)) {
-      if (!sel.wait_until(p.now() + vt::millis(20))) continue;
+      if (!sel->wait_until(p.now() + vt::millis(20))) continue;
       Datagram d;
       while (server_sock->try_recv(d)) {
         NetChannel::Incoming info;

@@ -6,6 +6,7 @@
 // orchestration barriers, region locks, and live bots.
 #include <gtest/gtest.h>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"

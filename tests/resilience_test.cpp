@@ -5,6 +5,7 @@
 // seeds, deterministic) and one watchdog run under real threads.
 #include <gtest/gtest.h>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"

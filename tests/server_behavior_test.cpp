@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"

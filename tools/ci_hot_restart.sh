@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Scripted hot-restart check for CI: start qserv-serve, send SIGUSR2,
+# and assert the handoff completed — the old generation exits 0 and a
+# NEW pid is serving the same ports. The client-facing half of the
+# guarantee (0 clients lost, 0 forced reconnects, bounded service gap)
+# is asserted by bench_real_transport in the same job.
+#
+# Usage: tools/ci_hot_restart.sh [build-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+SERVE="$BUILD/tools/qserv-serve"
+[ -x "$SERVE" ] || { echo "missing $SERVE (build first)"; exit 2; }
+
+TMP=$(mktemp -d)
+cleanup() {
+  [ -s "$TMP/qs.pid" ] && kill "$(cat "$TMP/qs.pid")" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$SERVE" --threads 2 --base-port 28700 \
+  --pid-file "$TMP/qs.pid" --ready-file "$TMP/qs.ready" \
+  --handoff-sock "$TMP/qs.handoff" &
+GEN0=$!
+
+for _ in $(seq 1 150); do [ -s "$TMP/qs.pid" ] && break; sleep 0.1; done
+OLD=$(cat "$TMP/qs.pid")
+[ -n "$OLD" ] || { echo "server never became ready"; exit 1; }
+echo "generation 0: pid $OLD"
+
+kill -USR2 "$OLD"
+
+NEW=$OLD
+for _ in $(seq 1 600); do
+  NEW=$(cat "$TMP/qs.pid" 2>/dev/null || echo "$OLD")
+  [ "$NEW" != "$OLD" ] && [ -n "$NEW" ] && break
+  sleep 0.1
+done
+if [ "$NEW" = "$OLD" ]; then
+  echo "FAIL: hot restart never completed (pid file still $OLD)"
+  exit 1
+fi
+
+# The old generation must exit cleanly after the handoff...
+if ! wait "$GEN0"; then
+  echo "FAIL: generation 0 exited non-zero"
+  exit 1
+fi
+# ...and the new one must actually be serving.
+kill -0 "$NEW" || { echo "FAIL: new generation $NEW not running"; exit 1; }
+echo "hot restart OK: $OLD -> $NEW"
+
+kill -TERM "$NEW"
+for _ in $(seq 1 100); do kill -0 "$NEW" 2>/dev/null || break; sleep 0.1; done
+kill -0 "$NEW" 2>/dev/null && { echo "FAIL: new generation ignored SIGTERM"; exit 1; }
+echo "clean shutdown OK"

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/virtual_udp.hpp"
 #include "src/bots/client_driver.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/harness/experiment.hpp"
