@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/core/alloc_probe.hpp"
+
 namespace qserv::bench {
 
 inline std::atomic<uint64_t> g_heap_allocs{0};
@@ -23,6 +25,14 @@ inline std::atomic<uint64_t> g_heap_allocs{0};
 inline uint64_t heap_allocs() {
   return g_heap_allocs.load(std::memory_order_relaxed);
 }
+
+// Registers the counter as the harness's allocation probe
+// (src/core/alloc_probe.hpp) at static-init time, so run_experiment can
+// report allocs_per_frame in any binary that includes this header.
+inline const bool g_alloc_probe_registered = [] {
+  core::set_alloc_probe(&heap_allocs);
+  return true;
+}();
 
 }  // namespace qserv::bench
 
@@ -38,7 +48,27 @@ void* operator new[](std::size_t n) {
   throw std::bad_alloc{};
 }
 
+// The nothrow pair must be replaced alongside the plain pair: libstdc++
+// allocates stable_sort's temporary buffer with nothrow new but returns
+// it through plain operator delete — leaving one side unreplaced trips
+// ASan's alloc-dealloc-mismatch check under sanitized builds.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  qserv::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n > 0 ? n : 1);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  qserv::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n > 0 ? n : 1);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,32 @@
+// Allocation-count probe seam: the harness reads heap-allocation totals
+// through a function pointer that a bench binary's allocation counter
+// (bench/alloc_counter.hpp) registers at static-init time. The library
+// itself never overrides operator new — binaries that don't include the
+// counter simply report "no probe" and the harness omits the metric.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qserv::core {
+
+using AllocProbeFn = uint64_t (*)();
+
+inline std::atomic<AllocProbeFn> g_alloc_probe{nullptr};
+
+inline void set_alloc_probe(AllocProbeFn fn) {
+  g_alloc_probe.store(fn, std::memory_order_release);
+}
+
+inline bool alloc_probe_available() {
+  return g_alloc_probe.load(std::memory_order_acquire) != nullptr;
+}
+
+// Total heap allocations so far; 0 when no probe is registered (check
+// alloc_probe_available() to distinguish).
+inline uint64_t alloc_count() {
+  const AllocProbeFn fn = g_alloc_probe.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : 0;
+}
+
+}  // namespace qserv::core

@@ -25,7 +25,9 @@
 #include "src/core/frame_stats.hpp"
 #include "src/core/global_state.hpp"
 #include "src/core/lock_manager.hpp"
+#include "src/net/netchan.hpp"
 #include "src/sim/scratch.hpp"
+#include "src/sim/snapshot_encode.hpp"
 
 namespace qserv::resilience {
 class FrameGovernor;
@@ -61,6 +63,26 @@ struct PipelineContext {
   Engine* engine;                // facade for hook-owned escalations
 };
 
+// One thread's per-frame wire staging (DESIGN.md §15): every outgoing
+// snapshot body is encoded back-to-back into one growing buffer, each
+// preceded by netchan headroom, then handed to the socket as a span —
+// no per-client vector assembly. Frames are recorded as offsets, not
+// pointers: the buffer relocates as it grows within the finalize loop.
+struct WireArena {
+  net::ByteWriter bytes;
+  struct Frame {
+    size_t off = 0;   // start of the headroom in `bytes`
+    size_t len = 0;   // body length (headroom excluded)
+    ClientSlot* slot = nullptr;
+  };
+  std::vector<Frame> frames;
+
+  void begin_frame() {
+    bytes.clear();  // keeps capacity
+    frames.clear();
+  }
+};
+
 // Per-thread frame scratch: every container the exec and reply phases
 // would otherwise allocate per move / per frame. Arenas are only ever
 // touched by their owning thread, so no synchronization; capacity grows
@@ -77,6 +99,12 @@ struct FrameArena {
   std::vector<net::GameEvent> events;
   std::vector<net::GameEvent> frame_events;
   net::Snapshot snap;
+  // Shared-baseline reply path (DESIGN.md §15): the visible-row list the
+  // sweep hands the span encoder, the encoder's reusable scratch, and
+  // this thread's wire arena.
+  std::vector<uint32_t> visible_rows;
+  sim::SharedEncodeScratch enc_scratch;
+  WireArena wire;
 };
 
 // P: the master's world-physics step. Fixes (t0, dt) for the frame,
@@ -124,6 +152,14 @@ class ExecPhase {
 class ReplyPhase {
  public:
   explicit ReplyPhase(FramePipeline& pipe) : pipe_(pipe) {}
+
+  // Single-threaded frame setup at the flip into the reply phase (the
+  // world is frozen from here on): seals the frame's global events into
+  // a shared block, and — under the reply-path knobs — rebuilds the SoA
+  // frame view and primes the per-cluster visibility rows. The stage
+  // durations land in `st` as reply_view / reply_encode.
+  void prepare(int tid, ThreadStats& st);
+
   void run(int tid, ThreadStats& st, bool include_unowned,
            uint64_t participants_mask);
 
@@ -220,6 +256,12 @@ class FramePipeline {
 
   PipelineContext ctx_;
   uint64_t frames_ = 0;
+  // Reply-prepare products (written single-threaded at the reply flip,
+  // read-only during the phase): the frame's sealed event block, the
+  // frame it was sealed for, and the shared PVS visibility rows.
+  SealedEvents sealed_events_;
+  uint64_t reply_prepared_frame_ = 0;  // frames_ start at 1; 0 = never
+  sim::ClusterVisCache cluster_vis_;
   std::atomic<uint64_t> order_ctr_{0};
   vt::TimePoint last_world_{};  // previous world-phase time (for dt)
   vt::TimePoint last_world_t0_{};

@@ -14,6 +14,11 @@
 
 namespace qserv::core {
 
+// One frame's global events, sealed into an immutable shared block so N
+// reply buffers can reference it with one refcount bump each instead of
+// N element-wise copies. Null or empty means "no events this frame".
+using SealedEvents = std::shared_ptr<const std::vector<net::GameEvent>>;
+
 class GlobalStateBuffer : public sim::EventSink {
  public:
   explicit GlobalStateBuffer(vt::Platform& platform)
@@ -37,6 +42,30 @@ class GlobalStateBuffer : public sim::EventSink {
     out.assign(events_.begin(), events_.end());
   }
 
+  // Seals the current frame's events into an immutable shared block and
+  // leaves the live buffer empty (the master's end-of-frame clear() then
+  // finds nothing to do). Called once per frame at the flip into the
+  // reply phase, single-threaded. Blocks are pooled: a pool entry whose
+  // previous frame's readers have all let go (use_count()==1) is reused,
+  // so steady state allocates nothing.
+  SealedEvents seal_frame() {
+    vt::LockGuard g(*mu_);
+    std::shared_ptr<std::vector<net::GameEvent>>* slot = nullptr;
+    for (auto& pooled : seal_pool_) {
+      if (pooled.use_count() == 1) {  // last frame's readers all let go
+        slot = &pooled;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      seal_pool_.push_back(std::make_shared<std::vector<net::GameEvent>>());
+      slot = &seal_pool_.back();
+    }
+    (*slot)->clear();
+    (*slot)->swap(events_);  // events_ keeps the block's old capacity
+    return *slot;            // converts to const; writers never touch it again
+  }
+
   // Master-only, at frame end.
   void clear() {
     vt::LockGuard g(*mu_);
@@ -48,6 +77,7 @@ class GlobalStateBuffer : public sim::EventSink {
  private:
   mutable std::unique_ptr<vt::Mutex> mu_;
   std::vector<net::GameEvent> events_;
+  std::vector<std::shared_ptr<std::vector<net::GameEvent>>> seal_pool_;
 };
 
 // Per-client reply message buffer: events queued for a client while it is
@@ -64,9 +94,21 @@ class ReplyBuffer {
     buffered_.insert(buffered_.end(), events.begin(), events.end());
   }
 
-  // Drains the buffer into `out` (the snapshot's event list).
+  // Queues a sealed frame block by reference: one refcount bump instead
+  // of copying the events, the point of GlobalStateBuffer::seal_frame().
+  void append_block(const SealedEvents& block) {
+    if (!block || block->empty()) return;
+    vt::LockGuard g(*mu_);
+    blocks_.push_back(block);
+  }
+
+  // Drains the buffer into `out` (the snapshot's event list). Blocks
+  // first (they are older: a block frame precedes any append() that
+  // lands afterwards), then the element-wise buffer, FIFO within each.
   void drain_into(std::vector<net::GameEvent>& out) {
     vt::LockGuard g(*mu_);
+    for (const auto& b : blocks_) out.insert(out.end(), b->begin(), b->end());
+    blocks_.clear();
     if (buffered_.empty()) return;
     out.insert(out.end(), buffered_.begin(), buffered_.end());
     buffered_.clear();
@@ -74,12 +116,15 @@ class ReplyBuffer {
 
   size_t size() const {
     vt::LockGuard g(*mu_);
-    return buffered_.size();
+    size_t n = buffered_.size();
+    for (const auto& b : blocks_) n += b->size();
+    return n;
   }
 
  private:
   mutable std::unique_ptr<vt::Mutex> mu_;
   std::vector<net::GameEvent> buffered_;
+  std::vector<SealedEvents> blocks_;
 };
 
 }  // namespace qserv::core

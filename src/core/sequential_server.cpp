@@ -61,7 +61,9 @@ void SequentialServer::main_loop() {
       record_frame_trace(st, fid, moves);
 
     // T/Tx: form and send replies to everyone who sent a request, and
-    // buffer global updates for everyone else.
+    // buffer global updates for everyone else. prepare() seals the
+    // frame's events (and builds the SoA view under the reply knobs).
+    pipeline_->reply().prepare(0, st);
     pipeline_->reply().run(0, st, /*include_unowned=*/true,
                            /*participants_mask=*/1);
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/core/alloc_probe.hpp"
 #include "src/core/lock_manager.hpp"
 #include "src/core/parallel_server.hpp"
 #include "src/core/sequential_server.hpp"
@@ -107,10 +108,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   uint64_t overflow_at_measure_start = 0;
+  uint64_t allocs_at_measure_start = 0;
+  uint64_t frames_at_measure_start = 0;
   platform.call_after(cfg.warmup, [&] {
     server->reset_stats();
     driver.begin_measurement();
     overflow_at_measure_start = network.packets_overflowed();
+    allocs_at_measure_start = core::alloc_count();
+    frames_at_measure_start = server->frames();
   });
   platform.call_after(cfg.warmup + cfg.measure, [&] {
     server->request_stop();
@@ -225,6 +230,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     out.replay_ran = true;
     out.replay_ok = rv.ok;
     out.replay_summary = rv.summary();
+  }
+  // Steady-state heap allocations per frame over the measurement window,
+  // when the binary registered an allocation probe (bench binaries that
+  // include bench/alloc_counter.hpp). -1 = no probe; omitted from JSON.
+  const uint64_t measured_frames = server->frames() - frames_at_measure_start;
+  if (core::alloc_probe_available() && measured_frames > 0) {
+    out.allocs_per_frame =
+        static_cast<double>(core::alloc_count() - allocs_at_measure_start) /
+        static_cast<double>(measured_frames);
   }
   out.sim_events = platform.events_processed();
   out.host_seconds =

@@ -154,6 +154,10 @@ struct ExperimentResult {
   int total_frags = 0;
   uint64_t sim_events = 0;   // scheduler events processed (determinism aid)
   double host_seconds = 0.0; // wall time the simulation took to run
+  // Steady-state heap allocations per frame across the measurement
+  // window (the hot-path allocation regression gate). -1 when the binary
+  // registered no allocation probe (src/core/alloc_probe.hpp).
+  double allocs_per_frame = -1.0;
 };
 
 // Runs one experiment to completion in virtual time.

@@ -14,6 +14,10 @@ void write_breakdown_pct(obs::JsonWriter& w, const core::BreakdownPct& p) {
   w.kv("lock_parent", p.lock_parent);
   w.kv("receive", p.receive);
   w.kv("reply", p.reply);
+  w.kv("reply_view", p.reply_view);
+  w.kv("reply_encode", p.reply_encode);
+  w.kv("reply_finalize", p.reply_finalize);
+  w.kv("reply_send", p.reply_send);
   w.kv("world", p.world);
   w.kv("intra_wait", p.intra_wait);
   w.kv("inter_wait_world", p.inter_wait_world);
@@ -29,6 +33,10 @@ void write_breakdown_ms(obs::JsonWriter& w, const core::Breakdown& b) {
   w.kv("lock_parent", b.lock_parent.millis());
   w.kv("receive", b.receive.millis());
   w.kv("reply", b.reply.millis());
+  w.kv("reply_view", b.reply_view.millis());
+  w.kv("reply_encode", b.reply_encode.millis());
+  w.kv("reply_finalize", b.reply_finalize.millis());
+  w.kv("reply_send", b.reply_send.millis());
   w.kv("world", b.world.millis());
   w.kv("intra_wait", b.intra_wait.millis());
   w.kv("inter_wait_world", b.inter_wait_world.millis());
@@ -162,6 +170,14 @@ void write_result_json(obs::JsonWriter& w, const std::string& label,
   w.end_object();
 
   w.kv("host_seconds", r.host_seconds);
+  // Top-level direction-keyed metrics for the trend gate (qserv-trend
+  // reads dotted paths off each point): the reply phase's share of
+  // execution time, and — when the binary carries an allocation probe —
+  // steady-state heap allocations per frame.
+  w.kv("reply_share", r.pct.reply);
+  if (r.allocs_per_frame >= 0.0) {
+    w.kv("allocs_per_frame", r.allocs_per_frame);
+  }
   w.end_object();
 }
 

@@ -27,6 +27,9 @@ class ByteWriter {
   void bytes(const uint8_t* data, size_t n);
 
   const std::vector<uint8_t>& data() const { return buf_; }
+  // In-place header stamping for arena-staged sends (NetChannel
+  // headroom); callers own the offset arithmetic.
+  uint8_t* mutable_data() { return buf_.data(); }
   std::vector<uint8_t> take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
   void clear() { buf_.clear(); }

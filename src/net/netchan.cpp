@@ -5,8 +5,15 @@
 namespace qserv::net {
 
 namespace {
-constexpr size_t kHeaderBytes = 8;  // out sequence + ack
+constexpr size_t kHeaderBytes = NetChannel::kHeaderReserve;
+
+inline void put_u32_le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
 }
+}  // namespace
 
 NetChannel::NetChannel(Socket& sock, uint16_t remote)
     : sock_(&sock), remote_(remote) {}
@@ -18,6 +25,13 @@ bool NetChannel::send(std::vector<uint8_t> body) {
   w.bytes(body.data(), body.size());
   ++sent_;
   return sock_->send(remote_, w.take());
+}
+
+bool NetChannel::send_in_place(uint8_t* frame, size_t body_len) {
+  put_u32_le(frame, ++out_seq_);
+  put_u32_le(frame + 4, in_seq_);
+  ++sent_;
+  return sock_->send_span(remote_, frame, kHeaderReserve + body_len);
 }
 
 bool NetChannel::accept(const Datagram& d, Incoming& info,

@@ -18,8 +18,18 @@ class NetChannel {
   // `sock` must outlive the channel; `remote` is the peer's port.
   NetChannel(Socket& sock, uint16_t remote);
 
+  // Channel header size: outgoing sequence + latest-seen peer sequence.
+  // Buffers passed to send_in_place must reserve this much headroom.
+  static constexpr size_t kHeaderReserve = 8;
+
   // Sends `body` framed with the channel header.
   bool send(std::vector<uint8_t> body);
+
+  // Zero-copy variant: `frame` points at kHeaderReserve writable headroom
+  // bytes followed by `body_len` message bytes (an arena wire buffer).
+  // Stamps the header into the headroom and sends the whole span without
+  // assembling an intermediate vector.
+  bool send_in_place(uint8_t* frame, size_t body_len);
 
   // Result of accepting one incoming datagram.
   struct Incoming {

@@ -54,6 +54,13 @@ class RealSocket final : public Socket {
   int fd() const { return fd_; }
 
   bool send(uint16_t dst, std::vector<uint8_t> payload) override {
+    return send_span(dst, payload.data(), payload.size());
+  }
+
+  // A real datagram socket needs no owning buffer past the sendto(2)
+  // call, so the span goes straight to the kernel — this is the zero-copy
+  // end of the arena wire-buffer path.
+  bool send_span(uint16_t dst, const uint8_t* data, size_t len) override {
     sockaddr_in to{};
     if (!net_.lookup_route(dst, to)) {
       // No learned route yet (first packet of a flow): fall back to the
@@ -63,12 +70,12 @@ class RealSocket final : public Socket {
       to.sin_port = htons(dst);
       to.sin_addr = net_.host_addr_;
     }
-    const ssize_t n =
-        ::sendto(fd_, payload.data(), payload.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+    const ssize_t n = ::sendto(fd_, data, len, 0,
+                               reinterpret_cast<const sockaddr*>(&to),
+                               sizeof(to));
     if (n >= 0) {
       net_.sent_.fetch_add(1, std::memory_order_relaxed);
-      net_.bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+      net_.bytes_sent_.fetch_add(len, std::memory_order_relaxed);
       return true;
     }
     if (errno == ECONNREFUSED) {

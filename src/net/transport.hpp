@@ -59,6 +59,17 @@ class Socket {
   // tell — the return value exists for tests.
   virtual bool send(uint16_t dst, std::vector<uint8_t> payload) = 0;
 
+  // Span variant of send() for callers whose payload lives in an arena
+  // (the reply phase's wire buffers): no owning vector required at the
+  // call site. The base implementation materializes one — correct for
+  // the virtual transport, which must own the bytes until the modelled
+  // delivery time anyway; the real transport overrides it with a direct
+  // sendto(2), making the path copy-free end to end. Same return
+  // semantics and TransportCounters accounting as send().
+  virtual bool send_span(uint16_t dst, const uint8_t* data, size_t len) {
+    return send(dst, std::vector<uint8_t>(data, data + len));
+  }
+
   // Non-blocking receive of the next ready datagram.
   virtual bool try_recv(Datagram& out) = 0;
 

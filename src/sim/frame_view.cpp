@@ -1,0 +1,79 @@
+#include "src/sim/frame_view.hpp"
+
+#include <cstring>
+
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+namespace {
+
+inline void put_u32_le(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline void put_f32_le(std::vector<uint8_t>& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u32_le(out, bits);
+}
+
+}  // namespace
+
+void FrameView::rebuild(const World& world, uint64_t frame) {
+  ids.clear();
+  x.clear();
+  y.clear();
+  z.clear();
+  yaw.clear();
+  cluster.clear();
+  type.clear();
+  state.clear();
+  is_player.clear();
+  wire.clear();
+
+  world.for_each_entity([&](const Entity& e) {
+    if (e.type == EntityType::kNone) return;
+    ids.push_back(e.id);
+    x.push_back(e.origin.x);
+    y.push_back(e.origin.y);
+    z.push_back(e.origin.z);
+    yaw.push_back(e.yaw_deg);
+    cluster.push_back(e.cluster);
+    type.push_back(static_cast<uint8_t>(e.type));
+    // Same wire state byte build_snapshot derives per viewer; captured
+    // once here — the world is frozen for the whole reply phase.
+    uint8_t st = 0;
+    switch (e.type) {
+      case EntityType::kItem:
+        st = e.available ? 1 : 0;
+        break;
+      case EntityType::kPlayer:
+        st = e.health > 0 ? 1 : 0;
+        break;
+      default:
+        break;
+    }
+    state.push_back(st);
+    is_player.push_back(e.is_player() ? 1 : 0);
+    // Canonical record, byte-identical to the full-snapshot entity
+    // section (net::encode's per-entity layout).
+    put_u32_le(wire, e.id);
+    wire.push_back(static_cast<uint8_t>(e.type));
+    put_f32_le(wire, e.origin.x);
+    put_f32_le(wire, e.origin.y);
+    put_f32_le(wire, e.origin.z);
+    put_f32_le(wire, e.yaw_deg);
+    wire.push_back(st);
+  });
+
+  epoch = frame;
+  empty_stamp_ = false;
+  world.charge(world.costs().per_view_entity *
+               static_cast<int64_t>(ids.size()));
+}
+
+}  // namespace qserv::sim

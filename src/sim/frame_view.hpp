@@ -1,0 +1,59 @@
+// Per-frame SoA entity view (DESIGN.md §15): the world's active entities
+// packed into parallel arrays once per frame, so the reply phase's
+// interest/thin-range sweep is a branch-light pass over contiguous data
+// instead of per-entity virtual gathers, and each entity's canonical
+// wire record is encoded exactly once per frame for every viewer to
+// reference.
+//
+// Lifetime rules: the view is frame-transient scratch. It is rebuilt
+// single-threaded at the start of each reply phase (the world is frozen
+// through the phase, §3.3), stamped with the frame id (`epoch`), and
+// read-only from then on. Rows are indices, never pointers — nothing in
+// the view may escape the frame, and it is never checkpointed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qserv::sim {
+
+class World;
+
+class FrameView {
+ public:
+  // Canonical wire record per row: the exact entity bytes a full
+  // snapshot carries (id u32 | type u8 | origin 3xf32 | yaw f32 |
+  // state u8, little-endian), so per-client encoders copy spans instead
+  // of re-serializing fields.
+  static constexpr size_t kRecordBytes = 22;
+
+  // Packs every active non-kNone entity, in id order. Charges
+  // per_view_entity per row through the world's platform.
+  void rebuild(const World& world, uint64_t frame);
+
+  size_t size() const { return ids.size(); }
+  bool built_for(uint64_t frame) const { return !empty_stamp_ && epoch == frame; }
+  const uint8_t* record(size_t row) const {
+    return wire.data() + row * kRecordBytes;
+  }
+
+  // SoA rows (parallel arrays, id-ascending).
+  std::vector<uint32_t> ids;
+  std::vector<float> x, y, z;
+  std::vector<float> yaw;
+  std::vector<int32_t> cluster;  // PVS cluster, -1 = visible-to-all
+  std::vector<uint8_t> type;     // raw EntityType
+  std::vector<uint8_t> state;    // wire state byte (item available / alive)
+  std::vector<uint8_t> is_player;
+  std::vector<uint8_t> wire;  // kRecordBytes per row, canonical encoding
+
+  // Frame id stamped at rebuild; consumers must check built_for() and
+  // never hold the view across frames.
+  uint64_t epoch = 0;
+
+ private:
+  bool empty_stamp_ = true;  // distinguishes "never built" from frame 0
+};
+
+}  // namespace qserv::sim

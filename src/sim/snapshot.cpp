@@ -88,4 +88,95 @@ SnapshotStats build_snapshot(const World& world, const Entity& player,
   return stats;
 }
 
+SnapshotStats build_snapshot_view(const World& world, const FrameView& view,
+                                  const Entity& player, uint32_t server_frame,
+                                  uint32_t ack_sequence,
+                                  int64_t client_time_echo_ns,
+                                  const std::vector<net::GameEvent>& events,
+                                  net::Snapshot& out,
+                                  const ViewSweepArgs& args) {
+  SnapshotStats stats;
+  out.assigned_port = 0;
+  out.baseline_frame = 0;
+  out.entities.clear();
+  out.events.clear();
+  out.server_frame = server_frame;
+  out.ack_sequence = ack_sequence;
+  out.client_time_echo_ns = client_time_echo_ns;
+  out.origin = player.origin;
+  out.velocity = player.velocity;
+  out.health = static_cast<int16_t>(player.health);
+  out.armor = static_cast<int16_t>(player.armor);
+  out.frags = static_cast<int16_t>(player.frags);
+
+  const Vec3 eye = eye_pos(player);
+  const spatial::PvsData& pvs = world.map().pvs;
+  const bool use_pvs = !pvs.empty();
+  const int my_cluster = use_pvs ? player.cluster : -1;
+  constexpr float kRange2 = kInterestRange * kInterestRange;
+  constexpr float kThinRange = kInterestRange * 0.5f;
+  constexpr float kThin2 = kThinRange * kThinRange;
+  constexpr float kAudible2 = kAlwaysAudibleRange * kAlwaysAudibleRange;
+  const float px = player.origin.x, py = player.origin.y, pz = player.origin.z;
+
+  int pvs_lookups = 0;
+  const size_t n = view.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (view.ids[i] == player.id) continue;
+    ++stats.interest_checks;
+    const float dx = view.x[i] - px;
+    const float dy = view.y[i] - py;
+    const float dz = view.z[i] - pz;
+    const float d2 = dx * dx + dy * dy + dz * dz;
+    if (d2 > kRange2) continue;
+    if (args.thin_far && d2 > kThin2 &&
+        ((view.ids[i] + server_frame) & 1u) != 0) {
+      continue;
+    }
+
+    if (view.is_player[i] != 0 && d2 > kAudible2) {
+      if (use_pvs) {
+        if (args.pvs_row != nullptr) {
+          // Cluster-shared bitset: the per_pvs_check charges were paid
+          // once per cluster when the row was primed.
+          if ((*args.pvs_row)[i] == 0) continue;
+        } else {
+          ++pvs_lookups;
+          if (!pvs.can_see(my_cluster, view.cluster[i])) continue;
+        }
+      } else {
+        const auto tr = world.collision().trace_line(
+            eye, Vec3{view.x[i], view.y[i], view.z[i] + 22});
+        ++stats.los_traces;
+        stats.los_brushes += tr.brushes_tested;
+        world.charge(world.costs().per_los_trace_brush * tr.brushes_tested);
+        if (tr.hit()) continue;
+      }
+    }
+
+    net::EntityUpdate u;
+    u.id = view.ids[i];
+    u.type = view.type[i];
+    u.origin = Vec3{view.x[i], view.y[i], view.z[i]};
+    u.yaw_deg = view.yaw[i];
+    u.state = view.state[i];
+    out.entities.push_back(u);
+    if (args.rows_out != nullptr)
+      args.rows_out->push_back(static_cast<uint32_t>(i));
+    ++stats.visible_entities;
+  }
+
+  out.events = events;
+
+  const vt::Duration per_visible = args.shared_encode
+                                       ? world.costs().per_shared_entity
+                                       : world.costs().per_visible_entity;
+  world.charge(world.costs().per_interest_check_soa * stats.interest_checks +
+               world.costs().per_pvs_check * pvs_lookups +
+               per_visible * stats.visible_entities +
+               world.costs().per_event *
+                   static_cast<int64_t>(events.size()));
+  return stats;
+}
+
 }  // namespace qserv::sim

@@ -38,4 +38,35 @@ SnapshotStats build_snapshot(const World& world, const Entity& player,
                              const std::vector<net::GameEvent>& events,
                              net::Snapshot& out, bool thin_far = false);
 
+// Options for the SoA sweep (reply hot path, DESIGN.md §15).
+struct ViewSweepArgs {
+  bool thin_far = false;
+  // Charge per_shared_entity per visible row instead of
+  // per_visible_entity: the shared-baseline encoder copies pre-encoded
+  // record spans, so the per-viewer serialization cost is gone.
+  bool shared_encode = false;
+  // Precomputed byte-per-row visibility of the viewer's PVS cluster
+  // (ClusterVisCache; charged once per cluster per frame). Null on
+  // clusterless viewers (-1, conservative visible-to-all), on maps
+  // without PVS (LOS traces run per viewer as in the legacy path), and
+  // on the plain-SoA path, which then charges per_pvs_check per lookup
+  // exactly like build_snapshot.
+  const std::vector<uint8_t>* pvs_row = nullptr;
+  // When non-null, the visible rows' view indices are appended — the
+  // shared encoder's input for span copies.
+  std::vector<uint32_t>* rows_out = nullptr;
+};
+
+// build_snapshot over the packed frame view: identical visibility
+// semantics and identical `out` contents (entities in id order), with
+// the sweep running over contiguous arrays. The view must be built for
+// this frame (FrameView::built_for).
+SnapshotStats build_snapshot_view(const World& world, const FrameView& view,
+                                  const Entity& player, uint32_t server_frame,
+                                  uint32_t ack_sequence,
+                                  int64_t client_time_echo_ns,
+                                  const std::vector<net::GameEvent>& events,
+                                  net::Snapshot& out,
+                                  const ViewSweepArgs& args);
+
 }  // namespace qserv::sim

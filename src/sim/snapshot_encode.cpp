@@ -1,0 +1,182 @@
+#include "src/sim/snapshot_encode.hpp"
+
+#include <algorithm>
+
+#include "src/sim/world.hpp"
+
+namespace qserv::sim {
+
+void ClusterVisCache::begin_frame() {
+  index_.clear();
+  used_ = 0;
+}
+
+const std::vector<uint8_t>* ClusterVisCache::prime(const World& world,
+                                                   const FrameView& view,
+                                                   int cluster) {
+  const spatial::PvsData& pvs = world.map().pvs;
+  if (cluster < 0 || pvs.empty()) return nullptr;
+  const auto it = index_.find(cluster);
+  if (it != index_.end()) return &pool_[it->second];
+
+  if (used_ == pool_.size()) pool_.emplace_back();
+  std::vector<uint8_t>& row = pool_[used_];
+  // Non-player rows are never consulted (only players beyond the audible
+  // range go through visibility); mark them visible anyway.
+  row.assign(view.size(), 1);
+  int64_t player_rows = 0;
+  const size_t n = view.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (view.is_player[i] == 0) continue;
+    ++player_rows;
+    row[i] = pvs.can_see(cluster, view.cluster[i]) ? 1 : 0;
+  }
+  // The same per-lookup charge the legacy sweep pays, but once per
+  // cluster per frame instead of once per viewer.
+  world.charge(world.costs().per_pvs_check * player_rows);
+  index_.emplace(cluster, used_);
+  return &pool_[used_++];
+}
+
+const std::vector<uint8_t>* ClusterVisCache::row_for(int cluster) const {
+  const auto it = index_.find(cluster);
+  return it != index_.end() ? &pool_[it->second] : nullptr;
+}
+
+namespace {
+
+// True if `id` is among the visible rows (rows are id-ascending: the
+// sweep walks the view, and the view is built in id order).
+bool rows_contain(const FrameView& view, const std::vector<uint32_t>& rows,
+                  uint32_t id) {
+  size_t lo = 0, hi = rows.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (view.ids[rows[mid]] < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < rows.size() && view.ids[rows[lo]] == id;
+}
+
+}  // namespace
+
+void encode_full_from_view(const net::Snapshot& snap, const FrameView& view,
+                           const std::vector<uint32_t>& rows,
+                           net::ByteWriter& w) {
+  w.u8(static_cast<uint8_t>(net::ServerMsgType::kSnapshot));
+  w.u32(snap.server_frame);
+  w.u32(snap.ack_sequence);
+  w.i64(snap.client_time_echo_ns);
+  w.u16(snap.assigned_port);
+  w.vec3(snap.origin);
+  w.vec3(snap.velocity);
+  w.u16(static_cast<uint16_t>(snap.health));
+  w.u16(static_cast<uint16_t>(snap.armor));
+  w.u16(static_cast<uint16_t>(snap.frags));
+  w.u16(static_cast<uint16_t>(rows.size()));
+  for (const uint32_t row : rows) {
+    w.bytes(view.record(row), FrameView::kRecordBytes);
+  }
+  w.u16(static_cast<uint16_t>(snap.events.size()));
+  for (const auto& ev : snap.events) {
+    w.u8(ev.kind);
+    w.u32(ev.a);
+    w.u32(ev.b);
+    w.vec3(ev.pos);
+  }
+}
+
+int encode_delta_from_view(const net::Snapshot& snap, const FrameView& view,
+                           const std::vector<uint32_t>& rows,
+                           const std::vector<net::EntityUpdate>& baseline,
+                           uint32_t baseline_frame,
+                           SharedEncodeScratch& scratch, net::ByteWriter& w) {
+  // Canonical record field offsets (FrameView wire layout):
+  // id u32 @0 | type u8 @4 | origin 3xf32 @5 | yaw f32 @17 | state u8 @21.
+  constexpr size_t kOffType = 4;
+  constexpr size_t kOffOrigin = 5;
+  constexpr size_t kOffYaw = 17;
+  constexpr size_t kOffState = 21;
+
+  w.u8(static_cast<uint8_t>(net::ServerMsgType::kDeltaSnapshot));
+  w.u32(snap.server_frame);
+  w.u32(snap.ack_sequence);
+  w.i64(snap.client_time_echo_ns);
+  w.u16(snap.assigned_port);
+  w.u32(baseline_frame);
+  w.vec3(snap.origin);
+  w.vec3(snap.velocity);
+  w.u16(static_cast<uint16_t>(snap.health));
+  w.u16(static_cast<uint16_t>(snap.armor));
+  w.u16(static_cast<uint16_t>(snap.frags));
+
+  // Removals in baseline order, exactly as net::encode_delta emits them.
+  scratch.removed.clear();
+  for (const auto& e : baseline) {
+    if (!rows_contain(view, rows, e.id)) scratch.removed.push_back(e.id);
+  }
+  w.u16(static_cast<uint16_t>(scratch.removed.size()));
+  for (const uint32_t id : scratch.removed) w.u32(id);
+
+  // Baseline lookup index. Baselines come out of earlier sweeps in id
+  // order, so the sort is a no-op check in practice; kept for arbitrary
+  // (e.g. test-constructed) baselines.
+  scratch.base_ids.clear();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(baseline.size()); ++i) {
+    scratch.base_ids.emplace_back(baseline[i].id, i);
+  }
+  const auto by_id = [](const std::pair<uint32_t, uint32_t>& a,
+                        const std::pair<uint32_t, uint32_t>& b) {
+    return a.first < b.first;
+  };
+  if (!std::is_sorted(scratch.base_ids.begin(), scratch.base_ids.end(),
+                      by_id)) {
+    std::sort(scratch.base_ids.begin(), scratch.base_ids.end(), by_id);
+  }
+
+  int encoded = 0;
+  scratch.body.clear();
+  net::ByteWriter& body = scratch.body;
+  for (const uint32_t row : rows) {
+    const uint32_t id = view.ids[row];
+    const uint8_t* rec = view.record(row);
+    uint8_t mask = 0;
+    const auto it = std::lower_bound(
+        scratch.base_ids.begin(), scratch.base_ids.end(),
+        std::make_pair(id, uint32_t{0}), by_id);
+    if (it == scratch.base_ids.end() || it->first != id) {
+      mask = net::kDeltaAll;
+    } else {
+      const net::EntityUpdate& b = baseline[it->second];
+      if (b.origin != Vec3{view.x[row], view.y[row], view.z[row]})
+        mask |= net::kDeltaOrigin;
+      if (b.yaw_deg != view.yaw[row]) mask |= net::kDeltaYaw;
+      if (b.state != view.state[row]) mask |= net::kDeltaState;
+      if (b.type != view.type[row]) mask |= net::kDeltaType;
+    }
+    if (mask == 0) continue;
+    ++encoded;
+    body.u32(id);
+    body.u8(mask);
+    if (mask & net::kDeltaOrigin) body.bytes(rec + kOffOrigin, 12);
+    if (mask & net::kDeltaYaw) body.bytes(rec + kOffYaw, 4);
+    if (mask & net::kDeltaState) body.u8(rec[kOffState]);
+    if (mask & net::kDeltaType) body.u8(rec[kOffType]);
+  }
+  w.u16(static_cast<uint16_t>(encoded));
+  w.bytes(body.data().data(), body.size());
+
+  w.u16(static_cast<uint16_t>(snap.events.size()));
+  for (const auto& ev : snap.events) {
+    w.u8(ev.kind);
+    w.u32(ev.a);
+    w.u32(ev.b);
+    w.vec3(ev.pos);
+  }
+  return encoded;
+}
+
+}  // namespace qserv::sim

@@ -1,0 +1,75 @@
+// Shared-baseline snapshot encoding (DESIGN.md §15): per-client wire
+// bodies assembled from the frame view's canonical per-entity records by
+// span copy, byte-identical to net::encode / net::encode_delta over the
+// same entity set. The expensive parts — field serialization (done once
+// per entity in FrameView::rebuild) and PVS row computation (done once
+// per viewer cluster in ClusterVisCache) — are shared across viewers;
+// what remains per client is the mask comparison and the memcpy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/net/bytestream.hpp"
+#include "src/net/protocol.hpp"
+#include "src/sim/frame_view.hpp"
+
+namespace qserv::sim {
+
+class World;
+
+// Byte-per-row visibility of a PVS cluster against the frame view's
+// player rows, built once per (cluster, frame) and then shared by every
+// viewer in that cluster. Rows are pooled across frames; priming is
+// single-threaded (the reply-prepare step), lookups are read-only and
+// safe from concurrent reply workers.
+class ClusterVisCache {
+ public:
+  // Starts a new frame: forgets all rows, keeps pooled capacity.
+  void begin_frame();
+
+  // Ensures the row for `cluster` exists and returns it. Charges
+  // per_pvs_check per player row on first build (the shared cost every
+  // same-cluster viewer then rides on). Returns null for cluster -1
+  // (conservative visible-to-all) and for maps without PVS.
+  const std::vector<uint8_t>* prime(const World& world, const FrameView& view,
+                                    int cluster);
+
+  // Read-only lookup for the finalize stage; null if never primed.
+  const std::vector<uint8_t>* row_for(int cluster) const;
+
+ private:
+  std::unordered_map<int, size_t> index_;  // cluster -> pool slot
+  std::vector<std::vector<uint8_t>> pool_;
+  size_t used_ = 0;
+};
+
+// Reusable per-thread scratch for encode_delta_from_view; all vectors
+// keep capacity across frames so steady-state encoding allocates nothing.
+struct SharedEncodeScratch {
+  net::ByteWriter body;
+  std::vector<uint32_t> removed;
+  // (id, baseline index), sorted by id, for O(log n) baseline lookup.
+  std::vector<std::pair<uint32_t, uint32_t>> base_ids;
+};
+
+// Full snapshot from view rows: byte-identical to net::encode(snap, w)
+// when snap.entities holds exactly the entities of `rows`. The entity
+// section is a span copy of the view's canonical records.
+void encode_full_from_view(const net::Snapshot& snap, const FrameView& view,
+                           const std::vector<uint32_t>& rows,
+                           net::ByteWriter& w);
+
+// Delta snapshot from view rows against `baseline`: byte-identical to
+// net::encode_delta(snap, baseline, baseline_frame) when snap.entities
+// holds exactly the entities of `rows` (both are id-ascending, which the
+// sweep guarantees). Returns the number of entity records written.
+int encode_delta_from_view(const net::Snapshot& snap, const FrameView& view,
+                           const std::vector<uint32_t>& rows,
+                           const std::vector<net::EntityUpdate>& baseline,
+                           uint32_t baseline_frame,
+                           SharedEncodeScratch& scratch, net::ByteWriter& w);
+
+}  // namespace qserv::sim

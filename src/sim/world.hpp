@@ -24,6 +24,7 @@
 #include "src/net/protocol.hpp"
 #include "src/sim/cost_model.hpp"
 #include "src/sim/entity.hpp"
+#include "src/sim/frame_view.hpp"
 #include "src/spatial/areanode_tree.hpp"
 #include "src/spatial/collision.hpp"
 #include "src/spatial/map.hpp"
@@ -133,6 +134,13 @@ class World {
   // --- world physics phase (single-threaded) ---
   void world_phase(vt::TimePoint now, vt::Duration dt, EventSink& events);
 
+  // --- per-frame SoA view (reply hot path, DESIGN.md §15) ---
+  // Repacks active entities into the frame view. Single-threaded (called
+  // at the flip into the reply phase, while the world is frozen); the
+  // view is transient scratch and never checkpointed.
+  void rebuild_frame_view(uint64_t frame) { frame_view_.rebuild(*this, frame); }
+  const FrameView& frame_view() const { return frame_view_; }
+
   // --- accessors ---
   const spatial::GameMap& map() const { return map_; }
   const spatial::CollisionWorld& collision() const { return collision_; }
@@ -193,6 +201,7 @@ class World {
   std::vector<Entity> entities_;
   std::vector<uint32_t> free_ids_;
   size_t active_count_ = 0;
+  FrameView frame_view_;
 
   std::unique_ptr<vt::Mutex> projectile_mu_;  // null without a platform
   std::vector<ProjectileSpec> pending_projectiles_;

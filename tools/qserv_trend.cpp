@@ -47,6 +47,12 @@ constexpr KeyedMetric kMetrics[] = {
     {"response.ms_mean", KeyedMetric::Dir::kLowerBetter},
     {"response.connected", KeyedMetric::Dir::kNonDecreasing},
     {"pause_ms", KeyedMetric::Dir::kLowerBetter},
+    // Reply hot path (DESIGN.md §15): the reply phase's share of
+    // execution time and the steady-state allocation rate. Both keys are
+    // only present on points whose bench exports them; absent keys are
+    // skipped, so older BENCH files stay comparable.
+    {"reply_share", KeyedMetric::Dir::kLowerBetter},
+    {"allocs_per_frame", KeyedMetric::Dir::kLowerBetter},
 };
 
 struct BenchFile {
